@@ -1,0 +1,236 @@
+package treegion
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its experiment over the synthetic suite and
+// reports the headline aggregate through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduction's numbers next to the usual ns/op. The full
+// per-benchmark rows come from `go run ./cmd/experiments`.
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+	suiteErr  error
+)
+
+func sharedSuite(b *testing.B) *Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = NewSuite()
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkTable1TreegionStats regenerates Table 1 (treegion statistics).
+func BenchmarkTable1TreegionStats(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avgBB, avgOps := 0.0, 0.0
+		for _, r := range rows {
+			avgBB += r.AvgBlocks
+			avgOps += r.AvgOps
+		}
+		b.ReportMetric(avgBB/float64(len(rows)), "avg-bb")
+		b.ReportMetric(avgOps/float64(len(rows)), "avg-ops")
+	}
+}
+
+// BenchmarkTable2SLRStats regenerates Table 2 (SLR statistics).
+func BenchmarkTable2SLRStats(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avgBB, avgOps := 0.0, 0.0
+		for _, r := range rows {
+			avgBB += r.AvgBlocks
+			avgOps += r.AvgOps
+		}
+		b.ReportMetric(avgBB/float64(len(rows)), "avg-bb")
+		b.ReportMetric(avgOps/float64(len(rows)), "avg-ops")
+	}
+}
+
+// BenchmarkTable3CodeExpansion regenerates Table 3 (code expansion for
+// superblocks and tail-duplicated treegions at limits 2.0 and 3.0).
+func BenchmarkTable3CodeExpansion(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sb, t2, t3 float64
+		for _, r := range rows {
+			sb += r.SB
+			t2 += r.Tree20
+			t3 += r.Tree30
+		}
+		n := float64(len(rows))
+		b.ReportMetric(sb/n, "sb-expansion")
+		b.ReportMetric(t2/n, "tree2.0-expansion")
+		b.ReportMetric(t3/n, "tree3.0-expansion")
+	}
+}
+
+// BenchmarkTable4RegionSizes regenerates Table 4 (superblock vs treegion
+// region counts and sizes at expansion limit 2.0).
+func BenchmarkTable4RegionSizes(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sbBB, treeBB float64
+		for _, r := range rows {
+			sbBB += r.SBAvgBB
+			treeBB += r.TreeAvgBB
+		}
+		n := float64(len(rows))
+		b.ReportMetric(sbBB/n, "sb-avg-bb")
+		b.ReportMetric(treeBB/n, "tree-avg-bb")
+	}
+}
+
+// BenchmarkFig6DepHeight regenerates Figure 6 (dependence-height scheduling
+// of basic blocks, SLRs and treegions on 4U and 8U).
+func BenchmarkFig6DepHeight(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, labels, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range labels {
+			b.ReportMetric(GeoMean(rows, l), l)
+		}
+	}
+}
+
+// BenchmarkFig8Heuristics regenerates Figure 8 (the four treegion
+// scheduling heuristics on 4U and 8U).
+func BenchmarkFig8Heuristics(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, labels, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range labels {
+			b.ReportMetric(GeoMean(rows, l), l)
+		}
+	}
+}
+
+// BenchmarkFig13TailDup regenerates Figure 13 (superblocks vs
+// tail-duplicated treegions with global weight and dominator parallelism).
+func BenchmarkFig13TailDup(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, labels, err := s.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range labels {
+			b.ReportMetric(GeoMean(rows, l), l)
+		}
+	}
+}
+
+// BenchmarkProfileVariation runs the paper's future-work study: schedules
+// built from the training profile evaluated against a varied input set.
+func BenchmarkProfileVariation(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, _, err := s.ProfileVariation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(GeoMean(rows, "globalweight/train"), "gw-train")
+		b.ReportMetric(GeoMean(rows, "globalweight/varied"), "gw-varied")
+		b.ReportMetric(GeoMean(rows, "depheight/varied"), "dh-varied")
+	}
+}
+
+// BenchmarkWideMachines extends Figure 6 to the 16-issue model (speculation
+// headroom).
+func BenchmarkWideMachines(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, labels, err := s.WideMachines()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range labels {
+			b.ReportMetric(GeoMean(rows, l), l)
+		}
+	}
+}
+
+// BenchmarkAblations quantifies renaming, dominator parallelism, and the
+// expansion-limit sweep.
+func BenchmarkAblations(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, labels, err := s.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range labels {
+			b.ReportMetric(GeoMean(rows, l), l)
+		}
+	}
+}
+
+// BenchmarkHyperblocks runs the predication-vs-tail-duplication comparison
+// the paper names as future work.
+func BenchmarkHyperblocks(b *testing.B) {
+	s := sharedSuite(b)
+	for i := 0; i < b.N; i++ {
+		rows, labels, err := s.Hyperblocks()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, l := range labels {
+			b.ReportMetric(GeoMean(rows, l), l)
+		}
+	}
+}
+
+// BenchmarkCompileTreegion measures raw compilation throughput of the
+// treegion pipeline on the gcc-flavoured benchmark (not a paper figure;
+// useful for tracking the compiler's own speed).
+func BenchmarkCompileTreegion(b *testing.B) {
+	prog, err := GenerateBenchmark("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileProgram(prog, profs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Command experiments regenerates the paper's tables and figures over the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments [-exp table1|table2|table3|table4|fig6|fig8|fig13|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"treegion"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1..table4, fig6, fig8, fig13, profvar, wide, ablation, hyper, resources, registers, or all")
+	flag.Parse()
+
+	suite, err := treegion.NewSuite()
+	if err != nil {
+		fail(err)
+	}
+	run := func(name string, f func(*treegion.Suite) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(suite); err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	run("table1", table1)
+	run("table2", table2)
+	run("table3", table3)
+	run("table4", table4)
+	run("fig6", fig6)
+	run("fig8", fig8)
+	run("fig13", fig13)
+	run("profvar", profvar)
+	run("wide", wide)
+	run("ablation", ablation)
+	run("hyper", hyperexp)
+	run("resources", resources)
+	run("registers", registers)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func table1(s *treegion.Suite) error {
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: Treegion statistics")
+	fmt.Printf("%-10s %9s %9s %11s\n", "program", "avg #bb", "max #bb", "avg #instrs")
+	for _, r := range rows {
+		fmt.Printf("%-10s %9.2f %9d %11.2f\n", r.Benchmark, r.AvgBlocks, r.MaxBlocks, r.AvgOps)
+	}
+	fmt.Println()
+	return nil
+}
+
+func table2(s *treegion.Suite) error {
+	rows, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2: SLR statistics")
+	fmt.Printf("%-10s %9s %9s %11s\n", "program", "avg #bb", "max #bb", "avg #ops")
+	for _, r := range rows {
+		fmt.Printf("%-10s %9.2f %9d %11.2f\n", r.Benchmark, r.AvgBlocks, r.MaxBlocks, r.AvgOps)
+	}
+	fmt.Println()
+	return nil
+}
+
+func table3(s *treegion.Suite) error {
+	rows, err := s.Table3()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 3: Code expansion")
+	fmt.Printf("%-10s %8s %11s %11s\n", "program", "sb", "tree(2.0)", "tree(3.0)")
+	var sb, t2, t3 float64
+	for _, r := range rows {
+		fmt.Printf("%-10s %8.2f %11.2f %11.2f\n", r.Benchmark, r.SB, r.Tree20, r.Tree30)
+		sb += r.SB
+		t2 += r.Tree20
+		t3 += r.Tree30
+	}
+	n := float64(len(rows))
+	fmt.Printf("%-10s %8.2f %11.2f %11.2f\n\n", "average", sb/n, t2/n, t3/n)
+	return nil
+}
+
+func table4(s *treegion.Suite) error {
+	rows, err := s.Table4()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 4: Superblock vs treegion(2.0) region statistics")
+	fmt.Printf("%-10s %10s %10s %10s %10s %10s %10s\n",
+		"program", "sb#", "tree#", "sb bb", "tree bb", "sb ops", "tree ops")
+	for _, r := range rows {
+		fmt.Printf("%-10s %10d %10d %10.2f %10.2f %10.2f %10.2f\n",
+			r.Benchmark, r.SBCount, r.TreeCount, r.SBAvgBB, r.TreeAvgBB, r.SBAvgOps, r.TreeAvgOps)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printSpeedups(title string, rows []treegion.SpeedupRow, labels []string) {
+	fmt.Println(title)
+	fmt.Printf("%-10s", "program")
+	for _, l := range labels {
+		fmt.Printf(" %13s", l)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-10s", r.Benchmark)
+		for _, l := range labels {
+			fmt.Printf(" %13.3f", r.Speedup[l])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "geomean")
+	for _, l := range labels {
+		fmt.Printf(" %13.3f", treegion.GeoMean(rows, l))
+	}
+	fmt.Println()
+	fmt.Println()
+}
+
+func fig6(s *treegion.Suite) error {
+	rows, labels, err := s.Figure6()
+	if err != nil {
+		return err
+	}
+	sort.Strings(labels[:3])
+	printSpeedups("Figure 6: dependence-height scheduling (speedup over 1U basic blocks)", rows, labels)
+	return nil
+}
+
+func fig8(s *treegion.Suite) error {
+	rows, labels, err := s.Figure8()
+	if err != nil {
+		return err
+	}
+	printSpeedups("Figure 8: the four treegion heuristics", rows, labels)
+	return nil
+}
+
+func fig13(s *treegion.Suite) error {
+	rows, labels, err := s.Figure13()
+	if err != nil {
+		return err
+	}
+	printSpeedups("Figure 13: superblocks vs tail-duplicated treegions (global weight)", rows, labels)
+	return nil
+}
+
+func profvar(s *treegion.Suite) error {
+	rows, labels, err := s.ProfileVariation()
+	if err != nil {
+		return err
+	}
+	printSpeedups("Profile variation (paper future work): train vs varied input, 4U", rows, labels)
+	return nil
+}
+
+func wide(s *treegion.Suite) error {
+	rows, labels, err := s.WideMachines()
+	if err != nil {
+		return err
+	}
+	printSpeedups("Wide machines: SLR vs treegion headroom (dep-height)", rows, labels)
+	return nil
+}
+
+func ablation(s *treegion.Suite) error {
+	rows, labels, err := s.Ablations()
+	if err != nil {
+		return err
+	}
+	printSpeedups("Ablations (8U, global weight)", rows, labels)
+	return nil
+}
+
+func hyperexp(s *treegion.Suite) error {
+	rows, labels, err := s.Hyperblocks()
+	if err != nil {
+		return err
+	}
+	printSpeedups("Hyperblocks (paper future work): predication vs tail duplication", rows, labels)
+	return nil
+}
+
+func resources(s *treegion.Suite) error {
+	rows, labels, err := s.Resources()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Resources (8U, global weight): issue-slot utilization / avg register pressure")
+	fmt.Printf("%-10s", "program")
+	for _, l := range labels {
+		fmt.Printf(" %16s", l)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-10s", r.Benchmark)
+		for _, l := range labels {
+			fmt.Printf("      %4.1f%%/%5.1f", 100*r.Utilization[l], r.AvgPressure[l])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func registers(s *treegion.Suite) error {
+	rows, sizes, err := s.Registers()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Registers (follow-up work): spills/1k-ops and est. slowdown, treegions on 8U")
+	fmt.Printf("%-10s", "program")
+	for _, k := range sizes {
+		fmt.Printf("   %8s-reg", fmt.Sprint(k))
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-10s", r.Benchmark)
+		for _, k := range sizes {
+			fmt.Printf("   %5.1f/%4.1f%%", r.SpillsPerKOp[k], 100*r.Slowdown[k])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}

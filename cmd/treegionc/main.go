@@ -1,0 +1,151 @@
+// Command treegionc is the compiler driver: it generates one synthetic
+// benchmark, profiles it, compiles it under a chosen region former /
+// heuristic / machine, and reports estimated performance. With -dump it
+// prints the schedules of the hottest regions.
+//
+// Usage:
+//
+//	treegionc [-bench gcc] [-region tree] [-heuristic globalweight]
+//	          [-machine 4U] [-limit 2.0] [-dump 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"treegion"
+)
+
+func main() {
+	bench := flag.String("bench", "compress", "benchmark to compile (see -list)")
+	input := flag.String("input", "", "compile a single function from a textual-IR file instead of a benchmark")
+	trips := flag.Int("trips", 100, "profiling trips for -input functions")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	regionKind := flag.String("region", "tree", "region former: bb, slr, tree, sb, tree-td")
+	heuristic := flag.String("heuristic", "globalweight", "depheight, exitcount, globalweight, weightedcount")
+	machineName := flag.String("machine", "4U", "machine model: 1U, 4U, 8U, 16U")
+	limit := flag.Float64("limit", 2.0, "code expansion limit for tree-td")
+	noRename := flag.Bool("norename", false, "disable compile-time register renaming")
+	ifConvert := flag.Bool("ifconvert", false, "run hyperblock-style if-conversion first")
+	dump := flag.Int("dump", 0, "print the N hottest region schedules")
+	dot := flag.String("dot", "", "write the first function's region-annotated CFG as Graphviz DOT to this file")
+	flag.Parse()
+
+	if *list {
+		for _, b := range treegion.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	kind, err := treegion.ParseRegionKind(*regionKind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := treegion.ParseHeuristic(*heuristic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, ok := treegion.MachineByName(*machineName)
+	if !ok {
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+
+	var prog *treegion.Program
+	var profs treegion.Profiles
+	if *input != "" {
+		src, err := os.ReadFile(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fn, err := treegion.ParseFunction(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof, err := treegion.ProfileFunction(fn, 1, *trips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog = &treegion.Program{Name: fn.Name, Funcs: []*treegion.Function{fn}}
+		profs = treegion.Profiles{prof}
+	} else {
+		var err error
+		prog, err = treegion.GenerateBenchmark(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profs, err = treegion.ProfileProgram(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := treegion.Config{
+		Kind:                 kind,
+		Heuristic:            h,
+		Machine:              m,
+		Rename:               !*noRename,
+		DominatorParallelism: kind == treegion.TreegionTD,
+		TD:                   treegion.TDConfig{ExpansionLimit: *limit, PathLimit: 20, MergeLimit: 4},
+		IfConvert:            *ifConvert,
+	}
+	res, err := treegion.CompileProgram(prog, profs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := treegion.CompileProgram(prog, profs, treegion.BaselineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark:      %s (%d functions)\n", prog.Name, len(prog.Funcs))
+	fmt.Printf("configuration:  %s regions, %s heuristic, %s machine, rename=%v\n",
+		kind, h, m.Name, cfg.Rename)
+	fmt.Printf("estimated time: %.0f cycles (baseline %.0f)\n", res.Time, base.Time)
+	fmt.Printf("speedup:        %.3fx over 1-issue basic blocks\n", treegion.Speedup(base.Time, res.Time))
+	fmt.Printf("code expansion: %.2f\n", res.CodeExpansion)
+	fmt.Printf("regions:        %d (avg %.2f blocks, %.2f ops, max %d blocks)\n",
+		res.RegionStats.Count, res.RegionStats.AvgBlocks, res.RegionStats.AvgOps, res.RegionStats.MaxBlocks)
+	ren, cop, mer, spec := 0, 0, 0, 0
+	for _, f := range res.Funcs {
+		ren += f.NumRenamed
+		cop += f.NumCopies
+		mer += f.NumMerged
+		spec += f.NumSpeculated
+	}
+	fmt.Printf("speculated %d ops; renamed %d dests (%d copies); merged %d duplicates\n",
+		spec, ren, cop, mer)
+
+	if *dot != "" && len(res.Funcs) > 0 {
+		fr := res.Funcs[0]
+		if err := os.WriteFile(*dot, []byte(treegion.DOT(fr.Fn, fr.Regions, fr.Prof)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (render with: dot -Tsvg %s)\n", *dot, *dot)
+	}
+
+	if *dump > 0 {
+		type hot struct {
+			fi, ri int
+			w      float64
+		}
+		var hots []hot
+		for fi, fr := range res.Funcs {
+			for ri, r := range fr.Regions {
+				hots = append(hots, hot{fi, ri, profs[fi].BlockWeight(r.Root)})
+			}
+		}
+		sort.Slice(hots, func(i, j int) bool { return hots[i].w > hots[j].w })
+		if len(hots) > *dump {
+			hots = hots[:*dump]
+		}
+		for _, x := range hots {
+			fr := res.Funcs[x.fi]
+			fmt.Printf("\n== %s %v (root weight %.0f)\n%s",
+				fr.Fn.Name, fr.Regions[x.ri], x.w, fr.Schedules[x.ri])
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// The quickstart example walks the library's public API end to end:
+// generate a synthetic benchmark, profile it, compile it with the paper's
+// best configuration (treegions + global weight), and report the speedup
+// over the basic-block baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treegion"
+)
+
+func main() {
+	// 1. A deterministic synthetic benchmark (compress-flavoured).
+	prog, err := treegion.GenerateBenchmark("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %q: %d functions\n", prog.Name, len(prog.Funcs))
+
+	// 2. Profile it with the stochastic interpreter.
+	profs, err := treegion.ProfileProgram(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compile with the paper's headline configuration...
+	cfg := treegion.DefaultConfig() // treegions, global weight, 4-issue
+	res, err := treegion.CompileProgram(prog, profs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...and with the baseline (basic blocks on the 1-issue machine).
+	base, err := treegion.CompileProgram(prog, profs, treegion.BaselineConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("baseline time: %.0f cycles\n", base.Time)
+	fmt.Printf("treegion time: %.0f cycles on %s\n", res.Time, cfg.Machine.Name)
+	fmt.Printf("speedup:       %.2fx\n", treegion.Speedup(base.Time, res.Time))
+	fmt.Printf("region stats:  %d regions, %.2f blocks and %.2f ops on average\n",
+		res.RegionStats.Count, res.RegionStats.AvgBlocks, res.RegionStats.AvgOps)
+
+	renamed, speculated := 0, 0
+	for _, f := range res.Funcs {
+		renamed += f.NumRenamed
+		speculated += f.NumSpeculated
+	}
+	fmt.Printf("speculated ops: %d, renamed destinations: %d\n", speculated, renamed)
+}

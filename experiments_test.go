@@ -1,0 +1,136 @@
+package treegion
+
+import "testing"
+
+// A single shared suite keeps the experiment tests affordable.
+var expSuite *Suite
+
+func getSuite(t *testing.T) *Suite {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment suites are not short")
+	}
+	if expSuite == nil {
+		s, err := NewSuite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		expSuite = s
+	}
+	return expSuite
+}
+
+func TestFigure13Shape(t *testing.T) {
+	s := getSuite(t)
+	rows, _, err := s.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: tail-duplicated treegions beat superblocks on
+	// the 8U machine, and the 3.0 limit beats the 2.0 limit.
+	sb := GeoMean(rows, "sb/8U")
+	t20 := GeoMean(rows, "tree2.0/8U")
+	t30 := GeoMean(rows, "tree3.0/8U")
+	if t20 <= sb {
+		t.Errorf("tree-td(2.0) %v must beat superblocks %v at 8U", t20, sb)
+	}
+	if t30 <= t20 {
+		t.Errorf("tree-td(3.0) %v must beat tree-td(2.0) %v at 8U", t30, t20)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	s := getSuite(t)
+	rows, _, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := GeoMean(rows, "globalweight/4U")
+	dh := GeoMean(rows, "depheight/4U")
+	if gw <= dh {
+		t.Errorf("global weight %v must beat dep-height %v at 4U (the paper's best heuristic)", gw, dh)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	s := getSuite(t)
+	rows, _, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone beats the baseline, and treegions beat SLRs at 8 issue slots.
+	for _, label := range []string{"bb/4U", "slr/4U", "tree/4U", "bb/8U", "slr/8U", "tree/8U"} {
+		if g := GeoMean(rows, label); g <= 1 {
+			t.Errorf("%s geomean %v not above 1", label, g)
+		}
+	}
+	if GeoMean(rows, "tree/8U") <= GeoMean(rows, "slr/8U") {
+		t.Error("treegions must beat SLRs at 8U")
+	}
+}
+
+func TestResourcesShape(t *testing.T) {
+	s := getSuite(t)
+	rows, _, err := s.Resources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Utilization["tree"] <= r.Utilization["bb"] {
+			t.Errorf("%s: treegion utilization %.3f not above basic blocks %.3f",
+				r.Benchmark, r.Utilization["tree"], r.Utilization["bb"])
+		}
+		if r.AvgPressure["tree"] <= r.AvgPressure["bb"] {
+			t.Errorf("%s: treegion pressure %.2f not above basic blocks %.2f",
+				r.Benchmark, r.AvgPressure["tree"], r.AvgPressure["bb"])
+		}
+	}
+}
+
+func TestRegistersShape(t *testing.T) {
+	s := getSuite(t)
+	rows, sizes, err := s.Registers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) < 2 {
+		t.Fatal("need a sweep")
+	}
+	for _, r := range rows {
+		// Spill density must not increase with file size.
+		for i := 1; i < len(sizes); i++ {
+			if r.SpillsPerKOp[sizes[i]] > r.SpillsPerKOp[sizes[i-1]]+1e-9 {
+				t.Errorf("%s: spills grew from %d to %d registers", r.Benchmark, sizes[i-1], sizes[i])
+			}
+		}
+	}
+}
+
+func TestWideMachinesShape(t *testing.T) {
+	s := getSuite(t)
+	rows, _, err := s.WideMachines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tree-over-SLR margin must grow with issue width (the headroom
+	// trend).
+	m8 := GeoMean(rows, "tree/8U") / GeoMean(rows, "slr/8U")
+	m16 := GeoMean(rows, "tree/16U") / GeoMean(rows, "slr/16U")
+	if m16 <= m8 {
+		t.Errorf("tree/slr margin shrank with width: %v at 8U, %v at 16U", m8, m16)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	s := getSuite(t)
+	rows, _, err := s.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GeoMean(rows, "tree") <= GeoMean(rows, "rename-off") {
+		t.Error("renaming must help (the paper's enabling mechanism)")
+	}
+	if GeoMean(rows, "td-2.0") < GeoMean(rows, "dompar-off") {
+		t.Error("dominator parallelism must not hurt")
+	}
+}

@@ -1,0 +1,3 @@
+module treegion
+
+go 1.22

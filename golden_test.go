@@ -1,0 +1,121 @@
+package treegion
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFig1 compiles the shipped testdata/fig1.tir (the paper's
+// Figure 1 CFG) under every region former and locks in the qualitative
+// outcomes: region structure, code expansion, and the performance ordering
+// the paper's worked example demonstrates.
+func TestGoldenFig1(t *testing.T) {
+	src, err := os.ReadFile("testdata/fig1.tir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := ParseFunction(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fn.Blocks) != 9 || fn.NumOps() != 24 {
+		t.Fatalf("fig1.tir: %d blocks / %d ops, want 9 / 24", len(fn.Blocks), fn.NumOps())
+	}
+	prof, err := ProfileFunction(fn, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compile := func(kind RegionKind, rename bool) *FunctionResult {
+		cfg := Config{
+			Kind: kind, Heuristic: GlobalWeight, Machine: FourU,
+			Rename: rename, DominatorParallelism: kind == TreegionTD,
+			TD: TDConfig{ExpansionLimit: 2.0, PathLimit: 20, MergeLimit: 4},
+		}
+		res, err := CompileFunction(fn.Clone(), prof.Clone(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	tree := compile(Treegion, true)
+	// Treegion formation on Fig. 1: exactly three regions —
+	// {bb1..bb4,bb8}, {bb5,bb6,bb7}, {bb9} in the paper's numbering.
+	if len(tree.Regions) != 3 {
+		t.Fatalf("fig1 forms %d treegions, want 3", len(tree.Regions))
+	}
+	sizes := map[int]int{}
+	for _, r := range tree.Regions {
+		sizes[len(r.Blocks)]++
+	}
+	if sizes[5] != 1 || sizes[3] != 1 || sizes[1] != 1 {
+		t.Fatalf("treegion sizes = %v, want {5,3,1}", sizes)
+	}
+	if tree.OpsAfter != tree.OpsBefore {
+		t.Fatal("plain treegions must not expand code")
+	}
+
+	bb := compile(BasicBlocks, true)
+	slr := compile(SLR, true)
+	sb := compile(Superblock, false)
+	td := compile(TreegionTD, true)
+
+	// Orderings the paper's example implies: every region scheme beats
+	// basic blocks; tail-duplicated treegions are the best.
+	for name, r := range map[string]*FunctionResult{"slr": slr, "sb": sb, "tree": tree, "td": td} {
+		if r.Time >= bb.Time {
+			t.Errorf("%s (%v) does not beat basic blocks (%v)", name, r.Time, bb.Time)
+		}
+	}
+	if td.Time > tree.Time {
+		t.Errorf("tree-td (%v) worse than plain treegions (%v) on fig1", td.Time, tree.Time)
+	}
+	if td.OpsAfter <= td.OpsBefore {
+		t.Error("tree-td did not duplicate on fig1 (bb5/bb9 merges should fold in)")
+	}
+
+	// The worked example's renaming fires (r4a/r5a analogues).
+	if tree.NumRenamed < 2 {
+		t.Errorf("renamed = %d, want the example's conflicting defs renamed", tree.NumRenamed)
+	}
+}
+
+func TestDOTFacade(t *testing.T) {
+	src, err := os.ReadFile("testdata/fig1.tir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := ParseFunction(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileFunction(fn, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompileFunction(fn, prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := DOT(res.Fn, res.Regions, res.Prof)
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "cluster_0") {
+		t.Fatalf("DOT output malformed:\n%s", dot[:200])
+	}
+}
+
+func TestPrintFunctionFacade(t *testing.T) {
+	prog, err := GenerateBenchmark("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := PrintFunction(prog.Funcs[0])
+	back, err := ParseFunction(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PrintFunction(back) != text {
+		t.Fatal("facade round trip failed")
+	}
+}

@@ -1,0 +1,77 @@
+package cfg
+
+import "treegion/internal/ir"
+
+// DomTree holds immediate-dominator information for the reachable blocks of
+// a function, computed with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	g *Graph
+	// IDom[b] is the immediate dominator of b, or ir.NoBlock for the entry
+	// and for unreachable blocks.
+	IDom []ir.BlockID
+}
+
+// Dominators computes the dominator tree of g.
+func Dominators(g *Graph) *DomTree {
+	n := len(g.Fn.Blocks)
+	idom := make([]ir.BlockID, n)
+	for i := range idom {
+		idom[i] = ir.NoBlock
+	}
+	entry := g.Fn.Entry
+	idom[entry] = entry // temporarily self, per CHK
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.RPO {
+			if b == entry {
+				continue
+			}
+			var newIdom = ir.NoBlock
+			for _, p := range g.Preds[b] {
+				if idom[p] == ir.NoBlock {
+					continue // predecessor not processed yet / unreachable
+				}
+				if newIdom == ir.NoBlock {
+					newIdom = p
+				} else {
+					newIdom = intersect(g, idom, p, newIdom)
+				}
+			}
+			if newIdom != ir.NoBlock && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = ir.NoBlock // entry has no immediate dominator
+	return &DomTree{g: g, IDom: idom}
+}
+
+func intersect(g *Graph, idom []ir.BlockID, a, b ir.BlockID) ir.BlockID {
+	for a != b {
+		for g.RPONum[a] > g.RPONum[b] {
+			a = idom[a]
+		}
+		for g.RPONum[b] > g.RPONum[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b ir.BlockID) bool {
+	if !d.g.Reachable(a) || !d.g.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		b = d.IDom[b]
+		if b == ir.NoBlock {
+			return false
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package cfg provides control-flow-graph analyses over ir.Functions:
+// predecessor maps, reverse postorder, dominators, liveness, merge points and
+// back-edge detection. Region formation and the scheduler consume these.
+//
+// All analyses are snapshots: they are computed from the function's current
+// shape and are not updated when the function mutates. Transformations that
+// edit the CFG (tail duplication) recompute what they need.
+package cfg
+
+import "treegion/internal/ir"
+
+// Graph caches the structural views of a function's CFG that every analysis
+// needs: successor and predecessor lists and a reverse postorder.
+type Graph struct {
+	Fn    *ir.Function
+	Succs [][]ir.BlockID // indexed by BlockID
+	Preds [][]ir.BlockID // indexed by BlockID
+	// RPO is a reverse postorder over blocks reachable from the entry.
+	RPO []ir.BlockID
+	// RPONum[b] is b's position in RPO, or -1 if b is unreachable.
+	RPONum []int
+}
+
+// New builds the structural snapshot for fn.
+func New(fn *ir.Function) *Graph {
+	n := len(fn.Blocks)
+	g := &Graph{
+		Fn:     fn,
+		Succs:  make([][]ir.BlockID, n),
+		Preds:  make([][]ir.BlockID, n),
+		RPONum: make([]int, n),
+	}
+	for _, b := range fn.Blocks {
+		g.Succs[b.ID] = b.Succs()
+	}
+	for _, b := range fn.Blocks {
+		for _, s := range g.Succs[b.ID] {
+			g.Preds[s] = append(g.Preds[s], b.ID)
+		}
+	}
+	// Iterative postorder DFS from the entry, then reverse.
+	post := make([]ir.BlockID, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		b ir.BlockID
+		i int
+	}
+	stack := []frame{{fn.Entry, 0}}
+	state[fn.Entry] = 1
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.i < len(g.Succs[top.b]) {
+			s := g.Succs[top.b][top.i]
+			top.i++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		state[top.b] = 2
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]ir.BlockID, len(post))
+	for i := range post {
+		g.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range g.RPONum {
+		g.RPONum[i] = -1
+	}
+	for i, b := range g.RPO {
+		g.RPONum[b] = i
+	}
+	return g
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (g *Graph) Reachable(b ir.BlockID) bool { return g.RPONum[b] >= 0 }
+
+// IsMergePoint reports whether b has two or more predecessors. (The paper's
+// treegion formation stops at merge points.) The entry block is never a
+// merge point unless something branches back to it.
+func (g *Graph) IsMergePoint(b ir.BlockID) bool { return len(g.Preds[b]) >= 2 }
+
+// MergeCount returns the number of incoming edges of b.
+func (g *Graph) MergeCount(b ir.BlockID) int { return len(g.Preds[b]) }
+
+// BackEdges returns the back edges (tail→head) of the reachable CFG, found
+// via DFS edge classification. A treegion can never contain one (merge
+// points delimit regions), but the profiler and generator care about loops.
+func (g *Graph) BackEdges() [][2]ir.BlockID {
+	n := len(g.Fn.Blocks)
+	color := make([]uint8, n)
+	var out [][2]ir.BlockID
+	type frame struct {
+		b ir.BlockID
+		i int
+	}
+	stack := []frame{{g.Fn.Entry, 0}}
+	color[g.Fn.Entry] = 1
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.i < len(g.Succs[top.b]) {
+			s := g.Succs[top.b][top.i]
+			top.i++
+			switch color[s] {
+			case 0:
+				color[s] = 1
+				stack = append(stack, frame{s, 0})
+			case 1:
+				out = append(out, [2]ir.BlockID{top.b, s})
+			}
+			continue
+		}
+		color[top.b] = 2
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}

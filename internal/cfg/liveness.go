@@ -1,0 +1,120 @@
+package cfg
+
+import "treegion/internal/ir"
+
+// RegSet is a set of virtual registers.
+type RegSet map[ir.Reg]struct{}
+
+// NewRegSet returns a set holding the given registers.
+func NewRegSet(rs ...ir.Reg) RegSet {
+	s := make(RegSet, len(rs))
+	for _, r := range rs {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add inserts r (ignores NoReg).
+func (s RegSet) Add(r ir.Reg) {
+	if r.IsValid() {
+		s[r] = struct{}{}
+	}
+}
+
+// Has reports membership.
+func (s RegSet) Has(r ir.Reg) bool {
+	_, ok := s[r]
+	return ok
+}
+
+// AddAll inserts every register of o and reports whether s grew.
+func (s RegSet) AddAll(o RegSet) bool {
+	grew := false
+	for r := range o {
+		if _, ok := s[r]; !ok {
+			s[r] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Clone returns an independent copy.
+func (s RegSet) Clone() RegSet {
+	c := make(RegSet, len(s))
+	for r := range s {
+		c[r] = struct{}{}
+	}
+	return c
+}
+
+// Liveness holds per-block live-in/live-out register sets, from the standard
+// backward iterative dataflow. The treegion scheduler consults live-in sets
+// of off-path blocks to decide when speculation requires renaming.
+type Liveness struct {
+	LiveIn  []RegSet // indexed by BlockID
+	LiveOut []RegSet
+}
+
+// ComputeLiveness runs the dataflow over g until fixpoint.
+func ComputeLiveness(g *Graph) *Liveness {
+	n := len(g.Fn.Blocks)
+	use := make([]RegSet, n)
+	def := make([]RegSet, n)
+	for _, b := range g.Fn.Blocks {
+		u, d := NewRegSet(), NewRegSet()
+		for _, op := range b.Ops {
+			if op.Guarded() && !d.Has(op.Guard) {
+				u.Add(op.Guard)
+			}
+			for _, s := range op.Srcs {
+				if !d.Has(s) {
+					u.Add(s)
+				}
+			}
+			// A guarded definition may not execute, so it does not kill:
+			// the pre-existing value can still flow through the block.
+			if !op.Guarded() {
+				for _, dst := range op.Dests {
+					d.Add(dst)
+				}
+			}
+		}
+		use[b.ID], def[b.ID] = u, d
+	}
+	lv := &Liveness{
+		LiveIn:  make([]RegSet, n),
+		LiveOut: make([]RegSet, n),
+	}
+	for i := 0; i < n; i++ {
+		lv.LiveIn[i] = NewRegSet()
+		lv.LiveOut[i] = NewRegSet()
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Iterate in reverse RPO for fast convergence of a backward problem.
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			b := g.RPO[i]
+			out := lv.LiveOut[b]
+			for _, s := range g.Succs[b] {
+				if out.AddAll(lv.LiveIn[s]) {
+					changed = true
+				}
+			}
+			in := lv.LiveIn[b]
+			if in.AddAll(use[b]) {
+				changed = true
+			}
+			for r := range out {
+				if !def[b].Has(r) {
+					if !in.Has(r) {
+						in.Add(r)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return lv
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"treegion/internal/ddg"
+)
+
+// Heuristic selects the static priority order used to sort DDG nodes before
+// list scheduling (step 2 of the paper's Fig. 3 algorithm).
+type Heuristic uint8
+
+// The paper's four treegion scheduling heuristics (Section 3).
+const (
+	// DepHeight sorts by dependence height (critical-path scheduling):
+	// maximal speculation, profile-free.
+	DepHeight Heuristic = iota
+	// ExitCount sorts by the number of region exits below the op (adapted
+	// from speculative hedge's helped count), ties by height.
+	ExitCount
+	// GlobalWeight sorts by the profile weight of the op's home block
+	// (adapted from speculative hedge's helped weight — in a tree, the
+	// weight of all exits an op helps equals its block's weight), ties by
+	// height. The paper's best performer.
+	GlobalWeight
+	// WeightedCount sorts by weight, then exit count, then height.
+	WeightedCount
+)
+
+// Heuristics lists all four in the paper's presentation order.
+func Heuristics() []Heuristic {
+	return []Heuristic{DepHeight, ExitCount, GlobalWeight, WeightedCount}
+}
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case DepHeight:
+		return "depheight"
+	case ExitCount:
+		return "exitcount"
+	case GlobalWeight:
+		return "globalweight"
+	case WeightedCount:
+		return "weightedcount"
+	default:
+		return "?"
+	}
+}
+
+// ParseHeuristic resolves a name used on command lines.
+func ParseHeuristic(name string) (Heuristic, error) {
+	for _, h := range Heuristics() {
+		if h.String() == name {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown heuristic %q (want depheight, exitcount, globalweight or weightedcount)", name)
+}
+
+// Keys returns the node's sort keys under the heuristic, most significant
+// first. The list scheduler orders nodes by descending keys.
+func (h Heuristic) Keys(n *ddg.Node) [3]float64 {
+	switch h {
+	case DepHeight:
+		return [3]float64{float64(n.Height), 0, 0}
+	case ExitCount:
+		return [3]float64{float64(n.ExitCount), float64(n.Height), 0}
+	case GlobalWeight:
+		return [3]float64{n.Weight, float64(n.Height), 0}
+	case WeightedCount:
+		return [3]float64{n.Weight, float64(n.ExitCount), float64(n.Height)}
+	default:
+		return [3]float64{}
+	}
+}

@@ -1,0 +1,126 @@
+// Package core implements the paper's contribution: treegion formation
+// (Fig. 2), treegion formation with tail duplication (Fig. 11), and the four
+// treegion scheduling priority heuristics (Section 3).
+package core
+
+import (
+	"treegion/internal/cfg"
+	"treegion/internal/ir"
+	"treegion/internal/region"
+)
+
+// Form grows treegions over fn exactly as the paper's treeform algorithm:
+// every entry (and later every sapling) roots a tree; absorb-into-tree pulls
+// in every reachable block that is not a merge point. The result partitions
+// the function: every block belongs to exactly one treegion, no treegion
+// contains a merge point other than its root, and treegions are acyclic.
+//
+// Formation is profile-independent, as the paper emphasizes.
+func Form(fn *ir.Function, g *cfg.Graph) []*region.Region {
+	f := newFormer(fn, g)
+	return f.form(region.KindTreegion, nil)
+}
+
+type former struct {
+	fn       *ir.Function
+	g        *cfg.Graph
+	inRegion map[ir.BlockID]bool
+	// preds is maintained incrementally so treeform-td sees merge counts
+	// that reflect its own tail duplications.
+	preds map[ir.BlockID][]ir.BlockID
+}
+
+func newFormer(fn *ir.Function, g *cfg.Graph) *former {
+	f := &former{
+		fn:       fn,
+		g:        g,
+		inRegion: make(map[ir.BlockID]bool),
+		preds:    make(map[ir.BlockID][]ir.BlockID, len(fn.Blocks)),
+	}
+	for _, b := range fn.Blocks {
+		for _, s := range b.Succs() {
+			f.preds[s] = append(f.preds[s], b.ID)
+		}
+	}
+	return f
+}
+
+// isMerge consults the live predecessor bookkeeping.
+func (f *former) isMerge(b ir.BlockID) bool { return len(f.preds[b]) >= 2 }
+
+// form runs the treeform worklist. If expand is non-nil it is invoked after
+// each tree's initial absorption to apply tail duplication (treeform-td).
+func (f *former) form(kind region.Kind, expand func(*region.Region)) []*region.Region {
+	var out []*region.Region
+	queue := []ir.BlockID{f.fn.Entry}
+	// Unreachable blocks (possible after other transforms) still get trees.
+	for _, b := range f.fn.Blocks {
+		if !f.g.Reachable(b.ID) {
+			queue = append(queue, b.ID)
+		}
+	}
+	for len(queue) > 0 {
+		root := queue[0]
+		queue = queue[1:]
+		if f.inRegion[root] {
+			continue
+		}
+		r := region.New(f.fn, kind, root)
+		f.inRegion[root] = true
+		f.absorb(r, root)
+		if expand != nil {
+			expand(r)
+		}
+		for _, sap := range f.saplings(r) {
+			queue = append(queue, sap)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// absorb is the paper's absorb-into-tree: starting from the successors of
+// start (already a member), pull in every block that is not a merge point
+// and not already owned. Successors go to the front of the candidate queue,
+// mirroring the paper's depth-first growth.
+func (f *former) absorb(r *region.Region, start ir.BlockID) {
+	type cand struct{ node, parent ir.BlockID }
+	var stack []cand
+	push := func(b ir.BlockID) {
+		succs := f.fn.Block(b).Succs()
+		// Push in reverse so the first successor is processed first.
+		for i := len(succs) - 1; i >= 0; i-- {
+			stack = append(stack, cand{succs[i], b})
+		}
+	}
+	push(start)
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.inRegion[c.node] {
+			continue
+		}
+		if f.isMerge(c.node) {
+			continue // becomes a sapling
+		}
+		r.Add(c.node, c.parent)
+		f.inRegion[c.node] = true
+		push(c.node)
+	}
+}
+
+// saplings returns the blocks just beyond the tree's leaves that are not yet
+// in any region — the merge points that delimit this tree.
+func (f *former) saplings(r *region.Region) []ir.BlockID {
+	var out []ir.BlockID
+	seen := make(map[ir.BlockID]bool)
+	for _, b := range r.Blocks {
+		for _, s := range f.fn.Block(b).Succs() {
+			if !f.inRegion[s] && !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}

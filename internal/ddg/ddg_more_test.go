@@ -1,0 +1,227 @@
+package ddg
+
+import (
+	"testing"
+
+	"treegion/internal/cfg"
+	"treegion/internal/ir"
+	"treegion/internal/region"
+)
+
+// multiway builds a 3-arm switch region: b0 {cmpp p0; cmpp p1; br arm0;
+// br arm1} -> arm2 (fallthrough); each arm has a store, all to join b4.
+func multiway(t *testing.T) (*ir.Function, *region.Region, *cfg.Liveness) {
+	t.Helper()
+	f := ir.NewFunction("mw")
+	b0 := f.NewBlock()
+	arms := []*ir.Block{f.NewBlock(), f.NewBlock(), f.NewBlock()}
+	join := f.NewBlock()
+	r0 := ir.GPR(0)
+	f.NoteReg(r0)
+	p0, p1 := f.NewReg(ir.ClassPred), f.NewReg(ir.ClassPred)
+	f.EmitCmpp(b0, p0, ir.NoReg, ir.CondEQ, r0, r0)
+	f.EmitCmpp(b0, p1, ir.NoReg, ir.CondNE, r0, r0)
+	f.EmitBrct(b0, ir.NoReg, p0, arms[0].ID, 0.3)
+	f.EmitBrct(b0, ir.NoReg, p1, arms[1].ID, 0.3)
+	b0.FallThrough = arms[2].ID
+	for i, a := range arms {
+		f.EmitSt(a, r0, int64(8*i), r0)
+		a.FallThrough = join.ID
+	}
+	f.EmitRet(join)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := region.New(f, region.KindTreegion, b0.ID)
+	for _, a := range arms {
+		r.Add(a.ID, b0.ID)
+	}
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	return f, r, lv
+}
+
+func TestResolverPerArm(t *testing.T) {
+	f, r, lv := multiway(t)
+	g, err := Build(f, r, Options{Rename: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br0, br1 *Node
+	for _, n := range g.Nodes {
+		if n.Op.Opcode == ir.Brct {
+			if n.Op.Target == 1 {
+				br0 = n
+			} else if n.Op.Target == 2 {
+				br1 = n
+			}
+		}
+	}
+	st0 := findNode(g, ir.St, 1)
+	st1 := findNode(g, ir.St, 2)
+	st2 := findNode(g, ir.St, 3)
+	// Arm 0's store resolves at br0 (lat 1): it must NOT wait for br1.
+	if !hasEdge(br0, st0, 1) {
+		t.Error("arm0 store missing resolver edge")
+	}
+	if hasEdge(br1, st0, 1) {
+		t.Error("arm0 store pinned below a later arm's branch")
+	}
+	// Arm 1's store resolves at br1 only (earlier arms precede br1 anyway).
+	if !hasEdge(br1, st1, 1) {
+		t.Error("arm1 store missing resolver edge")
+	}
+	// The fallthrough arm resolves at the last branch.
+	if !hasEdge(br1, st2, 1) {
+		t.Error("fallthrough arm store missing last-branch resolver edge")
+	}
+	// Arm order is kept: br0 -> br1 lat 0.
+	if !hasEdge(br0, br1, 0) {
+		t.Error("arm-order edge missing")
+	}
+}
+
+func TestNearestDescendantTerms(t *testing.T) {
+	// chain: b0 (store, no terms) -> b1 (no terms) -> b2 (branch exit).
+	f := ir.NewFunction("chain")
+	b0, b1, b2, out := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	r0 := ir.GPR(0)
+	f.NoteReg(r0)
+	p := f.NewReg(ir.ClassPred)
+	f.EmitSt(b0, r0, 0, r0)
+	b0.FallThrough = b1.ID
+	f.EmitALU(b1, ir.Add, f.NewReg(ir.ClassGPR), r0, r0)
+	b1.FallThrough = b2.ID
+	f.EmitCmpp(b2, p, ir.NoReg, ir.CondGT, r0, r0)
+	f.EmitBrct(b2, ir.NoReg, p, out.ID, 0.5)
+	b2.FallThrough = out.ID // invalid duplicate succ; reroute below
+	b2.FallThrough = ir.NoBlock
+	out2 := f.NewBlock()
+	b2.FallThrough = out2.ID
+	f.EmitRet(out)
+	f.EmitRet(out2)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := region.New(f, region.KindSLR, b0.ID)
+	r.Add(b1.ID, b0.ID)
+	r.Add(b2.ID, b1.ID)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := Build(f, r, Options{Rename: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := findNode(g, ir.St, b0.ID)
+	br := findNode(g, ir.Brct, b2.ID)
+	if !hasEdge(st, br, 0) {
+		t.Fatal("store in a terminator-less block must precede the downstream exit branch")
+	}
+}
+
+func TestLiveExitEdges(t *testing.T) {
+	// b0 defines v (live at the branch-exit target) and w (dead there):
+	// only v's def must be pinned above the exit branch.
+	f := ir.NewFunction("live")
+	b0, tgt, ft := f.NewBlock(), f.NewBlock(), f.NewBlock()
+	r0 := ir.GPR(0)
+	f.NoteReg(r0)
+	v := f.NewReg(ir.ClassGPR)
+	w := f.NewReg(ir.ClassGPR)
+	p := f.NewReg(ir.ClassPred)
+	defV := f.EmitALU(b0, ir.Add, v, r0, r0)
+	defW := f.EmitALU(b0, ir.Sub, w, r0, r0)
+	f.EmitCmpp(b0, p, ir.NoReg, ir.CondGT, r0, r0)
+	f.EmitBrct(b0, ir.NoReg, p, tgt.ID, 0.5)
+	b0.FallThrough = ft.ID
+	f.EmitSt(tgt, r0, 0, v) // v live at the exit target
+	f.EmitRet(tgt)
+	f.EmitSt(ft, r0, 8, w) // w live only at the fallthrough
+	f.EmitRet(ft)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := region.New(f, region.KindBasicBlock, b0.ID)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := Build(f, r, Options{Rename: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := findNode(g, ir.Brct, b0.ID)
+	if !hasEdge(g.NodeOf(defV), br, 0) {
+		t.Error("def live at exit target not ordered before the exit branch")
+	}
+	if hasEdge(g.NodeOf(defW), br, 0) {
+		t.Error("def dead at exit target pinned above the branch anyway")
+	}
+}
+
+func TestGuardedDefsMultipleReaching(t *testing.T) {
+	// v = 1; (p) v = 2; use v: the use must depend on BOTH defs, and the
+	// guarded def must not sever the first.
+	f := ir.NewFunction("gm")
+	b0 := f.NewBlock()
+	v := f.NewReg(ir.ClassGPR)
+	p := ir.Pred(0)
+	f.NoteReg(p)
+	d1 := f.EmitMovI(b0, v, 1)
+	d2 := f.EmitMovI(b0, v, 2)
+	d2.Guard = p
+	use := f.EmitALU(b0, ir.Add, f.NewReg(ir.ClassGPR), v, v)
+	f.EmitRet(b0)
+	r := region.New(f, region.KindBasicBlock, b0.ID)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := Build(f, r, Options{Rename: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasEdge(g.NodeOf(d1), g.NodeOf(use), 1) {
+		t.Error("use must still depend on the unguarded def")
+	}
+	if !hasEdge(g.NodeOf(d2), g.NodeOf(use), 1) {
+		t.Error("use must depend on the guarded def")
+	}
+	// Output dependence between the defs keeps them ordered.
+	if !hasEdge(g.NodeOf(d1), g.NodeOf(d2), 1) {
+		t.Error("guarded redefinition must stay after the original")
+	}
+}
+
+func TestPinConflictingWithoutRename(t *testing.T) {
+	f, r, lv := simpleTree(t)
+	g, err := Build(f, r, Options{Rename: false, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRenamed != 0 || g.NumCopies != 0 {
+		t.Fatal("renaming ran despite Rename=false")
+	}
+	// The conflicting arm defs (r3 live at the join) must be pinned.
+	add := findNode(g, ir.Add, 1)
+	sub := findNode(g, ir.Sub, 2)
+	if add.Spec || sub.Spec {
+		t.Fatal("conflicting defs not pinned under restricted speculation")
+	}
+	// And therefore carry resolver edges.
+	br := findNode(g, ir.Brct, 0)
+	if !hasEdge(br, add, 1) {
+		t.Fatal("pinned op missing resolver edge")
+	}
+}
+
+func TestBuildRequiresLivenessForRename(t *testing.T) {
+	f, r, _ := simpleTree(t)
+	if _, err := Build(f, r, Options{Rename: true}); err == nil {
+		t.Fatal("Build accepted renaming without liveness")
+	}
+}
+
+func TestGraphNodeOfForeignOp(t *testing.T) {
+	f, r, lv := simpleTree(t)
+	g, err := Build(f, r, Options{Rename: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := f.NewOp(ir.Add)
+	if g.NodeOf(foreign) != nil {
+		t.Fatal("foreign op resolved to a node")
+	}
+}

@@ -1,0 +1,344 @@
+package ddg
+
+import (
+	"treegion/internal/ir"
+	"treegion/internal/machine"
+)
+
+// dataEdges walks the region tree and adds register and memory dependence
+// edges. Maps of reaching definitions, readers-since-definition, and memory
+// state are scoped to the current root-to-leaf path with an undo log, so
+// sibling paths never see each other's definitions — only one of them
+// executes, and cross-path write conflicts were already resolved by
+// renaming (or are non-speculatable ops guarded by disjoint predicates).
+func (b *builder) dataEdges() {
+	w := &walker{b: b}
+	w.walk(b.g.Region.Root)
+}
+
+type walker struct {
+	b *builder
+	// lastDef holds the *reaching definitions* of each register: normally a
+	// single node, but a guarded (if-converted) definition does not kill,
+	// so it joins the previous definitions instead of replacing them and
+	// consumers depend on all of them.
+	lastDef   map[ir.Reg][]*Node
+	readers   map[ir.Reg][]*Node
+	lastStore *Node
+	loads     []*Node // loads since the last store
+	undo      []func()
+}
+
+func (w *walker) walk(bid ir.BlockID) {
+	if w.lastDef == nil {
+		w.lastDef = make(map[ir.Reg][]*Node)
+		w.readers = make(map[ir.Reg][]*Node)
+	}
+	mark := len(w.undo)
+	for _, op := range w.b.effectiveOps(bid) {
+		w.visit(w.b.g.byOp[op])
+	}
+	for _, c := range w.b.g.Region.Children(bid) {
+		w.walk(c)
+	}
+	// Roll back this block's effects before the caller visits a sibling.
+	for len(w.undo) > mark {
+		w.undo[len(w.undo)-1]()
+		w.undo = w.undo[:len(w.undo)-1]
+	}
+}
+
+// setDef records an unguarded (killing) definition.
+func (w *walker) setDef(r ir.Reg, n *Node) {
+	prevDefs := w.lastDef[r]
+	prevReaders := w.readers[r]
+	w.undo = append(w.undo, func() {
+		w.lastDef[r] = prevDefs
+		w.readers[r] = prevReaders
+	})
+	w.lastDef[r] = []*Node{n}
+	w.readers[r] = nil
+}
+
+// addDef records a guarded (non-killing) definition: previous definitions
+// still reach, and their readers stay visible.
+func (w *walker) addDef(r ir.Reg, n *Node) {
+	prevDefs := w.lastDef[r]
+	w.undo = append(w.undo, func() { w.lastDef[r] = prevDefs })
+	w.lastDef[r] = append(prevDefs[:len(prevDefs):len(prevDefs)], n)
+}
+
+func (w *walker) addReader(r ir.Reg, n *Node) {
+	prev := w.readers[r]
+	w.undo = append(w.undo, func() { w.readers[r] = prev })
+	w.readers[r] = append(prev[:len(prev):len(prev)], n)
+}
+
+func (w *walker) setStore(n *Node) {
+	prevStore, prevLoads := w.lastStore, w.loads
+	w.undo = append(w.undo, func() { w.lastStore, w.loads = prevStore, prevLoads })
+	w.lastStore = n
+	w.loads = nil
+}
+
+func (w *walker) addLoad(n *Node) {
+	prev := w.loads
+	w.undo = append(w.undo, func() { w.loads = prev })
+	w.loads = append(prev[:len(prev):len(prev)], n)
+}
+
+func (w *walker) visit(n *Node) {
+	op := n.Op
+	// Flow dependences and reader bookkeeping; the guard predicate is a
+	// source like any other.
+	srcs := op.Srcs
+	if op.Guarded() {
+		srcs = append(append([]ir.Reg(nil), srcs...), op.Guard)
+	}
+	for _, s := range srcs {
+		if !s.IsValid() {
+			continue
+		}
+		for _, def := range w.lastDef[s] {
+			addEdge(def, n, machine.Latency(def.Op.Opcode))
+		}
+		w.addReader(s, n)
+	}
+	// Memory ordering: serialized, with PlayDoh same-cycle allowance.
+	switch op.Opcode {
+	case ir.Ld:
+		if w.lastStore != nil {
+			addEdge(w.lastStore, n, 0)
+		}
+		w.addLoad(n)
+	case ir.St, ir.Call:
+		if w.lastStore != nil {
+			addEdge(w.lastStore, n, 0)
+		}
+		for _, ld := range w.loads {
+			addEdge(ld, n, 0)
+		}
+		w.setStore(n)
+	}
+	// Anti and output dependences, then the new definitions.
+	for _, d := range op.Dests {
+		if !d.IsValid() {
+			continue
+		}
+		for _, rd := range w.readers[d] {
+			addEdge(rd, n, 0)
+		}
+		for _, def := range w.lastDef[d] {
+			addEdge(def, n, 1)
+		}
+	}
+	for _, d := range op.Dests {
+		if !d.IsValid() {
+			continue
+		}
+		if op.Guarded() {
+			w.addDef(d, n)
+		} else {
+			w.setDef(d, n)
+		}
+	}
+}
+
+// controlEdges adds the edges that encode branch semantics (see the package
+// comment's table).
+//
+// Ops may also sink below branches (downward code motion): an op is ordered
+// before an exit branch only when the exit actually needs it — the op is
+// non-speculatable (it must execute whenever its block does), or one of its
+// destinations is live into the exit's target. Ops dead at an exit float
+// past it into the surviving paths.
+func (b *builder) controlEdges() {
+	r := b.g.Region
+	for _, bid := range r.Blocks {
+		var body, terms []*Node
+		for _, op := range b.effectiveOps(bid) {
+			n := b.g.byOp[op]
+			if n.Term {
+				terms = append(terms, n)
+			} else {
+				body = append(body, n)
+			}
+		}
+		// Non-speculatable ops issue no later than their block's
+		// terminators (a store executes before control can leave). A block
+		// with no terminators of its own falls through to a single child,
+		// so the constraint attaches to the nearest descendant terminators
+		// instead. Multiway arms keep their priority order.
+		downTerms := terms
+		if len(downTerms) == 0 {
+			downTerms = b.nearestDescendantTerms(bid)
+		}
+		for _, n := range body {
+			if !n.Spec {
+				for _, t := range downTerms {
+					addEdge(n, t, 0)
+				}
+			}
+		}
+		for i := 0; i+1 < len(terms); i++ {
+			addEdge(terms[i], terms[i+1], 0)
+		}
+		// Control resolution: entering this block is decided by the branch
+		// that targets it (for an arm entry, later arms of the parent never
+		// execute on this path) or, for a fallthrough entry, by the
+		// parent's last branch. Terminators are ordered at it; ops that
+		// cannot speculate issue strictly after it.
+		if res := b.resolver(bid); res != nil {
+			for _, t := range terms {
+				addEdge(res, t, 0)
+			}
+			for _, n := range body {
+				if n.Spec {
+					continue // speculation: free to hoist
+				}
+				addEdge(res, n, 1)
+			}
+		}
+	}
+	b.liveExitEdges()
+}
+
+// resolver returns the branch node whose resolution admits control into
+// bid: the parent's branch targeting bid, or for fallthrough entries the
+// parent's last branch (climbing past branchless ancestors). It returns
+// nil at the region root.
+func (b *builder) resolver(bid ir.BlockID) *Node {
+	r := b.g.Region
+	cur := bid
+	for {
+		parent := r.Parent(cur)
+		if parent == ir.NoBlock {
+			return nil
+		}
+		var last *Node
+		for _, op := range b.effectiveOps(parent) {
+			n := b.g.byOp[op]
+			if !n.Term {
+				continue
+			}
+			if op.IsBranch() && op.Target == cur {
+				return n // arm entry
+			}
+			last = n
+		}
+		if last != nil {
+			return last // fallthrough entry: every branch checked first
+		}
+		cur = parent // branchless block: climb
+	}
+}
+
+// liveExitEdges orders each value-producing op before every region-exit
+// branch (in its own block or its subtree) whose target path still needs
+// the value.
+func (b *builder) liveExitEdges() {
+	r := b.g.Region
+	fn := b.g.Fn
+	lv := b.opts.Liveness
+	if lv == nil {
+		// Without liveness (renaming disabled and no analysis supplied) we
+		// fall back to the conservative rule: everything precedes its own
+		// block's terminators.
+		for _, bid := range r.Blocks {
+			var body, terms []*Node
+			for _, op := range b.effectiveOps(bid) {
+				n := b.g.byOp[op]
+				if n.Term {
+					terms = append(terms, n)
+				} else {
+					body = append(body, n)
+				}
+			}
+			for _, n := range body {
+				for _, t := range terms {
+					addEdge(n, t, 0)
+				}
+			}
+		}
+		return
+	}
+	// Exit branches per block.
+	type exitBr struct {
+		n      *Node
+		target ir.BlockID
+	}
+	exits := make(map[ir.BlockID][]exitBr)
+	for _, bid := range r.Blocks {
+		for _, op := range fn.Block(bid).Ops {
+			if !op.IsBranch() {
+				continue
+			}
+			if n := b.g.byOp[op]; n != nil {
+				if !(r.Contains(op.Target) && r.Parent(op.Target) == bid) {
+					exits[bid] = append(exits[bid], exitBr{n, op.Target})
+				}
+			}
+		}
+	}
+	for _, bid := range r.Blocks {
+		sub := r.Subtree(bid)
+		for _, op := range b.effectiveOps(bid) {
+			n := b.g.byOp[op]
+			if n.Term || len(op.Dests) == 0 {
+				continue
+			}
+			for _, d := range sub {
+				for _, e := range exits[d] {
+					for _, dst := range op.Dests {
+						if dst.IsValid() && lv.LiveIn[e.target].Has(dst) {
+							addEdge(n, e.n, 0)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// nearestDescendantTerms descends the fallthrough chain from a
+// terminator-less block to the first block that has terminators (a
+// terminator-less block has at most one in-region child) and returns them.
+func (b *builder) nearestDescendantTerms(bid ir.BlockID) []*Node {
+	r := b.g.Region
+	cur := bid
+	for {
+		ch := r.Children(cur)
+		if len(ch) != 1 {
+			return nil
+		}
+		cur = ch[0]
+		var terms []*Node
+		for _, op := range b.effectiveOps(cur) {
+			if n := b.g.byOp[op]; n.Term {
+				terms = append(terms, n)
+			}
+		}
+		if len(terms) > 0 {
+			return terms
+		}
+	}
+}
+
+// nearestBranchTerms climbs from bid's parent to the closest ancestor block
+// that has terminator nodes and returns them (nil at the root).
+func (b *builder) nearestBranchTerms(bid ir.BlockID) []*Node {
+	r := b.g.Region
+	for cur := r.Parent(bid); cur != ir.NoBlock; cur = r.Parent(cur) {
+		var terms []*Node
+		for _, op := range b.effectiveOps(cur) {
+			if n := b.g.byOp[op]; n.Term {
+				terms = append(terms, n)
+			}
+		}
+		if len(terms) > 0 {
+			return terms
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package ddg
+
+import (
+	"testing"
+
+	"treegion/internal/cfg"
+	"treegion/internal/ir"
+	"treegion/internal/region"
+)
+
+// dupTree builds a tail-duplicated treegion like the paper's Fig. 12:
+//
+//	bb0 branches to bb1 / bb2; each arm contains a *duplicate* of the same
+//	op (r5 = ADD r0, r1 with shared Orig), then a distinguishing op.
+func dupTree(t *testing.T, redefineSrcOnArm bool) (*ir.Function, *region.Region, *cfg.Liveness, *ir.Op, *ir.Op) {
+	t.Helper()
+	f := ir.NewFunction("dup")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	r0, r1 := ir.GPR(0), ir.GPR(1)
+	f.NoteReg(r0)
+	f.NoteReg(r1)
+	r5 := f.NewReg(ir.ClassGPR)
+	p := f.NewReg(ir.ClassPred)
+	f.EmitCmpp(b0, p, ir.NoReg, ir.CondGT, r0, r1)
+	f.EmitBrct(b0, ir.NoReg, p, b1.ID, 0.5)
+	b0.FallThrough = b2.ID
+
+	if redefineSrcOnArm {
+		f.EmitMovI(b1, r0, 42) // clobbers the duplicate's source on one path
+	}
+	d1 := f.EmitALU(b1, ir.Add, r5, r0, r1)
+	f.EmitSt(b1, r0, 0, r5)
+	b1.FallThrough = b3.ID
+
+	d2 := f.CloneOp(d1) // same Orig: a tail-duplicated twin
+	b2.Ops = append(b2.Ops, d2)
+	f.EmitSt(b2, r0, 8, r5)
+	b2.FallThrough = b3.ID
+	f.EmitRet(b3)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := region.New(f, region.KindTreegionTD, b0.ID)
+	r.Add(b1.ID, b0.ID)
+	r.Add(b2.ID, b0.ID)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	return f, r, lv, d1, d2
+}
+
+func TestDominatorParallelismMerges(t *testing.T) {
+	f, r, lv, d1, d2 := dupTree(t, false)
+	g, err := Build(f, r, Options{Rename: true, DominatorParallelism: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMerged != 1 {
+		t.Fatalf("NumMerged = %d, want 1", g.NumMerged)
+	}
+	// Exactly one of the twins survives, homed at the dominator bb0.
+	n1, n2 := g.NodeOf(d1), g.NodeOf(d2)
+	if (n1 == nil) == (n2 == nil) {
+		t.Fatalf("want exactly one surviving twin, got %v/%v", n1, n2)
+	}
+	rep := n1
+	if rep == nil {
+		rep = n2
+	}
+	if rep.Home != 0 {
+		t.Fatalf("representative homed at bb%d, want bb0 (the dominator)", rep.Home)
+	}
+	// Both stores read r5 and must depend on the representative.
+	stores := 0
+	for _, n := range g.Nodes {
+		if n.Op.Opcode != ir.St {
+			continue
+		}
+		stores++
+		found := false
+		for _, e := range n.Preds {
+			if e.From == rep {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("store on bb%d does not depend on merged op", n.Home)
+		}
+	}
+	if stores != 2 {
+		t.Fatalf("stores = %d", stores)
+	}
+}
+
+func TestDominatorParallelismRejectsChangedSource(t *testing.T) {
+	f, r, lv, d1, d2 := dupTree(t, true)
+	g, err := Build(f, r, Options{Rename: true, DominatorParallelism: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMerged != 0 {
+		t.Fatalf("merged despite a source redefinition between dominator and twin")
+	}
+	if g.NodeOf(d1) == nil || g.NodeOf(d2) == nil {
+		t.Fatal("twins must both survive")
+	}
+}
+
+func TestDominatorParallelismOffByDefault(t *testing.T) {
+	f, r, lv, d1, d2 := dupTree(t, false)
+	g, err := Build(f, r, Options{Rename: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMerged != 0 || g.NodeOf(d1) == nil || g.NodeOf(d2) == nil {
+		t.Fatal("merging happened without DominatorParallelism")
+	}
+}
+
+func TestDominatorParallelismIncompleteSetNotMerged(t *testing.T) {
+	// Three-way divergence but duplicates on only two arms: not a complete
+	// set, so the merge must be rejected (the third path would observe the
+	// unconditional write).
+	f := ir.NewFunction("partial")
+	b0 := f.NewBlock()
+	arms := []*ir.Block{f.NewBlock(), f.NewBlock(), f.NewBlock()}
+	exit := f.NewBlock()
+	r0, r1 := ir.GPR(0), ir.GPR(1)
+	f.NoteReg(r0)
+	f.NoteReg(r1)
+	r5 := f.NewReg(ir.ClassGPR)
+	p1, p2 := f.NewReg(ir.ClassPred), f.NewReg(ir.ClassPred)
+	f.EmitCmpp(b0, p1, ir.NoReg, ir.CondGT, r0, r1)
+	f.EmitCmpp(b0, p2, ir.NoReg, ir.CondLT, r0, r1)
+	f.EmitBrct(b0, ir.NoReg, p1, arms[0].ID, 0.3)
+	f.EmitBrct(b0, ir.NoReg, p2, arms[1].ID, 0.3)
+	b0.FallThrough = arms[2].ID
+	d1 := f.EmitALU(arms[0], ir.Add, r5, r0, r1)
+	f.EmitSt(arms[0], r0, 0, r5)
+	d2 := f.CloneOp(d1)
+	arms[1].Ops = append(arms[1].Ops, d2)
+	f.EmitSt(arms[1], r0, 8, r5)
+	// arm 2 uses r5's *old* value: merging would corrupt it.
+	f.EmitSt(arms[2], r0, 16, r5)
+	for _, a := range arms {
+		a.FallThrough = exit.ID
+	}
+	f.EmitRet(exit)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := region.New(f, region.KindTreegionTD, b0.ID)
+	for _, a := range arms {
+		r.Add(a.ID, b0.ID)
+	}
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := Build(f, r, Options{Rename: true, DominatorParallelism: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMerged != 0 {
+		t.Fatal("incomplete duplicate set merged")
+	}
+}

@@ -1,0 +1,237 @@
+// Package ddg builds the data dependence graph the treegion scheduler list
+// schedules (step 1 of the paper's Fig. 3 algorithm). Building the graph
+// also performs the paper's two enabling transformations:
+//
+//   - compile-time register renaming, so speculation above branches cannot
+//     clobber values live on other paths (Section 3);
+//   - dominator-parallelism merging, which replaces a complete set of
+//     tail-duplicated identical Ops with one Op homed at their common
+//     dominator (Section 4).
+//
+// Edge latencies encode both data and control legality:
+//
+//	flow (def→use)          latency of the producer
+//	anti (use→def)          0 (write may share the reader's cycle)
+//	output (def→def)        1
+//	memory ordering         0 (PlayDoh: a store and dependent memory ops may
+//	                           share a cycle; loads never bypass stores)
+//	op → own block branch   0 (every op issues no later than its exits)
+//	parent br → child br    0 (predicated branches may share a cycle)
+//	ancestor br → non-spec  1 (stores/copies/calls wait for control)
+//	arm i → arm i+1         0 (multiway arms keep their priority order)
+//
+// Speculatable ops get no control edges at all: the list scheduler is free
+// to hoist them to the top of the region, which is exactly the paper's
+// speculation mechanism.
+package ddg
+
+import (
+	"fmt"
+
+	"treegion/internal/cfg"
+	"treegion/internal/ir"
+	"treegion/internal/profile"
+	"treegion/internal/region"
+)
+
+// Edge is a dependence with a minimum issue-distance in cycles.
+type Edge struct {
+	To      *Node
+	Latency int
+}
+
+// InEdge mirrors Edge from the consumer side.
+type InEdge struct {
+	From    *Node
+	Latency int
+}
+
+// Node is one schedulable op.
+type Node struct {
+	Index int
+	Op    *ir.Op
+	// Home is the block whose path the op belongs to. For ops merged by
+	// dominator parallelism this is the common dominator, not the block the
+	// op physically sits in.
+	Home ir.BlockID
+	// Term marks terminators: branches and Ret.
+	Term bool
+	// Spec marks ops the scheduler may hoist above branches.
+	Spec bool
+
+	Succs []Edge
+	Preds []InEdge
+
+	// Static priority inputs (Section 3 heuristics).
+	Height    int
+	ExitCount int
+	Weight    float64
+}
+
+// IsCopy reports whether the node is a renaming compensation copy, which
+// the paper excludes from speedup accounting.
+func (n *Node) IsCopy() bool { return n.Op.Opcode == ir.Copy }
+
+// Graph is the dependence graph of one region.
+type Graph struct {
+	Fn     *ir.Function
+	Region *region.Region
+	Nodes  []*Node
+
+	byOp map[*ir.Op]*Node
+
+	// Transformation statistics.
+	NumRenamed int // ops whose destination was renamed
+	NumCopies  int // compensation copies inserted
+	NumMerged  int // duplicate ops eliminated by dominator parallelism
+}
+
+// NodeOf returns the node for op, or nil (eliminated or foreign op).
+func (g *Graph) NodeOf(op *ir.Op) *Node { return g.byOp[op] }
+
+// Options configures Build.
+type Options struct {
+	// Rename enables compile-time register renaming (paper default: on).
+	Rename bool
+	// DominatorParallelism enables duplicate merging (Section 4).
+	DominatorParallelism bool
+	// Liveness must cover the current function when Rename or
+	// DominatorParallelism is set.
+	Liveness *cfg.Liveness
+	// Profile supplies node weights for the profile-driven heuristics; nil
+	// means all weights zero.
+	Profile *profile.Data
+}
+
+// DefaultOptions returns the paper's configuration for plain treegion
+// scheduling (renaming on, dominator parallelism off — the latter is enabled
+// for the tail-duplication experiments).
+func DefaultOptions(lv *cfg.Liveness, prof *profile.Data) Options {
+	return Options{Rename: true, Liveness: lv, Profile: prof}
+}
+
+// Build constructs the DDG for r. It may mutate the function: renaming
+// rewrites destination/source registers inside the region and inserts Copy
+// ops. Each region must therefore be built at most once per compiled
+// function instance.
+func Build(fn *ir.Function, r *region.Region, opts Options) (*Graph, error) {
+	g := &Graph{
+		Fn:     fn,
+		Region: r,
+		byOp:   make(map[*ir.Op]*Node),
+	}
+	b := &builder{g: g, opts: opts, home: make(map[*ir.Op]ir.BlockID), gone: make(map[*ir.Op]bool)}
+	if opts.DominatorParallelism {
+		if opts.Liveness == nil {
+			return nil, fmt.Errorf("ddg: dominator parallelism requires liveness")
+		}
+		b.mergeDominatorParallel()
+	}
+	if opts.Rename {
+		if opts.Liveness == nil {
+			return nil, fmt.Errorf("ddg: renaming requires liveness")
+		}
+		b.rename()
+	} else if opts.Liveness != nil {
+		// Restricted speculation (IMPACT-style superblock scheduling): with
+		// no compile-time renaming, an op whose destination is live on some
+		// other path must not be hoisted above the diverging branch — pin it.
+		b.pinConflicting()
+	}
+	b.makeNodes()
+	b.dataEdges()
+	b.controlEdges()
+	b.attributes()
+	return g, nil
+}
+
+type builder struct {
+	g    *Graph
+	opts Options
+	// home overrides the physical block of dominator-merged representatives.
+	home map[*ir.Op]ir.BlockID
+	// gone marks duplicate ops eliminated by dominator parallelism.
+	gone map[*ir.Op]bool
+	// pinned marks merged representatives that must not speculate above
+	// their dominator (their destination conflicts higher up).
+	pinned map[*ir.Op]bool
+	// moved lists merged representatives homed at each dominator block.
+	moved map[ir.BlockID][]*ir.Op
+}
+
+// effectiveOps returns the op sequence the scheduler sees for block b:
+// the block's surviving non-branch ops, then merged representatives homed
+// here, then the block's branch/Ret ops.
+func (b *builder) effectiveOps(bid ir.BlockID) []*ir.Op {
+	blk := b.g.Fn.Block(bid)
+	var body, terms []*ir.Op
+	for _, op := range blk.Ops {
+		if b.gone[op] {
+			continue
+		}
+		if home, moved := b.home[op]; moved && home != bid {
+			continue
+		}
+		if op.IsBranch() || op.Opcode == ir.Ret {
+			terms = append(terms, op)
+		} else {
+			body = append(body, op)
+		}
+	}
+	for _, op := range b.moved[bid] {
+		body = append(body, op)
+	}
+	return append(body, terms...)
+}
+
+// makeNodes creates a node per surviving op, in region preorder, physical
+// order within blocks. This order is topological for every edge kind the
+// builder creates, which the attribute pass relies on.
+func (b *builder) makeNodes() {
+	for _, bid := range b.g.Region.Blocks {
+		for _, op := range b.effectiveOps(bid) {
+			n := &Node{
+				Index: len(b.g.Nodes),
+				Op:    op,
+				Home:  bid,
+				Term:  op.IsBranch() || op.Opcode == ir.Ret,
+				Spec:  op.Opcode.Speculatable() && !b.pinned[op],
+			}
+			b.g.Nodes = append(b.g.Nodes, n)
+			b.g.byOp[op] = n
+		}
+	}
+}
+
+// addEdge links from→to unless it would self-loop; duplicate edges are
+// harmless (the scheduler takes the max).
+func addEdge(from, to *Node, lat int) {
+	if from == nil || to == nil || from == to {
+		return
+	}
+	from.Succs = append(from.Succs, Edge{To: to, Latency: lat})
+	to.Preds = append(to.Preds, InEdge{From: from, Latency: lat})
+}
+
+// attributes computes height, exit count and weight for every node.
+func (b *builder) attributes() {
+	g := b.g
+	// Heights: nodes are in topological order, so one reverse sweep works.
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		h := 0
+		for _, e := range n.Succs {
+			if v := e.Latency + e.To.Height; v > h {
+				h = v
+			}
+		}
+		n.Height = h
+	}
+	exits := g.Region.ExitsBelow()
+	for _, n := range g.Nodes {
+		n.ExitCount = exits[n.Home]
+		if b.opts.Profile != nil {
+			n.Weight = b.opts.Profile.BlockWeight(n.Home)
+		}
+	}
+}

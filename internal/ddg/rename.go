@@ -1,0 +1,170 @@
+package ddg
+
+import "treegion/internal/ir"
+
+// rename performs the paper's compile-time register renaming: any
+// speculatable op whose destination would clobber a value live on some
+// other path (were the op hoisted above the diverging branch) gets a fresh
+// destination register. In-region consumers are rewritten to read the fresh
+// register directly (so they can chase the speculated value), and a Copy op
+// restoring the original register is placed at the op's home position; the
+// copy is non-speculatable and carries the value to paths that leave the
+// region. The paper excludes these copies from speedup accounting.
+func (b *builder) rename() {
+	r := b.g.Region
+	fn := b.g.Fn
+	for _, bid := range r.Blocks {
+		blk := fn.Block(bid)
+		for i := 0; i < len(blk.Ops); i++ {
+			op := blk.Ops[i]
+			if b.gone[op] || !op.Opcode.Speculatable() || len(op.Dests) == 0 {
+				continue
+			}
+			if _, merged := b.home[op]; merged {
+				continue // merged representatives are pinned, never renamed
+			}
+			if op.Guarded() {
+				// A guarded definition cannot be renamed: the restoring
+				// copy would have to be predicated too. Pin it instead.
+				if b.pinned == nil {
+					b.pinned = make(map[*ir.Op]bool)
+				}
+				for _, d := range op.Dests {
+					if d.IsValid() && b.conflictsOffPath(bid, d) {
+						b.pinned[op] = true
+						break
+					}
+				}
+				continue
+			}
+			inserted := 0
+			for di, d := range op.Dests {
+				if !d.IsValid() || !b.conflictsOffPath(bid, d) {
+					continue
+				}
+				fresh := fn.NewReg(d.Class)
+				op.Dests[di] = fresh
+				op.Renamed = true
+				cp := fn.NewOp(ir.Copy)
+				cp.Dests = []ir.Reg{d}
+				cp.Srcs = []ir.Reg{fresh}
+				insertAt(blk, i+1+inserted, cp)
+				inserted++
+				b.g.NumCopies++
+				b.rewriteUses(bid, i+1+inserted, d, fresh)
+			}
+			if inserted > 0 {
+				b.g.NumRenamed++
+				i += inserted // skip the copies we just placed
+			}
+		}
+	}
+}
+
+// pinConflicting implements restricted speculation for schedulers without
+// renaming: every speculatable op whose destination conflicts off-path is
+// pinned below its controlling branch instead of being renamed.
+func (b *builder) pinConflicting() {
+	if b.pinned == nil {
+		b.pinned = make(map[*ir.Op]bool)
+	}
+	for _, bid := range b.g.Region.Blocks {
+		for _, op := range b.g.Fn.Block(bid).Ops {
+			if b.gone[op] || !op.Opcode.Speculatable() || len(op.Dests) == 0 {
+				continue
+			}
+			if _, merged := b.home[op]; merged {
+				continue
+			}
+			for _, d := range op.Dests {
+				if d.IsValid() && b.conflictsOffPath(bid, d) {
+					b.pinned[op] = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// conflictsOffPath reports whether hoisting a definition of d from block bid
+// to the top of the region could be observed on some path other than
+// root..bid: d is live into a sibling subtree or a region-exit target of an
+// ancestor divergence, or some sibling subtree also defines d.
+func (b *builder) conflictsOffPath(bid ir.BlockID, d ir.Reg) bool {
+	r := b.g.Region
+	fn := b.g.Fn
+	lv := b.opts.Liveness
+	cur := bid
+	for {
+		parent := r.Parent(cur)
+		if parent == ir.NoBlock {
+			return false
+		}
+		for _, s := range fn.Block(parent).Succs() {
+			if s == cur && r.Contains(s) && r.Parent(s) == parent {
+				continue // the on-path edge
+			}
+			if lv.LiveIn[s].Has(d) {
+				return true
+			}
+			if r.Contains(s) && r.Parent(s) == parent {
+				// Sibling subtree: a second definition of d there would race
+				// with ours once both speculate above the divergence.
+				for _, x := range r.Subtree(s) {
+					if b.blockDefines(x, d) {
+						return true
+					}
+				}
+			}
+		}
+		cur = parent
+	}
+}
+
+// blockDefines reports whether a surviving op of block x writes d.
+func (b *builder) blockDefines(x ir.BlockID, d ir.Reg) bool {
+	for _, op := range b.g.Fn.Block(x).Ops {
+		if b.gone[op] {
+			continue
+		}
+		for _, dd := range op.Dests {
+			if dd == d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rewriteUses replaces reads of old with fresh from position from in block
+// bid onward, descending the region subtree, stopping along each path at a
+// surviving redefinition of old (whose consumers want the new value).
+func (b *builder) rewriteUses(bid ir.BlockID, from int, old, fresh ir.Reg) {
+	fn := b.g.Fn
+	blk := fn.Block(bid)
+	for _, op := range blk.Ops[from:] {
+		if b.gone[op] {
+			continue
+		}
+		for si, s := range op.Srcs {
+			if s == old {
+				op.Srcs[si] = fresh
+			}
+		}
+		for _, dd := range op.Dests {
+			if dd == old {
+				return // redefined; later readers want that def
+			}
+		}
+	}
+	for _, c := range b.g.Region.Children(bid) {
+		b.rewriteUses(c, 0, old, fresh)
+	}
+}
+
+// insertAt places op at index i of blk's op list.
+func insertAt(blk *ir.Block, i int, op *ir.Op) {
+	blk.Ops = append(blk.Ops, nil)
+	copy(blk.Ops[i+1:], blk.Ops[i:])
+	blk.Ops[i] = op
+}

@@ -1,0 +1,263 @@
+package eval
+
+import (
+	"fmt"
+
+	"treegion/internal/cfg"
+	"treegion/internal/core"
+	"treegion/internal/ddg"
+	"treegion/internal/hyper"
+	"treegion/internal/interp"
+	"treegion/internal/ir"
+	"treegion/internal/linear"
+	"treegion/internal/machine"
+	"treegion/internal/profile"
+	"treegion/internal/progen"
+	"treegion/internal/region"
+	"treegion/internal/sched"
+)
+
+// RegionKind selects the region former for a compilation.
+type RegionKind uint8
+
+// Region formers, in the paper's order of presentation.
+const (
+	BasicBlocks RegionKind = iota
+	SLR
+	Treegion
+	Superblock
+	TreegionTD
+)
+
+// String names the kind as in the paper.
+func (k RegionKind) String() string {
+	switch k {
+	case BasicBlocks:
+		return "bb"
+	case SLR:
+		return "slr"
+	case Treegion:
+		return "tree"
+	case Superblock:
+		return "sb"
+	case TreegionTD:
+		return "tree-td"
+	default:
+		return "?"
+	}
+}
+
+// ParseRegionKind resolves a command-line name.
+func ParseRegionKind(s string) (RegionKind, error) {
+	for _, k := range []RegionKind{BasicBlocks, SLR, Treegion, Superblock, TreegionTD} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown region kind %q (want bb, slr, tree, sb or tree-td)", s)
+}
+
+// Config is one compilation configuration: how regions are formed and
+// scheduled, and on which machine the result is timed.
+type Config struct {
+	Kind      RegionKind
+	Heuristic core.Heuristic
+	Machine   machine.Model
+	// Rename enables compile-time register renaming (paper: on).
+	Rename bool
+	// DominatorParallelism enables duplicate merging; meaningful for
+	// TreegionTD (paper Section 4).
+	DominatorParallelism bool
+	// TD bounds treegion tail duplication (TreegionTD only).
+	TD core.TDConfig
+	// SB bounds superblock formation (Superblock only).
+	SB linear.SuperblockConfig
+	// IfConvert runs hyperblock-style if-conversion before region formation
+	// (the paper's future-work comparison of predication vs tail
+	// duplication); Hyper bounds it.
+	IfConvert bool
+	Hyper     hyper.Config
+}
+
+// DefaultConfig returns the paper's headline configuration: treegion
+// scheduling with the global weight heuristic on the 4-issue machine.
+func DefaultConfig() Config {
+	return Config{
+		Kind:      Treegion,
+		Heuristic: core.GlobalWeight,
+		Machine:   machine.FourU,
+		Rename:    true,
+		TD:        core.DefaultTDConfig(),
+		SB:        linear.DefaultSuperblockConfig(),
+	}
+}
+
+// FunctionResult is the outcome of compiling one function.
+type FunctionResult struct {
+	Fn *ir.Function
+	// Prof is the profile as adjusted by region formation (tail duplication
+	// splits weights onto the duplicate blocks).
+	Prof      *profile.Data
+	Regions   []*region.Region
+	Schedules []*sched.Schedule
+	Time      float64 // paper metric (copies excluded)
+	Copies    float64 // metric including copies
+	// Static code size before and after region formation (code expansion).
+	OpsBefore, OpsAfter int
+	// Transformation counters summed over regions.
+	NumRenamed, NumCopies, NumMerged, NumSpeculated int
+	// If-conversion statistics (when Config.IfConvert was set).
+	Hyper hyper.Stats
+}
+
+// CompileFunction forms regions over fn (mutating it — pass a clone if the
+// original must survive), schedules every region, and measures the result.
+// The profile is mutated in step with tail duplication; pass a clone.
+func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionResult, error) {
+	res := &FunctionResult{Fn: fn, Prof: prof, OpsBefore: fn.NumOps()}
+	if c.IfConvert {
+		res.Hyper = hyper.IfConvert(fn, prof, c.Hyper)
+		if err := fn.Validate(); err != nil {
+			return nil, fmt.Errorf("eval: %s: invalid after if-conversion: %w", fn.Name, err)
+		}
+	}
+	g := cfg.New(fn)
+	switch c.Kind {
+	case BasicBlocks:
+		res.Regions = linear.BasicBlocks(fn)
+	case SLR:
+		res.Regions = linear.SLRs(fn, g, prof)
+	case Treegion:
+		res.Regions = core.Form(fn, g)
+	case Superblock:
+		sb := c.SB
+		if sb.MaxTraceLen == 0 && sb.ExpansionLimit == 0 {
+			sb = linear.DefaultSuperblockConfig()
+		}
+		res.Regions = linear.Superblocks(fn, prof, sb)
+	case TreegionTD:
+		td := c.TD
+		if td.ExpansionLimit == 0 {
+			td = core.DefaultTDConfig()
+		}
+		res.Regions = core.FormTD(fn, prof, td)
+	default:
+		return nil, fmt.Errorf("eval: unknown region kind %d", c.Kind)
+	}
+	res.OpsAfter = fn.NumOps()
+	if err := region.CheckPartition(fn, res.Regions); err != nil {
+		return nil, fmt.Errorf("eval: %s: %w", fn.Name, err)
+	}
+	lv := cfg.ComputeLiveness(cfg.New(fn))
+	for _, r := range res.Regions {
+		dg, err := ddg.Build(fn, r, ddg.Options{
+			Rename:               c.Rename,
+			DominatorParallelism: c.DominatorParallelism,
+			Liveness:             lv,
+			Profile:              prof,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := sched.ListSchedule(dg, c.Machine, c.Heuristic.Keys)
+		if err := s.Verify(); err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", fn.Name, err)
+		}
+		rt := MeasureRegion(s, prof, lv)
+		res.Time += rt.Time
+		res.Copies += rt.TimeWithCopies
+		res.Schedules = append(res.Schedules, s)
+		res.NumRenamed += dg.NumRenamed
+		res.NumCopies += dg.NumCopies
+		res.NumMerged += dg.NumMerged
+		res.NumSpeculated += s.SpeculatedAbove()
+	}
+	return res, nil
+}
+
+// ProgramResult aggregates one benchmark under one configuration.
+type ProgramResult struct {
+	Name  string
+	Cfg   Config
+	Funcs []*FunctionResult
+	// Time is the estimated program execution time in cycles.
+	Time float64
+	// CodeExpansion is Σ ops-after / Σ ops-before.
+	CodeExpansion float64
+	// RegionStats aggregates the formed regions (executed regions only when
+	// a profile is supplied to the underlying stats call).
+	RegionStats region.Stats
+}
+
+// Profiles holds the per-function profiles of one generated program.
+type Profiles []*profile.Data
+
+// ProfileProgram runs the stochastic interpreter over every function of the
+// generated program, with the preset's trip count.
+func ProfileProgram(prog *progen.Program) (Profiles, error) {
+	trips := prog.Preset.ProfileTrips
+	if trips <= 0 {
+		trips = 50
+	}
+	out := make(Profiles, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		d, err := interp.Profile(fn, prog.Preset.Seed*1000+uint64(i), trips, interp.Config{MaxSteps: 2_000_000})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// CompileProgram compiles every function of prog under c, on fresh clones of
+// the functions and profiles, and aggregates the results.
+func CompileProgram(prog *progen.Program, profs Profiles, c Config) (*ProgramResult, error) {
+	res := &ProgramResult{Name: prog.Name, Cfg: c}
+	before, after := 0, 0
+	var statParts []region.Stats
+	for i, orig := range prog.Funcs {
+		fn := orig.Clone()
+		prof := profs[i].Clone()
+		fr, err := CompileFunction(fn, prof, c)
+		if err != nil {
+			return nil, err
+		}
+		res.Funcs = append(res.Funcs, fr)
+		res.Time += fr.Time
+		before += fr.OpsBefore
+		after += fr.OpsAfter
+		switch c.Kind {
+		case Superblock:
+			// The paper's Table 4 counts only trace-formed superblocks.
+			var traces []*region.Region
+			for _, r := range fr.Regions {
+				if r.FromTrace {
+					traces = append(traces, r)
+				}
+			}
+			statParts = append(statParts, region.ComputeStats(traces, nil))
+		default:
+			statParts = append(statParts, region.ComputeStats(fr.Regions, nil))
+		}
+	}
+	if before > 0 {
+		res.CodeExpansion = float64(after) / float64(before)
+	}
+	res.RegionStats = region.Merge(statParts)
+	return res, nil
+}
+
+// BaselineConfig is the speedup denominator: basic-block scheduling on the
+// single-issue machine.
+func BaselineConfig() Config {
+	return Config{Kind: BasicBlocks, Heuristic: core.DepHeight, Machine: machine.Scalar, Rename: true}
+}
+
+// Speedup returns baselineTime / t.
+func Speedup(baselineTime, t float64) float64 {
+	if t == 0 {
+		return 0
+	}
+	return baselineTime / t
+}

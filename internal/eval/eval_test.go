@@ -1,0 +1,261 @@
+package eval
+
+import (
+	"testing"
+
+	"treegion/internal/cfg"
+	"treegion/internal/core"
+	"treegion/internal/ddg"
+	"treegion/internal/interp"
+	"treegion/internal/ir"
+	"treegion/internal/machine"
+	"treegion/internal/profile"
+	"treegion/internal/progen"
+	"treegion/internal/region"
+	"treegion/internal/sched"
+)
+
+// lineFn builds bb0 {ld; add; cmpp; brct->bb1} -> bb2; bb1, bb2 ret.
+func lineFn(t *testing.T) (*ir.Function, *profile.Data) {
+	t.Helper()
+	f := ir.NewFunction("line")
+	b0, b1, b2 := f.NewBlock(), f.NewBlock(), f.NewBlock()
+	r0 := f.NewReg(ir.ClassGPR)
+	a := f.NewReg(ir.ClassGPR)
+	c := f.NewReg(ir.ClassGPR)
+	p := f.NewReg(ir.ClassPred)
+	f.EmitLd(b0, a, r0, 0)
+	f.EmitALU(b0, ir.Add, c, a, a)
+	f.EmitCmpp(b0, p, ir.NoReg, ir.CondGT, c, a)
+	f.EmitBrct(b0, ir.NoReg, p, b1.ID, 0.5)
+	b0.FallThrough = b2.ID
+	f.EmitRet(b1)
+	f.EmitRet(b2)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New()
+	prof.AddBlock(0, 100)
+	prof.AddBlock(1, 60)
+	prof.AddBlock(2, 40)
+	prof.AddEdge(0, 1, 60)
+	prof.AddEdge(0, 2, 40)
+	return f, prof
+}
+
+func TestMeasureRegionBranchExit(t *testing.T) {
+	f, prof := lineFn(t)
+	r := region.New(f, region.KindBasicBlock, 0)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := ddg.Build(f, r, ddg.Options{Rename: true, Liveness: lv, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.ListSchedule(g, machine.FourU, core.DepHeight.Keys)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Critical path: LD (2) -> ADD (1) -> CMPP (1) -> BRCT: branch at
+	// cycle 4, so both exits cost 5 cycles.
+	rt := MeasureRegion(s, prof, lv)
+	if rt.Time != 100*5 {
+		t.Fatalf("Time = %v, want 500", rt.Time)
+	}
+	if rt.TimeWithCopies != rt.Time {
+		t.Fatalf("no copies here, yet TimeWithCopies = %v", rt.TimeWithCopies)
+	}
+}
+
+func TestMeasureRegionZeroWeightExitFree(t *testing.T) {
+	f, prof := lineFn(t)
+	prof.Edge = map[profile.Edge]float64{{From: 0, To: 2}: 40} // branch exit never taken
+	r := region.New(f, region.KindBasicBlock, 0)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := ddg.Build(f, r, ddg.Options{Rename: true, Liveness: lv, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.ListSchedule(g, machine.FourU, core.DepHeight.Keys)
+	rt := MeasureRegion(s, prof, lv)
+	if rt.Time != 40*5 {
+		t.Fatalf("Time = %v, want 200 (only the fallthrough path)", rt.Time)
+	}
+}
+
+func TestMeasureRegionRetLeaf(t *testing.T) {
+	f := ir.NewFunction("ret")
+	b0 := f.NewBlock()
+	r0 := f.NewReg(ir.ClassGPR)
+	f.EmitSt(b0, r0, 0, r0)
+	f.EmitRet(b0)
+	prof := profile.New()
+	prof.AddBlock(0, 10)
+	r := region.New(f, region.KindBasicBlock, 0)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := ddg.Build(f, r, ddg.Options{Rename: true, Liveness: lv, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.ListSchedule(g, machine.FourU, core.DepHeight.Keys)
+	rt := MeasureRegion(s, prof, lv)
+	// ST and RET share cycle 0 (lat-0 op->term edge): 1 cycle per trip.
+	if rt.Time != 10 {
+		t.Fatalf("Time = %v, want 10", rt.Time)
+	}
+}
+
+func TestCopiesExcludedFromTime(t *testing.T) {
+	// Two arms defining the same live-out register force renaming; the
+	// compensation copies must show up only in TimeWithCopies.
+	f := ir.NewFunction("cp")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	r0 := f.NewReg(ir.ClassGPR)
+	v := f.NewReg(ir.ClassGPR)
+	p := f.NewReg(ir.ClassPred)
+	f.EmitCmpp(b0, p, ir.NoReg, ir.CondGT, r0, r0)
+	f.EmitBrct(b0, ir.NoReg, p, b1.ID, 0.5)
+	b0.FallThrough = b2.ID
+	f.EmitMovI(b1, v, 1)
+	b1.FallThrough = b3.ID
+	f.EmitMovI(b2, v, 2)
+	b2.FallThrough = b3.ID
+	f.EmitSt(b3, r0, 0, v)
+	f.EmitRet(b3)
+	prof := profile.New()
+	prof.AddBlock(0, 10)
+	prof.AddBlock(1, 5)
+	prof.AddBlock(2, 5)
+	prof.AddEdge(0, 1, 5)
+	prof.AddEdge(0, 2, 5)
+	prof.AddEdge(1, 3, 5)
+	prof.AddEdge(2, 3, 5)
+	r := region.New(f, region.KindTreegion, 0)
+	r.Add(1, 0)
+	r.Add(2, 0)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := ddg.Build(f, r, ddg.Options{Rename: true, Liveness: lv, Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCopies != 2 {
+		t.Fatalf("copies = %d, want 2", g.NumCopies)
+	}
+	s := sched.ListSchedule(g, machine.FourU, core.DepHeight.Keys)
+	rt := MeasureRegion(s, prof, lv)
+	if rt.TimeWithCopies <= rt.Time {
+		t.Fatalf("TimeWithCopies (%v) must exceed Time (%v): copies are pinned below the branch",
+			rt.TimeWithCopies, rt.Time)
+	}
+}
+
+func TestCompileFunctionKinds(t *testing.T) {
+	progs, err := progen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := progs[0].Funcs[0]
+	prof, err := interp.Profile(fn, 1, 50, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []RegionKind{BasicBlocks, SLR, Treegion, Superblock, TreegionTD} {
+		c := DefaultConfig()
+		c.Kind = kind
+		c.DominatorParallelism = kind == TreegionTD
+		res, err := CompileFunction(fn.Clone(), prof.Clone(), c)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Time <= 0 {
+			t.Fatalf("%v: nonpositive time", kind)
+		}
+		if len(res.Regions) != len(res.Schedules) {
+			t.Fatalf("%v: regions/schedules mismatch", kind)
+		}
+		if kind == BasicBlocks || kind == SLR || kind == Treegion {
+			if res.OpsAfter != res.OpsBefore {
+				t.Fatalf("%v: code grew without tail duplication", kind)
+			}
+		}
+	}
+}
+
+func TestWiderMachinesNeverSlower(t *testing.T) {
+	progs, err := progen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := progs[0]
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, m := range []machine.Model{machine.Scalar, machine.FourU, machine.EightU, machine.SixteenU} {
+		c := DefaultConfig()
+		c.Machine = m
+		res, err := CompileProgram(prog, profs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Time > prev+1e-6 {
+			t.Fatalf("%s slower than the narrower machine: %v > %v", m.Name, res.Time, prev)
+		}
+		prev = res.Time
+	}
+}
+
+func TestBaselineConfigShape(t *testing.T) {
+	b := BaselineConfig()
+	if b.Kind != BasicBlocks || b.Machine.IssueWidth != 1 {
+		t.Fatalf("baseline misconfigured: %+v", b)
+	}
+	if Speedup(100, 50) != 2 || Speedup(100, 0) != 0 {
+		t.Fatal("Speedup arithmetic wrong")
+	}
+}
+
+func TestParseRegionKind(t *testing.T) {
+	for _, s := range []string{"bb", "slr", "tree", "sb", "tree-td"} {
+		k, err := ParseRegionKind(s)
+		if err != nil || k.String() != s {
+			t.Errorf("ParseRegionKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if _, err := ParseRegionKind("hyperblock"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestCompileProgramExpansion(t *testing.T) {
+	progs, err := progen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := progs[0]
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cTree := DefaultConfig()
+	tree, err := CompileProgram(prog, profs, cTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.CodeExpansion != 1.0 {
+		t.Fatalf("plain treegions must not expand code: %v", tree.CodeExpansion)
+	}
+	cTD := DefaultConfig()
+	cTD.Kind = TreegionTD
+	cTD.DominatorParallelism = true
+	td, err := CompileProgram(prog, profs, cTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.CodeExpansion <= 1.0 {
+		t.Fatalf("tail duplication did not expand code: %v", td.CodeExpansion)
+	}
+	if td.CodeExpansion > cTD.TD.ExpansionLimit+0.5 {
+		t.Fatalf("expansion %v far above the per-region limit %v", td.CodeExpansion, cTD.TD.ExpansionLimit)
+	}
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"treegion/internal/ddg"
+	"treegion/internal/ir"
+	"treegion/internal/machine"
+	"treegion/internal/profile"
+	"treegion/internal/sched"
+)
+
+// Utilization measures how full the machine's issue slots are over a
+// region's weighted execution — the paper's core motivation for treegions
+// is that linear regions "lead to underutilization of processor resources,
+// especially on wide-issue machines".
+//
+// For each executed path, the utilization is (ops the path issues) /
+// (issue width × path height); the region's utilization is the
+// weight-averaged value over its paths, and UtilizationOf aggregates over
+// regions by weighted cycles. Renaming copies count as issued work (they
+// occupy slots on the real machine even though the paper's speedup metric
+// ignores them — here we measure the hardware, not the metric).
+func UtilizationOf(fr *FunctionResult, prof *profile.Data, m machine.Model) float64 {
+	totalSlots, usedSlots := 0.0, 0.0
+	for _, s := range fr.Schedules {
+		r := s.Graph.Region
+		// Ops issued per path: every node at a cycle <= the path's height-1
+		// that either lies on the path or is speculatable (issues anyway).
+		for _, e := range r.Exits() {
+			w := prof.EdgeWeight(e.From, e.To)
+			if w == 0 {
+				continue
+			}
+			h, issued := pathIssue(s, e.From)
+			totalSlots += w * float64(h*m.IssueWidth)
+			usedSlots += w * float64(issued)
+		}
+		for _, b := range r.Blocks {
+			for _, op := range r.Fn.Block(b).Ops {
+				if op.Opcode == ir.Ret {
+					w := prof.BlockWeight(b)
+					h, issued := pathIssue(s, b)
+					totalSlots += w * float64(h*m.IssueWidth)
+					usedSlots += w * float64(issued)
+				}
+			}
+		}
+	}
+	if totalSlots == 0 {
+		return 0
+	}
+	return usedSlots / totalSlots
+}
+
+// pathIssue returns the height of the path to block b (conservatively the
+// full schedule region up to the last cycle any path event needs — we use
+// the maximum terminator cycle on the path as the exit proxy) and the
+// number of ops issued during it.
+func pathIssue(s *sched.Schedule, b ir.BlockID) (height, issued int) {
+	r := s.Graph.Region
+	onPath := map[ir.BlockID]bool{}
+	for _, x := range r.PathTo(b) {
+		onPath[x] = true
+	}
+	exitCycle := -1
+	for _, n := range s.Graph.Nodes {
+		if onPath[n.Home] {
+			if c := s.Cycle[n.Index]; c > exitCycle {
+				exitCycle = c
+			}
+		}
+	}
+	if exitCycle < 0 {
+		return 0, 0
+	}
+	for _, n := range s.Graph.Nodes {
+		c := s.Cycle[n.Index]
+		if c > exitCycle {
+			continue
+		}
+		if onPath[n.Home] || n.Spec {
+			issued++
+		}
+	}
+	return exitCycle + 1, issued
+}
+
+// MaxLive estimates the register pressure of one schedule: the maximum
+// number of simultaneously live values across cycles, where a value is
+// live from its definition's issue cycle until its last in-region consumer
+// issues (values with no in-region consumer are live for one cycle; values
+// consumed by later regions are not tracked — the paper's study predates
+// its own register-allocation follow-up, and so does this estimate).
+// Speculation and renaming both lengthen live ranges, which is the cost
+// this metric exposes.
+func MaxLive(s *sched.Schedule) int {
+	type rng struct{ def, lastUse int }
+	ranges := map[*ddg.Node]*rng{}
+	for _, n := range s.Graph.Nodes {
+		if len(n.Op.Dests) == 0 {
+			continue
+		}
+		ranges[n] = &rng{def: s.Cycle[n.Index], lastUse: s.Cycle[n.Index]}
+	}
+	for _, n := range s.Graph.Nodes {
+		for _, e := range n.Succs {
+			// Flow edges are the ones with the producer's latency; treat
+			// any successor as a potential consumer (conservative).
+			if rg, ok := ranges[n]; ok {
+				if c := s.Cycle[e.To.Index]; c > rg.lastUse {
+					rg.lastUse = c
+				}
+			}
+		}
+	}
+	if s.Length == 0 {
+		return 0
+	}
+	delta := make([]int, s.Length+1)
+	for n, rg := range ranges {
+		width := len(n.Op.Dests)
+		delta[rg.def] += width
+		if rg.lastUse+1 <= s.Length {
+			delta[rg.lastUse+1] -= width
+		}
+	}
+	max, cur := 0, 0
+	for _, d := range delta {
+		cur += d
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// PressureOf returns the weighted-average and maximum MaxLive over the
+// function's schedules (weighted by root execution count).
+func PressureOf(fr *FunctionResult, prof *profile.Data) (avg float64, max int) {
+	totW := 0.0
+	for _, s := range fr.Schedules {
+		ml := MaxLive(s)
+		w := prof.BlockWeight(s.Graph.Region.Root)
+		avg += w * float64(ml)
+		totW += w
+		if ml > max {
+			max = ml
+		}
+	}
+	if totW > 0 {
+		avg /= totW
+	}
+	return avg, max
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"testing"
+
+	"treegion/internal/interp"
+	"treegion/internal/machine"
+	"treegion/internal/progen"
+)
+
+func compileKind(t *testing.T, kind RegionKind) (*FunctionResult, machine.Model) {
+	t.Helper()
+	progs, err := progen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := progs[0].Funcs[0].Clone()
+	prof, err := interp.Profile(fn, 51, 60, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.Kind = kind
+	c.Machine = machine.EightU
+	c.DominatorParallelism = kind == TreegionTD
+	fr, err := CompileFunction(fn, prof, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr, c.Machine
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	for _, kind := range []RegionKind{BasicBlocks, SLR, Treegion, TreegionTD} {
+		fr, m := compileKind(t, kind)
+		u := UtilizationOf(fr, fr.Prof, m)
+		if u <= 0 || u > 1 {
+			t.Fatalf("%v: utilization = %v, want (0,1]", kind, u)
+		}
+	}
+}
+
+func TestTreegionsUtilizeMoreThanBasicBlocks(t *testing.T) {
+	bb, m := compileKind(t, BasicBlocks)
+	tree, _ := compileKind(t, Treegion)
+	ub := UtilizationOf(bb, bb.Prof, m)
+	ut := UtilizationOf(tree, tree.Prof, m)
+	if ut <= ub {
+		t.Fatalf("treegion utilization %v must exceed basic blocks %v (the paper's premise)", ut, ub)
+	}
+}
+
+func TestPressureGrowsWithSpeculation(t *testing.T) {
+	bb, _ := compileKind(t, BasicBlocks)
+	tree, _ := compileKind(t, Treegion)
+	ab, _ := PressureOf(bb, bb.Prof)
+	at, _ := PressureOf(tree, tree.Prof)
+	if at <= ab {
+		t.Fatalf("treegion pressure %v must exceed basic blocks %v (speculation lengthens live ranges)", at, ab)
+	}
+	if ab <= 0 {
+		t.Fatal("pressure must be positive")
+	}
+}
+
+func TestMaxLiveOnSchedules(t *testing.T) {
+	fr, _ := compileKind(t, Treegion)
+	for _, s := range fr.Schedules {
+		ml := MaxLive(s)
+		if ml < 0 {
+			t.Fatal("negative MaxLive")
+		}
+		// At most every value-producing node lives at once.
+		defs := 0
+		for _, n := range s.Graph.Nodes {
+			defs += len(n.Op.Dests)
+		}
+		if ml > defs {
+			t.Fatalf("MaxLive %d exceeds total defs %d", ml, defs)
+		}
+	}
+}

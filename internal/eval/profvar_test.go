@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"testing"
+
+	"treegion/internal/interp"
+	"treegion/internal/profile"
+	"treegion/internal/progen"
+)
+
+func TestReMeasureSameProfileIsIdentity(t *testing.T) {
+	progs, err := progen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := progs[0].Funcs[0].Clone()
+	prof, err := interp.Profile(fn, 61, 50, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := CompileFunction(fn, prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := ReMeasure(fr, fr.Prof)
+	if diff := rt.Time - fr.Time; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("ReMeasure with the compile-time profile gives %v, compile gave %v", rt.Time, fr.Time)
+	}
+}
+
+func TestProfileCompiledVariesWithSeed(t *testing.T) {
+	progs, err := progen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := progs[1].Funcs[0].Clone()
+	prof, err := interp.Profile(fn, 62, 50, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := CompileFunction(fn, prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ProfileCompiled(fr, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileCompiled(fr, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ProfileCompiled(fr, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() == b.Total() && equalProfiles(a, b) {
+		t.Fatal("different seeds produced identical profiles (suspicious)")
+	}
+	if !equalProfiles(a, c) {
+		t.Fatal("same seed produced different profiles")
+	}
+	// Re-measuring under a varied profile still yields a sane time.
+	rt := ReMeasure(fr, b)
+	if rt.Time <= 0 || rt.TimeWithCopies < rt.Time {
+		t.Fatalf("varied re-measure: %+v", rt)
+	}
+}
+
+func equalProfiles(a, b *profile.Data) bool {
+	if len(a.Block) != len(b.Block) || len(a.Edge) != len(b.Edge) {
+		return false
+	}
+	for k, v := range a.Block {
+		if b.Block[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.Edge {
+		if b.Edge[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneDeepCopies(t *testing.T) {
+	f := NewFunction("orig")
+	b0, b1 := f.NewBlock(), f.NewBlock()
+	op := f.EmitALU(b0, Add, GPR(2), GPR(0), GPR(1))
+	b0.FallThrough = b1.ID
+	f.EmitRet(b1)
+
+	c := f.Clone()
+	// Mutating the clone must not touch the original.
+	c.Block(0).Ops[0].Dests[0] = GPR(9)
+	c.Block(0).FallThrough = NoBlock
+	if op.Dests[0] != GPR(2) {
+		t.Fatal("clone shares op operand storage")
+	}
+	if b0.FallThrough != b1.ID {
+		t.Fatal("clone shares block metadata")
+	}
+	// IDs and allocation state carry over: fresh registers don't collide.
+	r1 := f.NewReg(ClassGPR)
+	r2 := c.NewReg(ClassGPR)
+	if r1 != r2 {
+		t.Fatalf("allocator state differs after clone: %v vs %v", r1, r2)
+	}
+	if c.Entry != f.Entry || len(c.Blocks) != len(f.Blocks) {
+		t.Fatal("structure differs")
+	}
+}
+
+func TestGuardedString(t *testing.T) {
+	f := NewFunction("g")
+	b := f.NewBlock()
+	op := f.EmitMovI(b, GPR(4), 3)
+	op.Guard = Pred(1)
+	if got := op.String(); got != "r4 = MOVI 3 ? p1" {
+		t.Fatalf("String() = %q", got)
+	}
+	if !op.Guarded() {
+		t.Fatal("Guarded() false")
+	}
+}
+
+func TestBranchString(t *testing.T) {
+	f := NewFunction("b")
+	b0, b1 := f.NewBlock(), f.NewBlock()
+	op := f.EmitBrct(b0, BTR(2), Pred(0), b1.ID, 0.25)
+	if got := op.String(); !strings.Contains(got, "BRCT") || !strings.Contains(got, "-> bb1") {
+		t.Fatalf("String() = %q", got)
+	}
+	f.EmitRet(b1)
+}
+
+func TestValidateRetWithSuccessors(t *testing.T) {
+	f := NewFunction("bad")
+	b0, b1 := f.NewBlock(), f.NewBlock()
+	f.EmitRet(b0)
+	b0.FallThrough = b1.ID // RET blocks must not fall through
+	f.EmitRet(b1)
+	if err := f.Validate(); err == nil {
+		t.Fatal("RET with a fallthrough accepted")
+	}
+}
+
+func TestNumSuccsMatchesSuccs(t *testing.T) {
+	f := NewFunction("n")
+	b0 := f.NewBlock()
+	targets := make([]*Block, 3)
+	for i := range targets {
+		targets[i] = f.NewBlock()
+		f.EmitRet(targets[i])
+	}
+	p := f.NewReg(ClassPred)
+	f.EmitBrct(b0, NoReg, p, targets[0].ID, 0.2)
+	f.EmitBrct(b0, NoReg, p, targets[1].ID, 0.2)
+	b0.FallThrough = targets[2].ID
+	if b0.NumSuccs() != len(b0.Succs()) {
+		t.Fatalf("NumSuccs %d != len(Succs) %d", b0.NumSuccs(), len(b0.Succs()))
+	}
+}
+
+func TestSpeculatableGuardInteraction(t *testing.T) {
+	// Guarded ALU ops remain speculatable by opcode (the guard is a data
+	// dependence); guarded stores remain non-speculatable.
+	if !Add.Speculatable() {
+		t.Fatal("ADD must be speculatable")
+	}
+	if St.Speculatable() {
+		t.Fatal("ST must not be speculatable")
+	}
+}

@@ -1,0 +1,291 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{GPR(3), "r3"},
+		{Pred(1), "p1"},
+		{BTR(2), "b2"},
+		{FPR(0), "f0"},
+		{NoReg, "_"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestNoRegInvalid(t *testing.T) {
+	if NoReg.IsValid() {
+		t.Fatal("NoReg must be invalid")
+	}
+	if !GPR(0).IsValid() {
+		t.Fatal("r0 must be valid")
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	branches := []Opcode{Brct, Brcf, Bru}
+	for _, o := range branches {
+		if !o.IsBranch() {
+			t.Errorf("%v should be a branch", o)
+		}
+	}
+	if Brct.IsConditionalBranch() != true || Bru.IsConditionalBranch() != false {
+		t.Error("conditional-branch classification wrong")
+	}
+	for _, o := range []Opcode{Add, Ld, Cmpp, Pbr, Mov, MovI, FDiv} {
+		if !o.Speculatable() {
+			t.Errorf("%v should be speculatable", o)
+		}
+	}
+	for _, o := range []Opcode{St, Call, Ret, Brct, Brcf, Bru, Copy} {
+		if o.Speculatable() {
+			t.Errorf("%v should not be speculatable", o)
+		}
+	}
+	if !Ld.IsMemory() || !St.IsMemory() || Add.IsMemory() {
+		t.Error("memory classification wrong")
+	}
+}
+
+func TestOpcodeStringsDistinct(t *testing.T) {
+	seen := make(map[string]Opcode)
+	for o := Nop; o < numOpcodes; o++ {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "OP(") {
+			t.Errorf("opcode %d has no name", o)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("opcodes %v and %v share name %q", prev, o, s)
+		}
+		seen[s] = o
+	}
+}
+
+func TestNewRegDistinct(t *testing.T) {
+	f := NewFunction("t")
+	a, b := f.NewReg(ClassGPR), f.NewReg(ClassGPR)
+	p := f.NewReg(ClassPred)
+	if a == b {
+		t.Fatal("NewReg returned duplicate GPR")
+	}
+	if p.Class != ClassPred {
+		t.Fatal("wrong class")
+	}
+	f.NoteReg(GPR(10))
+	if r := f.NewReg(ClassGPR); r.Num != 11 {
+		t.Fatalf("NoteReg not honoured: got %v", r)
+	}
+}
+
+func TestBlockSuccsOrder(t *testing.T) {
+	f := NewFunction("t")
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	p := f.NewReg(ClassPred)
+	f.EmitBrct(b0, NoReg, p, b1.ID, 0.5)
+	f.EmitBrct(b0, NoReg, p, b2.ID, 0.5)
+	b0.FallThrough = b3.ID
+
+	got := b0.Succs()
+	want := []BlockID{b1.ID, b2.ID, b3.ID}
+	if len(got) != len(want) {
+		t.Fatalf("Succs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Succs = %v, want %v", got, want)
+		}
+	}
+	if b0.NumSuccs() != 3 {
+		t.Fatalf("NumSuccs = %d, want 3", b0.NumSuccs())
+	}
+	if len(b0.Branches()) != 2 {
+		t.Fatalf("Branches = %d, want 2", len(b0.Branches()))
+	}
+}
+
+func TestReplaceSucc(t *testing.T) {
+	f := NewFunction("t")
+	b0, b1, b2 := f.NewBlock(), f.NewBlock(), f.NewBlock()
+	p := f.NewReg(ClassPred)
+	f.EmitBrct(b0, NoReg, p, b1.ID, 0.5)
+	b0.FallThrough = b1.ID
+	if !b0.ReplaceSucc(b1.ID, b2.ID) {
+		t.Fatal("ReplaceSucc reported no change")
+	}
+	for _, s := range b0.Succs() {
+		if s != b2.ID {
+			t.Fatalf("successor %v not rewritten", s)
+		}
+	}
+	if b0.ReplaceSucc(b1.ID, b2.ID) {
+		t.Fatal("ReplaceSucc should report no change on second call")
+	}
+}
+
+func TestValidateCatchesBadStructure(t *testing.T) {
+	// Branch to a missing block.
+	f := NewFunction("bad1")
+	b0 := f.NewBlock()
+	f.EmitBrct(b0, NoReg, f.NewReg(ClassPred), BlockID(99), 0.5)
+	if err := f.Validate(); err == nil {
+		t.Error("missing-target branch not caught")
+	}
+
+	// Non-branch op after a branch.
+	f2 := NewFunction("bad2")
+	c0, c1 := f2.NewBlock(), f2.NewBlock()
+	f2.EmitBrct(c0, NoReg, f2.NewReg(ClassPred), c1.ID, 0.5)
+	f2.EmitALU(c0, Add, f2.NewReg(ClassGPR), GPR(0), GPR(1))
+	c0.FallThrough = c1.ID
+	f2.EmitRet(c1)
+	if err := f2.Validate(); err == nil {
+		t.Error("op-after-branch not caught")
+	}
+
+	// Duplicate successors.
+	f3 := NewFunction("bad3")
+	d0, d1 := f3.NewBlock(), f3.NewBlock()
+	f3.EmitBrct(d0, NoReg, f3.NewReg(ClassPred), d1.ID, 0.5)
+	d0.FallThrough = d1.ID
+	f3.EmitRet(d1)
+	if err := f3.Validate(); err == nil {
+		t.Error("duplicate successor not caught")
+	}
+
+	// Fallthrough after BRU.
+	f4 := NewFunction("bad4")
+	e0, e1 := f4.NewBlock(), f4.NewBlock()
+	f4.EmitBru(e0, NoReg, e1.ID)
+	e0.FallThrough = e1.ID
+	f4.EmitRet(e1)
+	if err := f4.Validate(); err == nil {
+		t.Error("fallthrough-after-BRU not caught")
+	}
+}
+
+func TestValidateAcceptsDiamond(t *testing.T) {
+	f := NewFunction("diamond")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	p := f.NewReg(ClassPred)
+	r := f.NewReg(ClassGPR)
+	f.EmitCmpp(b0, p, NoReg, CondGT, r, r)
+	f.EmitBrct(b0, NoReg, p, b1.ID, 0.5)
+	b0.FallThrough = b2.ID
+	f.EmitBru(b1, NoReg, b3.ID)
+	b2.FallThrough = b3.ID
+	f.EmitRet(b3)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("valid diamond rejected: %v", err)
+	}
+}
+
+func TestCloneOpPreservesOrig(t *testing.T) {
+	f := NewFunction("t")
+	b := f.NewBlock()
+	op := f.EmitALU(b, Add, GPR(2), GPR(0), GPR(1))
+	c := f.CloneOp(op)
+	if c.ID == op.ID {
+		t.Fatal("clone shares ID")
+	}
+	if c.Orig != op.ID {
+		t.Fatalf("clone Orig = %d, want %d", c.Orig, op.ID)
+	}
+	c2 := f.CloneOp(c)
+	if c2.Orig != op.ID {
+		t.Fatalf("clone-of-clone Orig = %d, want %d", c2.Orig, op.ID)
+	}
+	// Mutating the clone must not alias the original's operand slices.
+	c.Srcs[0] = GPR(7)
+	if op.Srcs[0] == GPR(7) {
+		t.Fatal("clone aliases original srcs")
+	}
+}
+
+func TestDuplicateBlock(t *testing.T) {
+	f := NewFunction("t")
+	b0, b1 := f.NewBlock(), f.NewBlock()
+	f.EmitALU(b0, Add, GPR(2), GPR(0), GPR(1))
+	f.EmitSt(b0, GPR(3), 8, GPR(2))
+	b0.FallThrough = b1.ID
+	f.EmitRet(b1)
+
+	d := f.DuplicateBlock(b0)
+	if d.Orig != b0.ID {
+		t.Fatalf("dup Orig = %d, want %d", d.Orig, b0.ID)
+	}
+	if d.FallThrough != b1.ID {
+		t.Fatal("dup lost fallthrough")
+	}
+	if len(d.Ops) != len(b0.Ops) {
+		t.Fatalf("dup has %d ops, want %d", len(d.Ops), len(b0.Ops))
+	}
+	for i := range d.Ops {
+		if d.Ops[i].ID == b0.Ops[i].ID {
+			t.Fatal("dup shares op IDs with original")
+		}
+		if d.Ops[i].Orig != b0.Ops[i].ID {
+			t.Fatal("dup op Orig wrong")
+		}
+	}
+	if f.NumOps() != 5 {
+		t.Fatalf("NumOps = %d, want 5", f.NumOps())
+	}
+}
+
+func TestOpStringFormats(t *testing.T) {
+	f := NewFunction("t")
+	b := f.NewBlock()
+	cases := []struct {
+		op   *Op
+		want string
+	}{
+		{f.EmitMovI(b, GPR(4), 1), "r4 = MOVI 1"},
+		{f.EmitALU(b, Add, GPR(3), GPR(1), GPR(2)), "r3 = ADD r1, r2"},
+		{f.EmitLd(b, GPR(1), GPR(0), 16), "r1 = LD [r0+16]"},
+		{f.EmitSt(b, GPR(0), 8, GPR(1)), "ST [r0+8], r1"},
+		{f.EmitCmpp(b, Pred(1), Pred(2), CondGT, GPR(1), GPR(2)), "p1, p2 = CMPP (r1 > r2)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: register constructors round-trip through String uniquely for
+// distinct numbers.
+func TestRegStringInjective(t *testing.T) {
+	fn := func(a, b uint8) bool {
+		ra, rb := GPR(int(a)), GPR(int(b))
+		return (a == b) == (ra.String() == rb.String())
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionStringMentionsDups(t *testing.T) {
+	f := NewFunction("t")
+	b0 := f.NewBlock()
+	f.EmitRet(b0)
+	d := f.DuplicateBlock(b0)
+	_ = d
+	s := f.String()
+	if !strings.Contains(s, "dup of bb0") {
+		t.Fatalf("String() missing dup annotation:\n%s", s)
+	}
+}

@@ -1,0 +1,425 @@
+package irtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"treegion/internal/ir"
+)
+
+// Parse reads one function in the package's text format. Every block
+// referenced by a branch, pbr or fallthrough must be declared; the first
+// declared block is the entry. The parsed function is validated before it
+// is returned.
+func Parse(src string) (*ir.Function, error) {
+	p := &parser{}
+	lines := strings.Split(src, "\n")
+	// Pre-scan declarations so forward references resolve and block IDs
+	// follow declaration order (Print/Parse round-trips preserve layout).
+	for i, raw := range lines {
+		line := clean(raw)
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if p.fn != nil {
+				return nil, fmt.Errorf("irtext: line %d: duplicate func declaration", i+1)
+			}
+			name := strings.TrimSpace(strings.TrimPrefix(line, "func "))
+			if name == "" {
+				return nil, fmt.Errorf("irtext: line %d: func needs a name", i+1)
+			}
+			p.fn = ir.NewFunction(name)
+			p.declared = make(map[int]*ir.Block)
+		case strings.HasSuffix(line, ":"):
+			if p.fn == nil {
+				return nil, fmt.Errorf("irtext: line %d: block before func declaration", i+1)
+			}
+			n, err := blockNum(strings.TrimSuffix(line, ":"))
+			if err != nil {
+				return nil, fmt.Errorf("irtext: line %d: %w", i+1, err)
+			}
+			if _, dup := p.declared[n]; dup {
+				return nil, fmt.Errorf("irtext: line %d: bb%d declared twice", i+1, n)
+			}
+			p.declared[n] = p.fn.NewBlock()
+		}
+	}
+	if p.fn == nil {
+		return nil, fmt.Errorf("irtext: no function declared")
+	}
+	for i, raw := range lines {
+		line := clean(raw)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("irtext: line %d: %w", i+1, err)
+		}
+	}
+	if err := p.fn.Validate(); err != nil {
+		return nil, fmt.Errorf("irtext: %w", err)
+	}
+	return p.fn, nil
+}
+
+func clean(raw string) string {
+	line := raw
+	if idx := strings.IndexByte(line, ';'); idx >= 0 {
+		line = line[:idx]
+	}
+	return strings.TrimSpace(line)
+}
+
+type parser struct {
+	fn  *ir.Function
+	cur *ir.Block
+	// declared maps textual block labels to blocks, in declaration order.
+	declared map[int]*ir.Block
+}
+
+// block resolves the block labelled bbN, which must be declared.
+func (p *parser) block(n int) (*ir.Block, error) {
+	if b, ok := p.declared[n]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("reference to undeclared bb%d", n)
+}
+
+func (p *parser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "func "):
+		return nil // handled in the pre-scan
+	case strings.HasSuffix(line, ":"):
+		n, err := blockNum(strings.TrimSuffix(line, ":"))
+		if err != nil {
+			return err
+		}
+		p.cur, err = p.block(n)
+		return err
+	case p.cur == nil:
+		return fmt.Errorf("op outside a block")
+	case strings.HasPrefix(line, "fallthrough"):
+		t, err := p.target(strings.TrimSpace(strings.TrimPrefix(line, "fallthrough")))
+		if err != nil {
+			return err
+		}
+		p.cur.FallThrough = t
+		return nil
+	default:
+		return p.op(line)
+	}
+}
+
+func blockNum(tok string) (int, error) {
+	if !strings.HasPrefix(tok, "bb") {
+		return 0, fmt.Errorf("bad block label %q", tok)
+	}
+	n, err := strconv.Atoi(tok[2:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad block label %q", tok)
+	}
+	return n, nil
+}
+
+// reg parses a register token: r3, p1, b0, f2, or _ for none.
+func reg(tok string) (ir.Reg, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "_" {
+		return ir.NoReg, nil
+	}
+	if len(tok) < 2 {
+		return ir.NoReg, fmt.Errorf("bad register %q", tok)
+	}
+	var class ir.RegClass
+	switch tok[0] {
+	case 'r':
+		class = ir.ClassGPR
+	case 'p':
+		class = ir.ClassPred
+	case 'b':
+		class = ir.ClassBTR
+	case 'f':
+		class = ir.ClassFPR
+	default:
+		return ir.NoReg, fmt.Errorf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return ir.NoReg, fmt.Errorf("bad register %q", tok)
+	}
+	return ir.Reg{Class: class, Num: n}, nil
+}
+
+// target parses @bbN.
+func (p *parser) target(tok string) (ir.BlockID, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "@") {
+		return ir.NoBlock, fmt.Errorf("bad target %q", tok)
+	}
+	n, err := blockNum(tok[1:])
+	if err != nil {
+		return ir.NoBlock, err
+	}
+	b, err := p.block(n)
+	if err != nil {
+		return ir.NoBlock, err
+	}
+	return b.ID, nil
+}
+
+var opcodeByName = func() map[string]ir.Opcode {
+	m := make(map[string]ir.Opcode, len(mnemonics))
+	for o, s := range mnemonics {
+		m[s] = o
+	}
+	return m
+}()
+
+var condByName = func() map[string]ir.Cond {
+	m := make(map[string]ir.Cond, len(condNames))
+	for c, s := range condNames {
+		m[s] = c
+	}
+	return m
+}()
+
+// op parses one instruction line into the current block.
+func (p *parser) op(line string) error {
+	guard := ir.NoReg
+	if strings.HasPrefix(line, "(") {
+		end := strings.IndexByte(line, ')')
+		if end < 0 {
+			return fmt.Errorf("unterminated guard")
+		}
+		g, err := reg(line[1:end])
+		if err != nil {
+			return err
+		}
+		if g.Class != ir.ClassPred {
+			return fmt.Errorf("guard %q is not a predicate", line[1:end])
+		}
+		guard = g
+		line = strings.TrimSpace(line[end+1:])
+	}
+
+	var dests []ir.Reg
+	rest := line
+	if eq := strings.Index(line, "="); eq >= 0 && !strings.Contains(line[:eq], "[") {
+		for _, tok := range strings.Split(line[:eq], ",") {
+			d, err := reg(tok)
+			if err != nil {
+				return err
+			}
+			p.fn.NoteReg(d)
+			dests = append(dests, d)
+		}
+		rest = strings.TrimSpace(line[eq+1:])
+	}
+
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty op")
+	}
+	name := fields[0]
+	args := strings.TrimSpace(strings.TrimPrefix(rest, name))
+	opc, ok := opcodeByName[name]
+	if !ok {
+		return fmt.Errorf("unknown op %q", name)
+	}
+
+	op := p.fn.NewOp(opc)
+	op.Dests = dests
+	op.Guard = guard
+	b := p.cur
+
+	fail := func(format string, a ...interface{}) error {
+		return fmt.Errorf("%s: "+format, append([]interface{}{name}, a...)...)
+	}
+	wantDests := func(n int) error {
+		if len(dests) != n {
+			return fail("needs %d destination(s), got %d", n, len(dests))
+		}
+		return nil
+	}
+
+	switch opc {
+	case ir.MovI:
+		if err := wantDests(1); err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(args), 10, 64)
+		if err != nil {
+			return fail("bad immediate %q", args)
+		}
+		op.Imm = v
+	case ir.Mov, ir.Copy:
+		if err := wantDests(1); err != nil {
+			return err
+		}
+		s, err := reg(args)
+		if err != nil {
+			return err
+		}
+		op.Srcs = []ir.Reg{s}
+	case ir.Ld:
+		if err := wantDests(1); err != nil {
+			return err
+		}
+		base, off, err := memOperand(args)
+		if err != nil {
+			return err
+		}
+		op.Srcs = []ir.Reg{base}
+		op.Imm = off
+	case ir.St:
+		if len(dests) != 0 {
+			return fail("takes no destinations")
+		}
+		comma := strings.LastIndex(args, ",")
+		if comma < 0 {
+			return fail("needs [base+off], value")
+		}
+		base, off, err := memOperand(strings.TrimSpace(args[:comma]))
+		if err != nil {
+			return err
+		}
+		v, err := reg(args[comma+1:])
+		if err != nil {
+			return err
+		}
+		op.Srcs = []ir.Reg{base, v}
+		op.Imm = off
+	case ir.Cmpp:
+		if len(dests) != 1 && len(dests) != 2 {
+			return fail("needs 1 or 2 destinations")
+		}
+		fs := strings.Fields(args)
+		if len(fs) < 2 {
+			return fail("needs a condition and two sources")
+		}
+		cond, ok := condByName[fs[0]]
+		if !ok {
+			return fail("unknown condition %q", fs[0])
+		}
+		op.Cond = cond
+		srcs := strings.Split(strings.TrimSpace(strings.TrimPrefix(args, fs[0])), ",")
+		if len(srcs) != 2 {
+			return fail("needs two sources")
+		}
+		a, err := reg(srcs[0])
+		if err != nil {
+			return err
+		}
+		c, err := reg(srcs[1])
+		if err != nil {
+			return err
+		}
+		op.Srcs = []ir.Reg{a, c}
+	case ir.Pbr:
+		if err := wantDests(1); err != nil {
+			return err
+		}
+		t, err := p.target(args)
+		if err != nil {
+			return err
+		}
+		op.Target = t
+	case ir.Brct, ir.Brcf:
+		if len(dests) != 0 {
+			return fail("takes no destinations")
+		}
+		prob := 0.5
+		if h := strings.LastIndex(args, "#"); h >= 0 {
+			v, err := strconv.ParseFloat(strings.TrimSpace(args[h+1:]), 64)
+			if err != nil || v < 0 || v > 1 {
+				return fail("bad probability %q", args[h+1:])
+			}
+			prob = v
+			args = strings.TrimSpace(args[:h])
+		}
+		parts := strings.Split(args, ",")
+		if len(parts) != 3 {
+			return fail("needs btr, pred, @target")
+		}
+		btr, err := reg(parts[0])
+		if err != nil {
+			return err
+		}
+		pr, err := reg(parts[1])
+		if err != nil {
+			return err
+		}
+		t, err := p.target(parts[2])
+		if err != nil {
+			return err
+		}
+		op.Srcs = []ir.Reg{btr, pr} // NoReg btr slot matches the builder's layout
+		op.Target = t
+		op.Prob = prob
+	case ir.Bru:
+		if len(dests) != 0 {
+			return fail("takes no destinations")
+		}
+		t, err := p.target(args)
+		if err != nil {
+			return err
+		}
+		op.Target = t
+		op.Prob = 1
+	case ir.Call, ir.Ret, ir.Nop:
+		if strings.TrimSpace(args) != "" {
+			return fail("takes no operands")
+		}
+	default: // two-source ALU / FP
+		if err := wantDests(1); err != nil {
+			return err
+		}
+		srcs := strings.Split(args, ",")
+		if len(srcs) != 2 {
+			return fail("needs two sources")
+		}
+		a, err := reg(srcs[0])
+		if err != nil {
+			return err
+		}
+		c, err := reg(srcs[1])
+		if err != nil {
+			return err
+		}
+		op.Srcs = []ir.Reg{a, c}
+	}
+	for _, s := range op.Srcs {
+		p.fn.NoteReg(s)
+	}
+	p.fn.NoteReg(op.Guard)
+	b.Ops = append(b.Ops, op)
+	return nil
+}
+
+// memOperand parses [reg+off] (off may be negative: [r1+-8] or [r1-8]).
+func memOperand(tok string) (ir.Reg, int64, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return ir.NoReg, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	sep := strings.IndexAny(inner[1:], "+-")
+	if sep < 0 {
+		return ir.NoReg, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	sep++
+	base, err := reg(inner[:sep])
+	if err != nil {
+		return ir.NoReg, 0, err
+	}
+	offStr := inner[sep:]
+	if strings.HasPrefix(offStr, "+") {
+		offStr = offStr[1:]
+	}
+	off, err := strconv.ParseInt(offStr, 10, 64)
+	if err != nil {
+		return ir.NoReg, 0, fmt.Errorf("bad offset in %q", tok)
+	}
+	return base, off, nil
+}
+

@@ -1,0 +1,117 @@
+// Package irtext serializes ir.Functions to a human-writable assembly-like
+// text format and parses it back. The format lets users feed hand-written
+// programs to the compiler driver (treegionc -input) and makes golden tests
+// readable.
+//
+// Grammar (one function per file; ';' starts a comment):
+//
+//	func <name>
+//	bb<N>:                       ; blocks in any order; the first is entry
+//	  [(p<G>)] <op>              ; optional if-conversion guard
+//	  ...
+//	  fallthrough @bb<M>         ; optional, last line of a block
+//
+// Ops:
+//
+//	r1 = movi 42                 r1 = add r2, r3     (sub/mul/div/and/or/
+//	r1 = mov r2                                       xor/shl/shr/fadd/fmul/fdiv)
+//	r1 = ld [r2+8]               st [r2+8], r3
+//	p0 = cmpp gt r1, r2          p0, p1 = cmpp le r1, r2
+//	b0 = pbr @bb3                brct b0, p0, @bb3 #0.25
+//	bru @bb3                     brcf b0, p0, @bb3 #0.5
+//	call                         ret
+//	r1 = copy r2
+//
+// Register classes by prefix: r (general), p (predicate), b (branch target),
+// f (floating point). Conditional branches carry their taken probability
+// after '#' (defaults to 0.5).
+package irtext
+
+import (
+	"fmt"
+	"strings"
+
+	"treegion/internal/ir"
+)
+
+// Print serializes fn in the package's text format.
+func Print(fn *ir.Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", fn.Name)
+	for _, b := range fn.Blocks {
+		fmt.Fprintf(&sb, "bb%d:\n", b.ID)
+		for _, op := range b.Ops {
+			sb.WriteString("  ")
+			sb.WriteString(printOp(op))
+			sb.WriteString("\n")
+		}
+		if b.FallThrough != ir.NoBlock {
+			fmt.Fprintf(&sb, "  fallthrough @bb%d\n", b.FallThrough)
+		}
+	}
+	return sb.String()
+}
+
+func printOp(op *ir.Op) string {
+	var sb strings.Builder
+	if op.Guarded() {
+		fmt.Fprintf(&sb, "(%s) ", op.Guard)
+	}
+	switch op.Opcode {
+	case ir.MovI:
+		fmt.Fprintf(&sb, "%s = movi %d", op.Dests[0], op.Imm)
+	case ir.Mov, ir.Copy:
+		fmt.Fprintf(&sb, "%s = %s %s", op.Dests[0], mnemonic(op.Opcode), op.Srcs[0])
+	case ir.Ld:
+		fmt.Fprintf(&sb, "%s = ld [%s+%d]", op.Dests[0], op.Srcs[0], op.Imm)
+	case ir.St:
+		fmt.Fprintf(&sb, "st [%s+%d], %s", op.Srcs[0], op.Imm, op.Srcs[1])
+	case ir.Cmpp:
+		if len(op.Dests) > 1 {
+			fmt.Fprintf(&sb, "%s, %s = cmpp %s %s, %s",
+				op.Dests[0], op.Dests[1], condName(op.Cond), op.Srcs[0], op.Srcs[1])
+		} else {
+			fmt.Fprintf(&sb, "%s = cmpp %s %s, %s",
+				op.Dests[0], condName(op.Cond), op.Srcs[0], op.Srcs[1])
+		}
+	case ir.Pbr:
+		fmt.Fprintf(&sb, "%s = pbr @bb%d", op.Dests[0], op.Target)
+	case ir.Brct, ir.Brcf:
+		btr := "_"
+		if len(op.Srcs) > 1 && op.Srcs[0].IsValid() {
+			btr = op.Srcs[0].String()
+		}
+		p := op.Srcs[len(op.Srcs)-1]
+		fmt.Fprintf(&sb, "%s %s, %s, @bb%d #%g", mnemonic(op.Opcode), btr, p, op.Target, op.Prob)
+	case ir.Bru:
+		fmt.Fprintf(&sb, "bru @bb%d", op.Target)
+	case ir.Call:
+		sb.WriteString("call")
+	case ir.Ret:
+		sb.WriteString("ret")
+	case ir.Nop:
+		sb.WriteString("nop")
+	default: // two-source ALU
+		fmt.Fprintf(&sb, "%s = %s %s, %s", op.Dests[0], mnemonic(op.Opcode), op.Srcs[0], op.Srcs[1])
+	}
+	return sb.String()
+}
+
+var mnemonics = map[ir.Opcode]string{
+	ir.Add: "add", ir.Sub: "sub", ir.Mul: "mul", ir.Div: "div",
+	ir.And: "and", ir.Or: "or", ir.Xor: "xor", ir.Shl: "shl", ir.Shr: "shr",
+	ir.MovI: "movi", ir.Mov: "mov", ir.Copy: "copy",
+	ir.Cmpp: "cmpp", ir.Ld: "ld", ir.St: "st",
+	ir.FAdd: "fadd", ir.FMul: "fmul", ir.FDiv: "fdiv",
+	ir.Pbr: "pbr", ir.Brct: "brct", ir.Brcf: "brcf", ir.Bru: "bru",
+	ir.Call: "call", ir.Ret: "ret", ir.Nop: "nop",
+}
+
+func mnemonic(o ir.Opcode) string { return mnemonics[o] }
+
+var condNames = map[ir.Cond]string{
+	ir.CondEQ: "eq", ir.CondNE: "ne", ir.CondLT: "lt",
+	ir.CondLE: "le", ir.CondGT: "gt", ir.CondGE: "ge",
+}
+
+func condName(c ir.Cond) string { return condNames[c] }

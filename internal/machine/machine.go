@@ -1,0 +1,48 @@
+// Package machine describes the paper's statically scheduled VLIW machine
+// models: universal, fully pipelined functional units, so the only resource
+// constraint is the issue width. Latencies are unit except load (2 cycles),
+// floating-point multiply (3) and floating-point divide (9).
+package machine
+
+import "treegion/internal/ir"
+
+// Model is a VLIW machine model.
+type Model struct {
+	Name string
+	// IssueWidth is the number of Ops per MultiOp. Units are universal and
+	// fully pipelined, so width is the only resource bound.
+	IssueWidth int
+}
+
+// The paper's machine models plus the single-issue baseline used as the
+// speedup denominator, and a wider model for headroom ablations.
+var (
+	Scalar    = Model{Name: "1U", IssueWidth: 1}
+	FourU     = Model{Name: "4U", IssueWidth: 4}
+	EightU    = Model{Name: "8U", IssueWidth: 8}
+	SixteenU  = Model{Name: "16U", IssueWidth: 16}
+)
+
+// ByName looks a model up by its paper name ("1U", "4U", "8U", "16U").
+func ByName(name string) (Model, bool) {
+	for _, m := range []Model{Scalar, FourU, EightU, SixteenU} {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// Latency returns the issue-to-result latency of an opcode on all models.
+func Latency(o ir.Opcode) int {
+	switch o {
+	case ir.Ld:
+		return 2
+	case ir.FMul:
+		return 3
+	case ir.FDiv:
+		return 9
+	default:
+		return 1
+	}
+}

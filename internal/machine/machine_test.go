@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"testing"
+
+	"treegion/internal/ir"
+)
+
+func TestLatencies(t *testing.T) {
+	cases := []struct {
+		op   ir.Opcode
+		want int
+	}{
+		{ir.Ld, 2},
+		{ir.FMul, 3},
+		{ir.FDiv, 9},
+		{ir.Add, 1},
+		{ir.St, 1},
+		{ir.Cmpp, 1},
+		{ir.Brct, 1},
+		{ir.FAdd, 1},
+		{ir.Copy, 1},
+		{ir.Pbr, 1},
+	}
+	for _, c := range cases {
+		if got := Latency(c.op); got != c.want {
+			t.Errorf("Latency(%v) = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestModels(t *testing.T) {
+	if Scalar.IssueWidth != 1 || FourU.IssueWidth != 4 || EightU.IssueWidth != 8 || SixteenU.IssueWidth != 16 {
+		t.Fatal("issue widths wrong")
+	}
+	for _, name := range []string{"1U", "4U", "8U", "16U"} {
+		m, ok := ByName(name)
+		if !ok || m.Name != name {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("32U"); ok {
+		t.Error("ByName accepted unknown model")
+	}
+}

@@ -1,0 +1,159 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"treegion/internal/ir"
+)
+
+func TestBasicAccumulation(t *testing.T) {
+	d := New()
+	d.AddBlock(1, 10)
+	d.AddBlock(1, 5)
+	d.AddEdge(1, 2, 7)
+	if d.BlockWeight(1) != 15 {
+		t.Fatalf("BlockWeight = %v", d.BlockWeight(1))
+	}
+	if d.EdgeWeight(1, 2) != 7 {
+		t.Fatalf("EdgeWeight = %v", d.EdgeWeight(1, 2))
+	}
+	if d.BlockWeight(9) != 0 || d.EdgeWeight(9, 9) != 0 {
+		t.Fatal("missing entries must read as zero")
+	}
+	if d.Total() != 15 {
+		t.Fatalf("Total = %v", d.Total())
+	}
+}
+
+func TestBestSucc(t *testing.T) {
+	f := ir.NewFunction("t")
+	b0, b1, b2 := f.NewBlock(), f.NewBlock(), f.NewBlock()
+	p := f.NewReg(ir.ClassPred)
+	f.EmitBrct(b0, ir.NoReg, p, b1.ID, 0.3)
+	b0.FallThrough = b2.ID
+	f.EmitRet(b1)
+	f.EmitRet(b2)
+
+	d := New()
+	d.AddEdge(b0.ID, b1.ID, 30)
+	d.AddEdge(b0.ID, b2.ID, 70)
+	s, w := d.BestSucc(f, b0.ID)
+	if s != b2.ID || w != 70 {
+		t.Fatalf("BestSucc = bb%d/%v", s, w)
+	}
+	// Ties resolve to the earlier successor in arm order.
+	d.AddEdge(b0.ID, b1.ID, 40)
+	s, _ = d.BestSucc(f, b0.ID)
+	if s != b1.ID {
+		t.Fatalf("tie did not resolve to arm order: bb%d", s)
+	}
+	// A block with no successors.
+	if s, _ := d.BestSucc(f, b1.ID); s != ir.NoBlock {
+		t.Fatal("BestSucc on exit block must return NoBlock")
+	}
+}
+
+func TestMoveEdge(t *testing.T) {
+	d := New()
+	d.AddEdge(1, 2, 50)
+	d.MoveEdge(1, 2, 3)
+	if d.EdgeWeight(1, 2) != 0 || d.EdgeWeight(1, 3) != 50 {
+		t.Fatal("MoveEdge failed")
+	}
+}
+
+func TestSplitBlockConservesMass(t *testing.T) {
+	f := ir.NewFunction("t")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	p := f.NewReg(ir.ClassPred)
+	f.EmitBrct(b1, ir.NoReg, p, b2.ID, 0.5)
+	b1.FallThrough = b3.ID
+	_ = b0
+	f.EmitRet(b2)
+	f.EmitRet(b3)
+
+	d := New()
+	d.AddBlock(b1.ID, 100)
+	d.AddEdge(b1.ID, b2.ID, 30)
+	d.AddEdge(b1.ID, b3.ID, 70)
+	dup := f.DuplicateBlock(b1)
+	before := d.Total()
+	edgeSum := d.EdgeWeight(b1.ID, b2.ID) + d.EdgeWeight(b1.ID, b3.ID)
+
+	d.SplitBlock(f, b1.ID, dup.ID, 40)
+	if d.BlockWeight(b1.ID) != 60 || d.BlockWeight(dup.ID) != 40 {
+		t.Fatalf("split weights = %v/%v", d.BlockWeight(b1.ID), d.BlockWeight(dup.ID))
+	}
+	if got := d.EdgeWeight(dup.ID, b2.ID); got != 12 {
+		t.Fatalf("dup edge = %v, want 12 (40%% of 30)", got)
+	}
+	after := d.EdgeWeight(b1.ID, b2.ID) + d.EdgeWeight(b1.ID, b3.ID) +
+		d.EdgeWeight(dup.ID, b2.ID) + d.EdgeWeight(dup.ID, b3.ID)
+	if after != edgeSum {
+		t.Fatalf("edge mass changed: %v -> %v", edgeSum, after)
+	}
+	if d.Total() != before {
+		t.Fatalf("block mass changed: %v -> %v", before, d.Total())
+	}
+}
+
+func TestSplitBlockZeroWeight(t *testing.T) {
+	f := ir.NewFunction("t")
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	b0.FallThrough = b1.ID
+	f.EmitRet(b1)
+	d := New()
+	dup := f.DuplicateBlock(b0)
+	d.SplitBlock(f, b0.ID, dup.ID, 0) // must not divide by zero
+	if d.BlockWeight(dup.ID) != 0 {
+		t.Fatal("zero split gave weight")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := New()
+	d.AddBlock(1, 10)
+	d.AddEdge(1, 2, 5)
+	c := d.Clone()
+	c.AddBlock(1, 90)
+	c.AddEdge(1, 2, 5)
+	if d.BlockWeight(1) != 10 || d.EdgeWeight(1, 2) != 5 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+// Property: SplitBlock conserves total block weight for any split amount
+// within [0, weight].
+func TestSplitConservationProperty(t *testing.T) {
+	f := ir.NewFunction("t")
+	b0, b1 := f.NewBlock(), f.NewBlock()
+	b0.FallThrough = b1.ID
+	f.EmitRet(b1)
+	fn := func(w, frac uint16) bool {
+		d := New()
+		weight := float64(w%1000) + 1
+		in := weight * float64(frac%101) / 100
+		d.AddBlock(b0.ID, weight)
+		d.AddEdge(b0.ID, b1.ID, weight)
+		dup := f.DuplicateBlock(b0)
+		before := d.Total()
+		d.SplitBlock(f, b0.ID, dup.ID, in)
+		diff := d.Total() - before
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	d := New()
+	d.AddBlock(2, 5)
+	d.AddBlock(0, 9)
+	s := d.String()
+	if s != "bb0: 9\nbb2: 5\n" {
+		t.Fatalf("String() = %q", s)
+	}
+}

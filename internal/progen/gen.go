@@ -1,0 +1,486 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treegion/internal/ir"
+)
+
+// Program is a generated synthetic benchmark: a named set of functions.
+type Program struct {
+	Name  string
+	Funcs []*ir.Function
+	// Preset the program was generated from (carried for profiling knobs).
+	Preset Preset
+}
+
+// Generate builds the synthetic program for a preset. Generation is fully
+// deterministic in the preset's seed.
+func Generate(p Preset) (*Program, error) {
+	prog := &Program{Name: p.Name, Preset: p}
+	rng := rand.New(rand.NewSource(int64(p.Seed)))
+	for i := 0; i < p.NumFuncs; i++ {
+		scale := 0.5 + rng.Float64() // 0.5x .. 1.5x
+		budget := int(float64(p.OpsPerFunc) * scale)
+		fn := genFunction(fmt.Sprintf("%s_f%d", p.Name, i), p, budget, rng)
+		if err := fn.Validate(); err != nil {
+			return nil, fmt.Errorf("progen: generated invalid function: %w", err)
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	return prog, nil
+}
+
+// GenerateAll builds the full eight-benchmark suite.
+func GenerateAll() ([]*Program, error) {
+	var out []*Program
+	for _, p := range Presets() {
+		prog, err := Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prog)
+	}
+	return out, nil
+}
+
+// gen carries generation state for one function.
+type gen struct {
+	f      *ir.Function
+	p      Preset
+	rng    *rand.Rand
+	pool   []ir.Reg // live integer values to draw operands from
+	recent []ir.Reg // most recent definitions, newest last
+	fpool  []ir.Reg // live fp values
+	bases  []ir.Reg // address base registers
+	last   ir.Reg   // most recently defined integer register
+	budget int      // remaining computational-op budget
+}
+
+func genFunction(name string, p Preset, budget int, rng *rand.Rand) *ir.Function {
+	f := ir.NewFunction(name)
+	g := &gen{f: f, p: p, rng: rng, budget: budget}
+	entry := f.NewBlock()
+
+	// Seed the operand pools so every generated op has real data sources.
+	for i := 0; i < 4; i++ {
+		r := f.NewReg(ir.ClassGPR)
+		f.EmitMovI(entry, r, int64(64+i*512))
+		g.bases = append(g.bases, r)
+	}
+	for i := 0; i < 8; i++ {
+		r := f.NewReg(ir.ClassGPR)
+		if i%2 == 0 {
+			f.EmitLd(entry, r, g.bases[i%len(g.bases)], int64(8*i))
+		} else {
+			f.EmitMovI(entry, r, int64(rng.Intn(1000)))
+		}
+		g.pool = append(g.pool, r)
+		g.last = r
+	}
+	for i := 0; i < 3; i++ {
+		r := f.NewReg(ir.ClassFPR)
+		f.EmitMovI(entry, r, int64(i+1))
+		g.fpool = append(g.fpool, r)
+	}
+
+	cur := g.genSeq(entry, 0)
+	g.f.EmitRet(cur)
+	return f
+}
+
+// genSeq emits a run of structures starting in cur and returns the block
+// where control continues. At the top level it keeps generating until the
+// function's op budget is spent; nested sequences stay short.
+func (g *gen) genSeq(cur *ir.Block, depth int) *ir.Block {
+	n := 1 + g.rng.Intn(4)
+	for i := 0; (depth == 0 || i < n) && g.budget > 0; i++ {
+		cur = g.genStruct(cur, depth)
+	}
+	return cur
+}
+
+func (g *gen) genStruct(cur *ir.Block, depth int) *ir.Block {
+	kind := g.pickKind(depth)
+	switch kind {
+	case KindIf:
+		return g.genIf(cur, depth)
+	case KindIfElse:
+		return g.genIfElse(cur, depth)
+	case KindSwitch:
+		return g.genSwitch(cur, depth)
+	case KindLoop:
+		return g.genLoop(cur, depth)
+	case KindChain:
+		return g.genChain(cur)
+	default:
+		g.emitOps(cur, g.blockOps())
+		return cur
+	}
+}
+
+func (g *gen) pickKind(depth int) StructKind {
+	if depth >= g.p.MaxDepth || g.budget <= 0 {
+		return KindStraight
+	}
+	total := 0.0
+	for _, w := range g.p.StructWeights {
+		total += w
+	}
+	x := g.rng.Float64() * total
+	for k, w := range g.p.StructWeights {
+		if x < w {
+			return StructKind(k)
+		}
+		x -= w
+	}
+	return KindStraight
+}
+
+func (g *gen) blockOps() int {
+	lo, hi := g.p.BlockOpsMin, g.p.BlockOpsMax
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// twoWayProb draws the taken probability for a two-way branch following the
+// preset's bias model.
+func (g *gen) twoWayProb() float64 {
+	if g.rng.Float64() < g.p.BiasedFrac {
+		if g.rng.Float64() < 0.5 {
+			return g.p.Bias
+		}
+		return 1 - g.p.Bias
+	}
+	return 0.2 + 0.6*g.rng.Float64()
+}
+
+// genArm emits the body of a conditional arm: a short straight-line run,
+// occasionally with one nested structure. Real if-arms in hot code are
+// small; unbounded nesting here would make every arm compete with the hot
+// path for issue slots far beyond what SPEC-shaped code does.
+func (g *gen) genArm(b *ir.Block, depth int) *ir.Block {
+	n := g.p.BlockOpsMax
+	if n > 6 {
+		n = 6
+	}
+	g.emitOps(b, 1+g.rng.Intn(n))
+	if depth < g.p.MaxDepth && g.rng.Float64() < 0.25 {
+		return g.genStruct(b, depth)
+	}
+	return b
+}
+
+// genIf emits: cur { ops; cmpp; br then } -> join; then -> join.
+func (g *gen) genIf(cur *ir.Block, depth int) *ir.Block {
+	g.emitOps(cur, g.blockOps())
+	p := g.emitCmpp(cur)
+	then := g.f.NewBlock()
+	join := g.f.NewBlock()
+	g.emitBranch(cur, p, then.ID, g.twoWayProb())
+	cur.FallThrough = join.ID
+	end := g.genArm(then, depth+1)
+	end.FallThrough = join.ID
+	g.emitOps(join, 1+g.rng.Intn(3))
+	return join
+}
+
+// genIfElse emits: cur { ops; cmpp; br then } -> else; both -> join.
+func (g *gen) genIfElse(cur *ir.Block, depth int) *ir.Block {
+	g.emitOps(cur, g.blockOps())
+	p := g.emitCmpp(cur)
+	then := g.f.NewBlock()
+	els := g.f.NewBlock()
+	join := g.f.NewBlock()
+	g.emitBranch(cur, p, then.ID, g.twoWayProb())
+	cur.FallThrough = els.ID
+	tEnd := g.genArm(then, depth+1)
+	tEnd.FallThrough = join.ID
+	eEnd := g.genArm(els, depth+1)
+	eEnd.FallThrough = join.ID
+	g.emitOps(join, 1+g.rng.Intn(3))
+	return join
+}
+
+// genSwitch emits a wide, shallow multiway branch: k-1 predicated branches
+// to arm blocks plus a default fallthrough arm; every arm meets at a join.
+// Arm probabilities follow the preset's skew: with ZeroArmFrac most arms are
+// effectively never taken while a couple of hot arms absorb the weight —
+// the Fig. 9 shape that defeats the exit-count heuristic.
+func (g *gen) genSwitch(cur *ir.Block, depth int) *ir.Block {
+	g.emitOps(cur, g.blockOps())
+	k := g.p.SwitchArmsMin
+	if g.p.SwitchArmsMax > g.p.SwitchArmsMin {
+		k += g.rng.Intn(g.p.SwitchArmsMax - g.p.SwitchArmsMin + 1)
+	}
+	if k < 2 {
+		k = 2
+	}
+	// Absolute arm distribution.
+	dist := make([]float64, k)
+	hot := g.rng.Intn(k)
+	for i := range dist {
+		switch {
+		case i == hot:
+			dist[i] = 0.55 + 0.3*g.rng.Float64()
+		case g.rng.Float64() < g.p.ZeroArmFrac:
+			dist[i] = 0.0005 * g.rng.Float64()
+		default:
+			dist[i] = 0.02 + 0.08*g.rng.Float64()
+		}
+	}
+	sum := 0.0
+	for _, d := range dist {
+		sum += d
+	}
+	for i := range dist {
+		dist[i] /= sum
+	}
+
+	join := g.f.NewBlock()
+	arms := make([]*ir.Block, k)
+	for i := range arms {
+		arms[i] = g.f.NewBlock()
+	}
+	// k-1 conditional branches; last arm is the fallthrough default. All
+	// predicates are computed before the first branch (block layout keeps
+	// non-branch ops ahead of branches).
+	preds := make([]ir.Reg, k-1)
+	for i := range preds {
+		preds[i] = g.emitCmpp(cur)
+	}
+	taken := 0.0
+	for i := 0; i < k-1; i++ {
+		cond := dist[i]
+		if rem := 1 - taken; rem > 1e-9 {
+			cond = dist[i] / rem
+		}
+		if cond > 1 {
+			cond = 1
+		}
+		g.emitBranch(cur, preds[i], arms[i].ID, cond)
+		taken += dist[i]
+	}
+	cur.FallThrough = arms[k-1].ID
+	// Shared handler blocks (error paths, rare sub-cases) give some cold
+	// arms extra exit edges: the Fig. 9 shape where the arms with the
+	// highest exit counts are not the most frequently executed, which is
+	// what defeats the exit-count heuristic.
+	var handlers []*ir.Block
+	handler := func() *ir.Block {
+		if len(handlers) < 2 {
+			h := g.f.NewBlock()
+			g.emitOps(h, 1+g.rng.Intn(2))
+			h.FallThrough = join.ID
+			handlers = append(handlers, h)
+			return h
+		}
+		return handlers[g.rng.Intn(len(handlers))]
+	}
+	for i, a := range arms {
+		// Shallow arms: empty ("case: break") or a couple of ops, straight
+		// to the join.
+		if g.rng.Float64() >= g.p.EmptyArmFrac {
+			g.emitOps(a, 1+g.rng.Intn(2))
+		}
+		cold := i != hot
+		if cold && g.rng.Float64() < 0.5 {
+			targets := []*ir.Block{handler()}
+			if g.rng.Float64() < 0.5 {
+				if h2 := handler(); h2 != targets[0] { // successors stay distinct
+					targets = append(targets, h2)
+				}
+			}
+			// Predicates first: block layout keeps ops ahead of branches.
+			hps := make([]ir.Reg, len(targets))
+			for j := range targets {
+				hps[j] = g.emitCmpp(a)
+			}
+			for j, h := range targets {
+				g.emitBranch(a, hps[j], h.ID, 0.02)
+			}
+		}
+		a.FallThrough = join.ID
+	}
+	g.emitOps(join, 1+g.rng.Intn(3))
+	return join
+}
+
+// genLoop emits a while loop; the header is a merge point (preheader +
+// latch), so it roots its own treegion, and the back edge keeps regions
+// acyclic.
+func (g *gen) genLoop(cur *ir.Block, depth int) *ir.Block {
+	header := g.f.NewBlock()
+	after := g.f.NewBlock()
+	cur.FallThrough = header.ID
+	g.emitOps(header, g.blockOps())
+	p := g.emitCmpp(header)
+	// Continue with probability iters/(iters+1): mean trip count
+	// LoopIterMean, attenuated 4x per nesting level so nested loops do not
+	// multiply into runaway trip lengths.
+	m := g.p.LoopIterMean / float64(int64(1)<<uint(2*depth))
+	if m < 2 {
+		m = 2
+	}
+	contProb := m / (m + 1)
+	body := g.f.NewBlock()
+	g.emitBranch(header, p, body.ID, contProb)
+	header.FallThrough = after.ID
+	bodyEnd := g.genSeq(body, depth+1)
+	// Most real loops also break out somewhere in the body, which makes the
+	// loop's continuation a merge point (and therefore its own region root)
+	// instead of treegion material that competes with every iteration.
+	if g.rng.Float64() < 0.6 && bodyEnd.NumSuccs() == 0 {
+		bp := g.emitCmpp(bodyEnd)
+		g.emitBranch(bodyEnd, bp, after.ID, 1/(2*m))
+	}
+	bodyEnd.FallThrough = header.ID // back edge
+	g.emitOps(after, 1+g.rng.Intn(3))
+	return after
+}
+
+// genChain emits a vortex-style linearized check chain: n blocks, each with
+// a rarely taken escape branch to a shared handler, falling through to the
+// next. Block weights down the chain are nearly equal and the only hot exit
+// is at the very bottom — the Fig. 10 shape that trips the weighted-count
+// heuristic.
+func (g *gen) genChain(cur *ir.Block) *ir.Block {
+	n := g.p.ChainLenMin
+	if g.p.ChainLenMax > g.p.ChainLenMin {
+		n += g.rng.Intn(g.p.ChainLenMax - g.p.ChainLenMin + 1)
+	}
+	escape := g.f.NewBlock()
+	join := g.f.NewBlock()
+	g.emitOps(cur, g.blockOps())
+	p := g.emitCmpp(cur)
+	g.emitBranch(cur, p, escape.ID, g.p.ChainEscapeProb)
+	prev := cur
+	for i := 1; i < n; i++ {
+		blk := g.f.NewBlock()
+		prev.FallThrough = blk.ID
+		g.emitOps(blk, g.blockOps())
+		pp := g.emitCmpp(blk)
+		g.emitBranch(blk, pp, escape.ID, g.p.ChainEscapeProb)
+		prev = blk
+	}
+	prev.FallThrough = join.ID
+	g.emitOps(escape, 1+g.rng.Intn(3))
+	escape.FallThrough = join.ID
+	g.emitOps(join, 1+g.rng.Intn(3))
+	return join
+}
+
+// emitCmpp emits a compare over pool operands and returns the predicate.
+func (g *gen) emitCmpp(b *ir.Block) ir.Reg {
+	p := g.f.NewReg(ir.ClassPred)
+	conds := []ir.Cond{ir.CondEQ, ir.CondNE, ir.CondLT, ir.CondLE, ir.CondGT, ir.CondGE}
+	g.f.EmitCmpp(b, p, ir.NoReg, conds[g.rng.Intn(len(conds))], g.pick(), g.pick())
+	g.budget--
+	return p
+}
+
+// emitBranch emits (optionally) a PBR plus the conditional branch.
+func (g *gen) emitBranch(b *ir.Block, p ir.Reg, target ir.BlockID, prob float64) {
+	btr := ir.NoReg
+	if g.p.EmitPbr {
+		btr = g.f.NewReg(ir.ClassBTR)
+		// PBRs belong before the block's branches; insert before the first
+		// branch so the layout contract holds when several arms share a block.
+		pbr := g.f.NewOp(ir.Pbr)
+		pbr.Dests = []ir.Reg{btr}
+		pbr.Target = target
+		insertBeforeBranches(b, pbr)
+		g.budget--
+	}
+	g.f.EmitBrct(b, btr, p, target, prob)
+}
+
+// insertBeforeBranches places op just before b's first branch (or appends).
+func insertBeforeBranches(b *ir.Block, op *ir.Op) {
+	at := len(b.Ops)
+	for i, o := range b.Ops {
+		if o.IsBranch() {
+			at = i
+			break
+		}
+	}
+	b.Ops = append(b.Ops, nil)
+	copy(b.Ops[at+1:], b.Ops[at:])
+	b.Ops[at] = op
+}
+
+// pick returns a live integer register, heavily biased toward recent
+// definitions so that value lifetimes look like real code: most temporaries
+// die within a few ops, while a minority of long-lived values (the pool)
+// stay live across control flow.
+func (g *gen) pick() ir.Reg {
+	if len(g.recent) > 0 && g.rng.Float64() < 0.7 {
+		k := 4
+		if len(g.recent) < k {
+			k = len(g.recent)
+		}
+		return g.recent[len(g.recent)-1-g.rng.Intn(k)]
+	}
+	return g.pool[g.rng.Intn(len(g.pool))]
+}
+
+// define registers r as a fresh live value: it enters the recency window
+// and occasionally displaces a long-lived pool slot.
+func (g *gen) define(r ir.Reg) {
+	g.recent = append(g.recent, r)
+	if len(g.recent) > 12 {
+		g.recent = g.recent[1:]
+	}
+	if g.rng.Float64() < 0.25 {
+		g.pool[g.rng.Intn(len(g.pool))] = r
+	}
+	g.last = r
+}
+
+// emitOps appends n computational ops to b following the preset's operand
+// mix and dependence-chain fraction.
+func (g *gen) emitOps(b *ir.Block, n int) {
+	intALU := []ir.Opcode{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr}
+	for i := 0; i < n; i++ {
+		g.budget--
+		x := g.rng.Float64()
+		switch {
+		case x < g.p.LoadFrac:
+			r := g.f.NewReg(ir.ClassGPR)
+			base := g.bases[g.rng.Intn(len(g.bases))]
+			g.f.EmitLd(b, r, base, int64(8*g.rng.Intn(64)))
+			g.define(r)
+		case x < g.p.LoadFrac+g.p.StoreFrac:
+			base := g.bases[g.rng.Intn(len(g.bases))]
+			g.f.EmitSt(b, base, int64(8*g.rng.Intn(64)), g.pick())
+		case x < g.p.LoadFrac+g.p.StoreFrac+g.p.FPFrac:
+			r := g.f.NewReg(ir.ClassFPR)
+			opc := ir.FMul
+			switch g.rng.Intn(4) {
+			case 0:
+				opc = ir.FAdd
+			case 3:
+				opc = ir.FDiv
+			}
+			a := g.fpool[g.rng.Intn(len(g.fpool))]
+			c := g.fpool[g.rng.Intn(len(g.fpool))]
+			g.f.EmitALU(b, opc, r, a, c)
+			g.fpool[g.rng.Intn(len(g.fpool))] = r
+		case x < g.p.LoadFrac+g.p.StoreFrac+g.p.FPFrac+g.p.ImmFrac:
+			r := g.f.NewReg(ir.ClassGPR)
+			g.f.EmitMovI(b, r, int64(g.rng.Intn(4096)))
+			g.define(r)
+		default:
+			r := g.f.NewReg(ir.ClassGPR)
+			s1 := g.pick()
+			if g.rng.Float64() < g.p.ChainFrac && g.last.IsValid() {
+				s1 = g.last
+			}
+			g.f.EmitALU(b, intALU[g.rng.Intn(len(intALU))], r, s1, g.pick())
+			g.define(r)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package progen generates synthetic benchmark programs whose control-flow
+// shape and profile skew mimic the structural traits the paper reports for
+// SPECint95. The paper's results are driven by CFG topology and profile
+// distribution — not benchmark semantics — so each preset dials in the traits
+// the paper uses to explain its data:
+//
+//   - gcc / perl: frequent wide, shallow multiway branches whose arm weights
+//     are heavily skewed with many never-taken arms (Fig. 9) — the treegions
+//     that break the exit-count heuristic;
+//   - ijpeg: strongly biased two-way branches, so treegions contain a single
+//     hot path (Fig. 7);
+//   - vortex: long "linearized" check chains with rarely taken escape exits
+//     and near-equal block weights (Fig. 10) — the treegions that hurt the
+//     weighted-count heuristic;
+//   - compress / li: small loopy programs; m88ksim / go: mid-sized mixes with
+//     larger basic blocks.
+package progen
+
+// StructKind indexes the structure-mix weights of a Preset.
+type StructKind int
+
+// Generable control structures.
+const (
+	KindStraight StructKind = iota // straight-line ops appended to the block
+	KindIf                         // if-then
+	KindIfElse                     // if-then-else
+	KindSwitch                     // multiway branch with a join
+	KindLoop                       // while loop (header is a merge point)
+	KindChain                      // linearized check chain with escape exits
+	numKinds
+)
+
+// Preset parameterizes generation for one synthetic benchmark.
+type Preset struct {
+	Name string
+	Seed uint64
+
+	// NumFuncs functions are generated; function i targets roughly
+	// OpsPerFunc ops (±50%, varied by the rng).
+	NumFuncs   int
+	OpsPerFunc int
+
+	// BlockOpsMin/Max bound the computational ops emitted per straight-line
+	// run (branch machinery — CMPP, PBR, branches — comes on top).
+	BlockOpsMin, BlockOpsMax int
+
+	// StructWeights is the relative mix of control structures.
+	StructWeights [numKinds]float64
+
+	// MaxDepth bounds structure nesting.
+	MaxDepth int
+
+	// Bias is the taken-probability given to biased two-way branches;
+	// BiasedFrac is the fraction of two-way branches that are biased
+	// (the rest draw uniformly from [0.2, 0.8]).
+	Bias       float64
+	BiasedFrac float64
+
+	// SwitchArmsMin/Max bound multiway-branch arity. ZeroArmFrac is the
+	// fraction of arms that get (near-)zero probability; the remaining
+	// probability mass is split unevenly across the rest. EmptyArmFrac is
+	// the fraction of arms containing no code at all (a bare "case: break"
+	// or a shared handler reached through an empty block) — real switches
+	// are mostly jump tables, not sixteen distinct computations.
+	SwitchArmsMin, SwitchArmsMax int
+	ZeroArmFrac                  float64
+	EmptyArmFrac                 float64
+
+	// LoopIterMean is the mean trip count of generated loops.
+	LoopIterMean float64
+
+	// ChainLenMin/Max bound linearized-chain length; ChainEscapeProb is the
+	// per-block probability of taking the escape exit.
+	ChainLenMin, ChainLenMax int
+	ChainEscapeProb          float64
+
+	// ChainFrac is the probability that an ALU op reads the most recently
+	// defined register (serializing the dataflow and lowering ILP).
+	ChainFrac float64
+
+	// Operand mix.
+	LoadFrac, StoreFrac, FPFrac, ImmFrac float64
+
+	// EmitPbr controls whether branches are fed by PBR ops (PlayDoh-style
+	// branch-target-register priming), as in the paper's examples.
+	EmitPbr bool
+
+	// ProfileTrips is how many interpreter trips the suite uses to profile
+	// each generated function.
+	ProfileTrips int
+}
+
+// Presets returns the eight SPECint95-flavoured presets, in the paper's
+// table order.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name: "compress", Seed: 101,
+			NumFuncs: 4, OpsPerFunc: 260,
+			BlockOpsMin: 3, BlockOpsMax: 7,
+			StructWeights: [numKinds]float64{KindStraight: 2, KindIf: 3, KindIfElse: 2, KindSwitch: 0.3, KindLoop: 2, KindChain: 0.2},
+			MaxDepth:      3,
+			Bias:          0.85, BiasedFrac: 0.6,
+			SwitchArmsMin: 3, SwitchArmsMax: 5, ZeroArmFrac: 0.3, EmptyArmFrac: 0.3,
+			LoopIterMean: 12,
+			ChainLenMin:  3, ChainLenMax: 5, ChainEscapeProb: 0.02,
+			ChainFrac: 0.75,
+			LoadFrac:  0.2, StoreFrac: 0.12, FPFrac: 0.0, ImmFrac: 0.1,
+			EmitPbr: true, ProfileTrips: 120,
+		},
+		{
+			Name: "gcc", Seed: 102,
+			NumFuncs: 10, OpsPerFunc: 900,
+			BlockOpsMin: 3, BlockOpsMax: 8,
+			StructWeights: [numKinds]float64{KindStraight: 2, KindIf: 2.5, KindIfElse: 2, KindSwitch: 1.0, KindLoop: 1, KindChain: 0.3},
+			MaxDepth:      4,
+			Bias:          0.9, BiasedFrac: 0.65,
+			SwitchArmsMin: 5, SwitchArmsMax: 13, ZeroArmFrac: 0.7, EmptyArmFrac: 0.55,
+			LoopIterMean: 8,
+			ChainLenMin:  3, ChainLenMax: 6, ChainEscapeProb: 0.02,
+			ChainFrac: 0.72,
+			LoadFrac:  0.22, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.12,
+			EmitPbr: true, ProfileTrips: 60,
+		},
+		{
+			Name: "go", Seed: 103,
+			NumFuncs: 8, OpsPerFunc: 700,
+			BlockOpsMin: 3, BlockOpsMax: 8,
+			StructWeights: [numKinds]float64{KindStraight: 2, KindIf: 3, KindIfElse: 2.5, KindSwitch: 1, KindLoop: 1.2, KindChain: 0.3},
+			MaxDepth:      4,
+			Bias:          0.75, BiasedFrac: 0.5,
+			SwitchArmsMin: 4, SwitchArmsMax: 9, ZeroArmFrac: 0.4, EmptyArmFrac: 0.4,
+			LoopIterMean: 10,
+			ChainLenMin:  3, ChainLenMax: 6, ChainEscapeProb: 0.03,
+			ChainFrac: 0.75,
+			LoadFrac:  0.2, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.12,
+			EmitPbr: true, ProfileTrips: 70,
+		},
+		{
+			Name: "ijpeg", Seed: 104,
+			NumFuncs: 6, OpsPerFunc: 520,
+			BlockOpsMin: 3, BlockOpsMax: 8,
+			StructWeights: [numKinds]float64{KindStraight: 2.5, KindIf: 3, KindIfElse: 1.5, KindSwitch: 0.4, KindLoop: 2.2, KindChain: 0.2},
+			MaxDepth:      3,
+			Bias:          0.985, BiasedFrac: 0.88,
+			SwitchArmsMin: 3, SwitchArmsMax: 5, ZeroArmFrac: 0.5, EmptyArmFrac: 0.4,
+			LoopIterMean: 25,
+			ChainLenMin:  3, ChainLenMax: 5, ChainEscapeProb: 0.01,
+			ChainFrac: 0.68,
+			LoadFrac:  0.25, StoreFrac: 0.14, FPFrac: 0.06, ImmFrac: 0.08,
+			EmitPbr: true, ProfileTrips: 60,
+		},
+		{
+			Name: "li", Seed: 105,
+			NumFuncs: 6, OpsPerFunc: 380,
+			BlockOpsMin: 2, BlockOpsMax: 6,
+			StructWeights: [numKinds]float64{KindStraight: 2, KindIf: 3, KindIfElse: 2.2, KindSwitch: 0.8, KindLoop: 1.5, KindChain: 0.3},
+			MaxDepth:      3,
+			Bias:          0.8, BiasedFrac: 0.55,
+			SwitchArmsMin: 3, SwitchArmsMax: 6, ZeroArmFrac: 0.4, EmptyArmFrac: 0.4,
+			LoopIterMean: 9,
+			ChainLenMin:  3, ChainLenMax: 5, ChainEscapeProb: 0.03,
+			ChainFrac: 0.78,
+			LoadFrac:  0.24, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.12,
+			EmitPbr: true, ProfileTrips: 80,
+		},
+		{
+			Name: "m88ksim", Seed: 106,
+			NumFuncs: 7, OpsPerFunc: 640,
+			BlockOpsMin: 5, BlockOpsMax: 10,
+			StructWeights: [numKinds]float64{KindStraight: 2.5, KindIf: 3, KindIfElse: 2.2, KindSwitch: 1.2, KindLoop: 1.4, KindChain: 0.3},
+			MaxDepth:      4,
+			Bias:          0.88, BiasedFrac: 0.6,
+			SwitchArmsMin: 4, SwitchArmsMax: 10, ZeroArmFrac: 0.45, EmptyArmFrac: 0.4,
+			LoopIterMean: 12,
+			ChainLenMin:  3, ChainLenMax: 6, ChainEscapeProb: 0.02,
+			ChainFrac: 0.72,
+			LoadFrac:  0.2, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.1,
+			EmitPbr: true, ProfileTrips: 70,
+		},
+		{
+			Name: "perl", Seed: 107,
+			NumFuncs: 8, OpsPerFunc: 780,
+			BlockOpsMin: 3, BlockOpsMax: 9,
+			StructWeights: [numKinds]float64{KindStraight: 2, KindIf: 2.2, KindIfElse: 1.8, KindSwitch: 1.1, KindLoop: 1, KindChain: 0.3},
+			MaxDepth:      4,
+			Bias:          0.9, BiasedFrac: 0.65,
+			SwitchArmsMin: 6, SwitchArmsMax: 16, ZeroArmFrac: 0.75, EmptyArmFrac: 0.6,
+			LoopIterMean: 8,
+			ChainLenMin:  3, ChainLenMax: 6, ChainEscapeProb: 0.02,
+			ChainFrac: 0.72,
+			LoadFrac:  0.22, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.12,
+			EmitPbr: true, ProfileTrips: 60,
+		},
+		{
+			Name: "vortex", Seed: 108,
+			NumFuncs: 7, OpsPerFunc: 620,
+			BlockOpsMin: 6, BlockOpsMax: 13,
+			StructWeights: [numKinds]float64{KindStraight: 2.5, KindIf: 1.8, KindIfElse: 1.2, KindSwitch: 0.6, KindLoop: 1, KindChain: 3},
+			MaxDepth:      3,
+			Bias:          0.9, BiasedFrac: 0.6,
+			SwitchArmsMin: 3, SwitchArmsMax: 6, ZeroArmFrac: 0.4, EmptyArmFrac: 0.4,
+			LoopIterMean: 10,
+			ChainLenMin:  5, ChainLenMax: 10, ChainEscapeProb: 0.006,
+			ChainFrac: 0.68,
+			LoadFrac:  0.2, StoreFrac: 0.12, FPFrac: 0.0, ImmFrac: 0.1,
+			EmitPbr: true, ProfileTrips: 70,
+		},
+	}
+}
+
+// PresetByName returns the preset with the given name, or false.
+func PresetByName(name string) (Preset, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}

@@ -1,0 +1,197 @@
+// Package regalloc maps the virtual registers of a finished schedule onto
+// finite physical register files and estimates the spill cost — the problem
+// the treegion paper explicitly set aside ("copy Ops added due to renaming
+// were not used in computing speedup") and that its follow-up work tackled.
+// Speculation and renaming lengthen live ranges, so wide-issue region
+// scheduling trades register pressure for parallelism; this package
+// quantifies that trade.
+//
+// The allocator is a classic Poletto–Sarkar linear scan over the schedule's
+// cycle axis: values live from their definition's issue cycle to their last
+// in-region consumer's cycle; when a class's file is exhausted, the interval
+// with the furthest end point spills. Each spilled interval is charged one
+// store plus one reload per consumer, and SpillCycles estimates the cycles
+// those memory ops would add to the region (they are *not* scheduled — this
+// is an assessment pass, mirroring how the paper's evaluation kept
+// scheduling and allocation separate).
+package regalloc
+
+import (
+	"sort"
+
+	"treegion/internal/ddg"
+	"treegion/internal/ir"
+	"treegion/internal/sched"
+)
+
+// FileSizes bounds each register class. Zero means unlimited (class
+// ignored). The PlayDoh-flavoured default is generous, 1998-style.
+type FileSizes struct {
+	GPR, Pred, BTR, FPR int
+}
+
+// DefaultFiles mirrors a PlayDoh-like configuration: 64 general registers,
+// 64 predicates, 8 branch-target registers, 64 floating-point registers.
+func DefaultFiles() FileSizes { return FileSizes{GPR: 64, Pred: 64, BTR: 8, FPR: 64} }
+
+func (f FileSizes) of(c ir.RegClass) int {
+	switch c {
+	case ir.ClassGPR:
+		return f.GPR
+	case ir.ClassPred:
+		return f.Pred
+	case ir.ClassBTR:
+		return f.BTR
+	case ir.ClassFPR:
+		return f.FPR
+	default:
+		return 0
+	}
+}
+
+// Result summarizes one schedule's allocation.
+type Result struct {
+	// Spilled counts spilled live intervals per class (map key is the
+	// class's letter prefix, e.g. "r").
+	Spilled map[ir.RegClass]int
+	// MaxUsed is the peak simultaneous physical registers per class.
+	MaxUsed map[ir.RegClass]int
+	// SpillOps is the number of memory ops (one store per spill, one
+	// reload per consumer of a spilled value) the allocation would insert.
+	SpillOps int
+	// SpillCycles is a crude latency estimate: each spill op costs one
+	// issue slot plus the load's 2-cycle latency on the reload path.
+	SpillCycles int
+}
+
+// TotalSpills sums spilled intervals over all classes.
+func (r Result) TotalSpills() int {
+	n := 0
+	for _, k := range r.Spilled {
+		n += k
+	}
+	return n
+}
+
+type interval struct {
+	class      ir.RegClass
+	start, end int
+	uses       int // consumers after the definition (reload count if spilled)
+}
+
+// Allocate runs linear scan over the schedule under the given file sizes.
+func Allocate(s *sched.Schedule, files FileSizes) Result {
+	res := Result{
+		Spilled: map[ir.RegClass]int{},
+		MaxUsed: map[ir.RegClass]int{},
+	}
+	intervals := collect(s)
+	byClass := map[ir.RegClass][]interval{}
+	for _, iv := range intervals {
+		byClass[iv.class] = append(byClass[iv.class], iv)
+	}
+	for class, ivs := range byClass {
+		k := files.of(class)
+		if k <= 0 {
+			continue
+		}
+		spilled, maxUsed, reloads := linearScan(ivs, k)
+		res.Spilled[class] = spilled
+		res.MaxUsed[class] = maxUsed
+		res.SpillOps += spilled + reloads // one store per spill + reloads
+		res.SpillCycles += spilled + 3*reloads
+	}
+	return res
+}
+
+// collect builds live intervals: one per defined register per node.
+func collect(s *sched.Schedule) []interval {
+	var out []interval
+	for _, n := range s.Graph.Nodes {
+		if len(n.Op.Dests) == 0 {
+			continue
+		}
+		def := s.Cycle[n.Index]
+		end := def
+		uses := 0
+		for _, e := range n.Succs {
+			if consumes(e.To, n) {
+				uses++
+				if c := s.Cycle[e.To.Index]; c > end {
+					end = c
+				}
+			}
+		}
+		for _, d := range n.Op.Dests {
+			if d.IsValid() {
+				out = append(out, interval{class: d.Class, start: def, end: end, uses: uses})
+			}
+		}
+	}
+	return out
+}
+
+// consumes reports whether to actually reads one of from's destinations
+// (filters anti/output/control edges out of the use count).
+func consumes(to *ddg.Node, from *ddg.Node) bool {
+	for _, d := range from.Op.Dests {
+		if !d.IsValid() {
+			continue
+		}
+		for _, src := range to.Op.Srcs {
+			if src == d {
+				return true
+			}
+		}
+		if to.Op.Guard == d {
+			return true
+		}
+	}
+	return false
+}
+
+// linearScan performs Poletto–Sarkar allocation with furthest-end spilling.
+func linearScan(ivs []interval, k int) (spilled, maxUsed, reloads int) {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].end < ivs[j].end
+	})
+	// active holds the end cycles of currently allocated intervals.
+	var active []interval
+	expire := func(now int) {
+		kept := active[:0]
+		for _, a := range active {
+			if a.end >= now {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+	}
+	for _, iv := range ivs {
+		expire(iv.start)
+		if len(active) < k {
+			active = append(active, iv)
+			if len(active) > maxUsed {
+				maxUsed = len(active)
+			}
+			continue
+		}
+		// Spill the interval with the furthest end (it blocks longest).
+		victim := -1
+		for i, a := range active {
+			if a.end > iv.end && (victim < 0 || a.end > active[victim].end) {
+				victim = i
+			}
+		}
+		spilled++
+		if victim >= 0 {
+			reloads += active[victim].uses
+			active[victim] = iv
+		} else {
+			reloads += iv.uses // the new interval itself spills
+		}
+	}
+	return spilled, maxUsed, reloads
+}

@@ -1,0 +1,135 @@
+package regalloc
+
+import (
+	"testing"
+
+	"treegion/internal/cfg"
+	"treegion/internal/core"
+	"treegion/internal/ddg"
+	"treegion/internal/eval"
+	"treegion/internal/interp"
+	"treegion/internal/ir"
+	"treegion/internal/machine"
+	"treegion/internal/progen"
+	"treegion/internal/region"
+	"treegion/internal/sched"
+)
+
+// wideBlock builds a block with n simultaneously live GPR values: n MOVIs
+// whose results all feed one op at the end.
+func wideBlock(t *testing.T, n int) *sched.Schedule {
+	t.Helper()
+	f := ir.NewFunction("wide")
+	b := f.NewBlock()
+	regs := make([]ir.Reg, n)
+	for i := range regs {
+		regs[i] = f.NewReg(ir.ClassGPR)
+		f.EmitMovI(b, regs[i], int64(i))
+	}
+	// Chain all values into one result so every MOVI stays live to the end.
+	acc := regs[0]
+	for i := 1; i < n; i++ {
+		next := f.NewReg(ir.ClassGPR)
+		f.EmitALU(b, ir.Add, next, acc, regs[i])
+		acc = next
+	}
+	f.EmitSt(b, regs[0], 0, acc)
+	f.EmitRet(b)
+	r := region.New(f, region.KindBasicBlock, b.ID)
+	lv := cfg.ComputeLiveness(cfg.New(f))
+	g, err := ddg.Build(f, r, ddg.Options{Rename: true, Liveness: lv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.ListSchedule(g, machine.SixteenU, core.DepHeight.Keys)
+}
+
+func TestNoSpillWithBigFile(t *testing.T) {
+	s := wideBlock(t, 10)
+	res := Allocate(s, FileSizes{GPR: 64})
+	if res.TotalSpills() != 0 {
+		t.Fatalf("spilled %d with a 64-entry file", res.TotalSpills())
+	}
+	if res.MaxUsed[ir.ClassGPR] == 0 {
+		t.Fatal("no usage recorded")
+	}
+}
+
+func TestSpillsWithTinyFile(t *testing.T) {
+	s := wideBlock(t, 24)
+	small := Allocate(s, FileSizes{GPR: 4})
+	big := Allocate(s, FileSizes{GPR: 64})
+	if small.TotalSpills() == 0 {
+		t.Fatal("no spills with a 4-entry file and 24 live values")
+	}
+	if big.TotalSpills() != 0 {
+		t.Fatal("spills with a 64-entry file")
+	}
+	if small.SpillOps <= small.TotalSpills() {
+		t.Fatal("reloads not charged")
+	}
+	if small.SpillCycles < small.SpillOps {
+		t.Fatal("cycle estimate below op count")
+	}
+}
+
+func TestMonotoneInFileSize(t *testing.T) {
+	s := wideBlock(t, 24)
+	prev := 1 << 30
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		res := Allocate(s, FileSizes{GPR: k})
+		if res.TotalSpills() > prev {
+			t.Fatalf("spills increased when the file grew to %d", k)
+		}
+		prev = res.TotalSpills()
+	}
+}
+
+func TestZeroFileIgnored(t *testing.T) {
+	s := wideBlock(t, 8)
+	res := Allocate(s, FileSizes{}) // everything unlimited
+	if res.TotalSpills() != 0 || res.SpillOps != 0 {
+		t.Fatal("unlimited files must not spill")
+	}
+}
+
+func TestPressureOrderingAcrossFormers(t *testing.T) {
+	// Treegion schedules (more speculation) must need at least as many
+	// registers as basic-block schedules of the same code.
+	progs, err := progen.GenerateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := progs[0].Funcs[0]
+	spillsOf := func(kind eval.RegionKind) int {
+		f := fn.Clone()
+		prof, err := interp.Profile(f, 71, 50, interp.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := eval.DefaultConfig()
+		c.Kind = kind
+		c.Machine = machine.EightU
+		fr, err := eval.CompileFunction(f, prof, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, s := range fr.Schedules {
+			total += Allocate(s, FileSizes{GPR: 16, Pred: 8, BTR: 4, FPR: 16}).TotalSpills()
+		}
+		return total
+	}
+	bb := spillsOf(eval.BasicBlocks)
+	tree := spillsOf(eval.Treegion)
+	if tree < bb {
+		t.Fatalf("treegion spills (%d) below basic-block spills (%d) under tight files", tree, bb)
+	}
+}
+
+func TestDefaultFiles(t *testing.T) {
+	d := DefaultFiles()
+	if d.GPR != 64 || d.BTR != 8 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}

@@ -1,0 +1,273 @@
+// Package region defines the scheduling-region abstraction shared by every
+// region former in this compiler: basic blocks, simple linear regions,
+// superblocks, and treegions. A region is a tree of basic blocks rooted at
+// its unique entry; linear regions are simply trees that happen to be paths,
+// so one representation (and one scheduler) serves all of them.
+package region
+
+import (
+	"fmt"
+	"strings"
+
+	"treegion/internal/ir"
+)
+
+// Kind tags how a region was formed.
+type Kind uint8
+
+// Region kinds.
+const (
+	KindBasicBlock Kind = iota
+	KindSLR
+	KindSuperblock
+	KindTreegion
+	KindTreegionTD
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBasicBlock:
+		return "bb"
+	case KindSLR:
+		return "slr"
+	case KindSuperblock:
+		return "sb"
+	case KindTreegion:
+		return "tree"
+	case KindTreegionTD:
+		return "tree-td"
+	default:
+		return "?"
+	}
+}
+
+// Region is a single-entry tree of basic blocks within one function. The
+// root is the only block that may be a merge point; every other member has
+// exactly one predecessor, its tree parent.
+type Region struct {
+	Fn     *ir.Function
+	Kind   Kind
+	Root   ir.BlockID
+	Blocks []ir.BlockID // preorder; Blocks[0] == Root
+
+	// FromTrace marks superblock regions that came from profile trace
+	// selection (as opposed to cold-code filler); the paper's Table 4
+	// counts only these.
+	FromTrace bool
+
+	parent map[ir.BlockID]ir.BlockID
+	member map[ir.BlockID]bool
+}
+
+// New starts a region containing just the root.
+func New(fn *ir.Function, kind Kind, root ir.BlockID) *Region {
+	r := &Region{
+		Fn:     fn,
+		Kind:   kind,
+		Root:   root,
+		parent: make(map[ir.BlockID]ir.BlockID),
+		member: make(map[ir.BlockID]bool),
+	}
+	r.Blocks = append(r.Blocks, root)
+	r.parent[root] = ir.NoBlock
+	r.member[root] = true
+	return r
+}
+
+// Add places b into the region as a child of parent, which must already be
+// a member (and must actually be a CFG predecessor of b; Validate checks).
+func (r *Region) Add(b, parent ir.BlockID) {
+	if r.member[b] {
+		panic(fmt.Sprintf("region: bb%d added twice", b))
+	}
+	if !r.member[parent] {
+		panic(fmt.Sprintf("region: parent bb%d of bb%d not a member", parent, b))
+	}
+	r.Blocks = append(r.Blocks, b)
+	r.parent[b] = parent
+	r.member[b] = true
+}
+
+// Contains reports membership.
+func (r *Region) Contains(b ir.BlockID) bool { return r.member[b] }
+
+// Parent returns b's tree parent (ir.NoBlock for the root).
+func (r *Region) Parent(b ir.BlockID) ir.BlockID { return r.parent[b] }
+
+// Children returns b's in-region children in successor order.
+func (r *Region) Children(b ir.BlockID) []ir.BlockID {
+	var out []ir.BlockID
+	for _, s := range r.Fn.Block(b).Succs() {
+		if r.member[s] && r.parent[s] == b {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IsLeaf reports whether b has no in-region children.
+func (r *Region) IsLeaf(b ir.BlockID) bool { return len(r.Children(b)) == 0 }
+
+// Leaves returns the leaf blocks in preorder.
+func (r *Region) Leaves() []ir.BlockID {
+	var out []ir.BlockID
+	for _, b := range r.Blocks {
+		if r.IsLeaf(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// PathCount returns the number of distinct root-to-leaf paths (== leaves).
+func (r *Region) PathCount() int { return len(r.Leaves()) }
+
+// PathTo returns the block path root..b.
+func (r *Region) PathTo(b ir.BlockID) []ir.BlockID {
+	var rev []ir.BlockID
+	for cur := b; cur != ir.NoBlock; cur = r.parent[cur] {
+		rev = append(rev, cur)
+	}
+	out := make([]ir.BlockID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Ancestors returns the strict ancestors of b, nearest first.
+func (r *Region) Ancestors(b ir.BlockID) []ir.BlockID {
+	var out []ir.BlockID
+	for cur := r.parent[b]; cur != ir.NoBlock; cur = r.parent[cur] {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Subtree returns b and all in-region descendants of b, preorder.
+func (r *Region) Subtree(b ir.BlockID) []ir.BlockID {
+	out := []ir.BlockID{b}
+	for i := 0; i < len(out); i++ {
+		out = append(out, r.Children(out[i])...)
+	}
+	return out
+}
+
+// NumOps returns the region's total static op count.
+func (r *Region) NumOps() int {
+	n := 0
+	for _, b := range r.Blocks {
+		n += len(r.Fn.Block(b).Ops)
+	}
+	return n
+}
+
+// Exit is one way control leaves the region: the edge From→To, taken via
+// branch op Br, or by fallthrough when Br is nil. Edges to the region's own
+// root (loop back edges) are exits too.
+type Exit struct {
+	From, To ir.BlockID
+	Br       *ir.Op // nil for a fallthrough exit
+}
+
+// Exits returns the region's exit edges in preorder of their source blocks.
+// An exit is any edge whose target is outside the region or is not the
+// source's tree child (e.g. a back edge to the root).
+func (r *Region) Exits() []Exit {
+	var out []Exit
+	for _, bid := range r.Blocks {
+		b := r.Fn.Block(bid)
+		for _, op := range b.Ops {
+			if op.IsBranch() && !r.isTreeEdge(bid, op.Target) {
+				out = append(out, Exit{From: bid, To: op.Target, Br: op})
+			}
+		}
+		if ft := b.FallThrough; ft != ir.NoBlock && !r.isTreeEdge(bid, ft) {
+			out = append(out, Exit{From: bid, To: ft})
+		}
+	}
+	return out
+}
+
+func (r *Region) isTreeEdge(from, to ir.BlockID) bool {
+	return r.member[to] && r.parent[to] == from
+}
+
+// ExitsBelow returns, for every member block b, the number of region exits
+// from b's subtree — the paper's "exit count" of ops homed in b.
+func (r *Region) ExitsBelow() map[ir.BlockID]int {
+	own := make(map[ir.BlockID]int, len(r.Blocks))
+	for _, bid := range r.Blocks {
+		b := r.Fn.Block(bid)
+		n := 0
+		for _, s := range b.Succs() {
+			if !r.isTreeEdge(bid, s) {
+				n++
+			}
+		}
+		own[bid] = n
+	}
+	out := make(map[ir.BlockID]int, len(r.Blocks))
+	// Preorder reversed gives children before parents.
+	for i := len(r.Blocks) - 1; i >= 0; i-- {
+		b := r.Blocks[i]
+		n := own[b]
+		for _, c := range r.Children(b) {
+			n += out[c]
+		}
+		out[b] = n
+	}
+	return out
+}
+
+// Validate checks the tree invariants against the current CFG:
+// every non-root member's parent is its sole predecessor-in-region and an
+// actual CFG edge exists; preorder lists parents before children.
+func (r *Region) Validate() error {
+	if len(r.Blocks) == 0 || r.Blocks[0] != r.Root {
+		return fmt.Errorf("region: preorder must start at root")
+	}
+	seen := map[ir.BlockID]bool{}
+	for _, b := range r.Blocks {
+		if seen[b] {
+			return fmt.Errorf("region: bb%d listed twice", b)
+		}
+		seen[b] = true
+		p := r.parent[b]
+		if b == r.Root {
+			if p != ir.NoBlock {
+				return fmt.Errorf("region: root bb%d has parent", b)
+			}
+			continue
+		}
+		if !seen[p] {
+			return fmt.Errorf("region: bb%d precedes its parent bb%d", b, p)
+		}
+		// The parent edge must exist in the CFG.
+		found := false
+		for _, s := range r.Fn.Block(p).Succs() {
+			if s == b {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("region: no CFG edge bb%d->bb%d", p, b)
+		}
+	}
+	return nil
+}
+
+// String summarizes the region.
+func (r *Region) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s region root=bb%d blocks=[", r.Kind, r.Root)
+	for i, b := range r.Blocks {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "bb%d", b)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package region
+
+import (
+	"fmt"
+
+	"treegion/internal/ir"
+	"treegion/internal/profile"
+)
+
+// Stats aggregates the paper's region-characteristic measures (Tables 1, 2
+// and 4): region count, average and maximum basic-block count, and average
+// op count per region.
+type Stats struct {
+	Count     int
+	AvgBlocks float64
+	MaxBlocks int
+	AvgOps    float64
+}
+
+// ComputeStats aggregates over regions. If prof is non-nil, only regions
+// whose root has nonzero profile weight are counted — the paper's Table 4
+// counts only regions formed from executed code (its superblock former only
+// considers profiled traces at all).
+func ComputeStats(regions []*Region, prof *profile.Data) Stats {
+	var s Stats
+	totalBlocks, totalOps := 0, 0
+	for _, r := range regions {
+		if prof != nil && prof.BlockWeight(r.Root) == 0 {
+			continue
+		}
+		s.Count++
+		nb := len(r.Blocks)
+		totalBlocks += nb
+		if nb > s.MaxBlocks {
+			s.MaxBlocks = nb
+		}
+		totalOps += r.NumOps()
+	}
+	if s.Count > 0 {
+		s.AvgBlocks = float64(totalBlocks) / float64(s.Count)
+		s.AvgOps = float64(totalOps) / float64(s.Count)
+	}
+	return s
+}
+
+// Merge combines per-function stats into program-level stats (weighted by
+// region count).
+func Merge(parts []Stats) Stats {
+	var out Stats
+	totalBlocks, totalOps := 0.0, 0.0
+	for _, p := range parts {
+		out.Count += p.Count
+		totalBlocks += p.AvgBlocks * float64(p.Count)
+		totalOps += p.AvgOps * float64(p.Count)
+		if p.MaxBlocks > out.MaxBlocks {
+			out.MaxBlocks = p.MaxBlocks
+		}
+	}
+	if out.Count > 0 {
+		out.AvgBlocks = totalBlocks / float64(out.Count)
+		out.AvgOps = totalOps / float64(out.Count)
+	}
+	return out
+}
+
+// CheckPartition verifies that regions exactly partition the blocks of fn
+// reachable via g-membership semantics: every block of fn appears in exactly
+// one region. It returns the first violation, or nil.
+func CheckPartition(fn *ir.Function, regions []*Region) error {
+	owner := make(map[ir.BlockID]int)
+	for i, r := range regions {
+		for _, b := range r.Blocks {
+			if prev, dup := owner[b]; dup {
+				return fmt.Errorf("bb%d in regions %d and %d", b, prev, i)
+			}
+			owner[b] = i
+		}
+	}
+	for _, b := range fn.Blocks {
+		if _, ok := owner[b.ID]; !ok {
+			return fmt.Errorf("bb%d in no region", b.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package sched list schedules a region's DDG onto a VLIW machine model
+// (step 3 of the paper's Fig. 3 algorithm). The scheduler is cycle-driven:
+// at each cycle it fills up to issue-width slots with ready ops, picking by
+// the static priority order the chosen heuristic produced. Speculation is
+// implicit — ops without control edges simply become ready early and float
+// above branches.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"treegion/internal/ddg"
+	"treegion/internal/machine"
+)
+
+// EagerTerminators makes terminators sort ahead of every other op so each
+// branch issues at its earliest data-ready cycle (the behaviour the paper's
+// example schedules show). It is exported as an ablation knob for the
+// scheduling-policy benchmarks; the default matches the paper.
+var EagerTerminators = true
+
+// PriorityFn produces a node's static sort keys, most significant first;
+// nodes are ordered by descending keys (ties by node index, which follows
+// region preorder, keeping schedules deterministic).
+type PriorityFn func(*ddg.Node) [3]float64
+
+// Schedule is the placement of every DDG node into a cycle.
+type Schedule struct {
+	Graph *ddg.Graph
+	Model machine.Model
+	// Cycle[i] is the issue cycle of node with Index i.
+	Cycle []int
+	// Length is the total schedule length in cycles.
+	Length int
+}
+
+// ListSchedule builds the schedule. It never fails: the DDG is acyclic by
+// construction (node order is topological).
+func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
+	n := len(g.Nodes)
+	s := &Schedule{Graph: g, Model: m, Cycle: make([]int, n)}
+	if n == 0 {
+		return s
+	}
+
+	// Static priority order. Terminators always sort first: a branch gates
+	// every exit below it, predicated branches pack several to a cycle, and
+	// delaying one delays a whole path — so they issue as soon as their
+	// predicate is ready, and the heuristic orders the real ops. (The
+	// paper's example schedules likewise issue every branch at its earliest
+	// possible cycle.)
+	order := make([]*ddg.Node, n)
+	copy(order, g.Nodes)
+	keys := make([][3]float64, n)
+	for _, nd := range g.Nodes {
+		keys[nd.Index] = prio(nd)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		ni, nj := order[i], order[j]
+		if EagerTerminators && ni.Term != nj.Term {
+			return ni.Term
+		}
+		a, b := keys[ni.Index], keys[nj.Index]
+		for k := 0; k < 3; k++ {
+			if a[k] != b[k] {
+				return a[k] > b[k]
+			}
+		}
+		return ni.Index < nj.Index
+	})
+
+	unscheduledPreds := make([]int, n)
+	earliest := make([]int, n)
+	for _, nd := range g.Nodes {
+		unscheduledPreds[nd.Index] = len(nd.Preds)
+	}
+	scheduled := make([]bool, n)
+	remaining := n
+	cycle := 0
+	for remaining > 0 {
+		slots := m.IssueWidth
+		progress := false
+		// Latency-0 edges let an op and its dependent share a cycle, so a
+		// single pass can leave same-cycle-ready work behind; sweep until
+		// the cycle fills or stabilizes.
+		for again := true; again && slots > 0; {
+			again = false
+			for _, nd := range order {
+				if slots == 0 {
+					break
+				}
+				i := nd.Index
+				if scheduled[i] || unscheduledPreds[i] > 0 || earliest[i] > cycle {
+					continue
+				}
+				s.Cycle[i] = cycle
+				scheduled[i] = true
+				remaining--
+				if !nd.IsCopy() {
+					// Renaming copies ride free: the paper excludes copy
+					// Ops from its speedup accounting (a copy-coalescing
+					// phase or spare move capacity is assumed), so they
+					// must not crowd real ops out of issue slots either.
+					slots--
+				}
+				progress = true
+				for _, e := range nd.Succs {
+					j := e.To.Index
+					unscheduledPreds[j]--
+					if t := cycle + e.Latency; t > earliest[j] {
+						earliest[j] = t
+					}
+					if e.Latency == 0 {
+						again = true
+					}
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if !progress {
+			// Jump to the next cycle at which something can become ready.
+			next := -1
+			for _, nd := range g.Nodes {
+				i := nd.Index
+				if scheduled[i] || unscheduledPreds[i] > 0 {
+					continue
+				}
+				if next < 0 || earliest[i] < next {
+					next = earliest[i]
+				}
+			}
+			if next <= cycle {
+				next = cycle + 1
+			}
+			cycle = next
+			continue
+		}
+		cycle++
+	}
+	for _, nd := range g.Nodes {
+		if c := s.Cycle[nd.Index] + 1; c > s.Length {
+			s.Length = c
+		}
+	}
+	return s
+}
+
+// Verify checks the schedule against every DDG edge and the machine's issue
+// width. It returns the first violation, or nil.
+func (s *Schedule) Verify() error {
+	perCycle := make(map[int]int)
+	for _, nd := range s.Graph.Nodes {
+		c := s.Cycle[nd.Index]
+		if c < 0 {
+			return fmt.Errorf("sched: node %d (%v) unscheduled", nd.Index, nd.Op)
+		}
+		if !nd.IsCopy() { // copies are slot-free (see ListSchedule)
+			perCycle[c]++
+		}
+		for _, e := range nd.Succs {
+			if s.Cycle[e.To.Index] < c+e.Latency {
+				return fmt.Errorf("sched: edge %v -> %v violated: %d -> %d (lat %d)",
+					nd.Op, e.To.Op, c, s.Cycle[e.To.Index], e.Latency)
+			}
+		}
+	}
+	for c, k := range perCycle {
+		if k > s.Model.IssueWidth {
+			return fmt.Errorf("sched: cycle %d issues %d ops on a %d-wide machine", c, k, s.Model.IssueWidth)
+		}
+	}
+	return nil
+}
+
+// SpeculatedAbove counts the ops placed at cycles earlier than some branch
+// of an ancestor block — the amount of speculation the schedule performs.
+// Renaming copies are not counted.
+func (s *Schedule) SpeculatedAbove() int {
+	r := s.Graph.Region
+	// Latest terminator cycle per block.
+	lastTerm := make(map[int]int) // blockID -> cycle
+	for _, nd := range s.Graph.Nodes {
+		if nd.Term {
+			if c, ok := lastTerm[int(nd.Home)]; !ok || s.Cycle[nd.Index] > c {
+				lastTerm[int(nd.Home)] = s.Cycle[nd.Index]
+			}
+		}
+	}
+	count := 0
+	for _, nd := range s.Graph.Nodes {
+		if nd.Term || nd.IsCopy() {
+			continue
+		}
+		for _, anc := range r.Ancestors(nd.Home) {
+			if tc, ok := lastTerm[int(anc)]; ok && s.Cycle[nd.Index] < tc {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// String renders the schedule as MultiOp rows.
+func (s *Schedule) String() string {
+	rows := make([][]*ddg.Node, s.Length)
+	for _, nd := range s.Graph.Nodes {
+		c := s.Cycle[nd.Index]
+		rows[c] = append(rows[c], nd)
+	}
+	out := ""
+	for c, row := range rows {
+		out += fmt.Sprintf("%3d:", c)
+		for _, nd := range row {
+			out += fmt.Sprintf("  [bb%d] %v", nd.Home, nd.Op)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package viz renders control-flow graphs and region partitions to Graphviz
+// DOT, for inspecting what the region formers built ("dot -Tsvg out.dot").
+// Each region becomes a cluster; edge labels carry profile weights; block
+// labels show id, original block (for tail duplicates) and op count.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"treegion/internal/ir"
+	"treegion/internal/profile"
+	"treegion/internal/region"
+)
+
+// palette cycles through fill colours for region clusters.
+var palette = []string{
+	"#dbeafe", "#dcfce7", "#fef9c3", "#fde2e2", "#ede9fe",
+	"#cffafe", "#fee2b3", "#e2e8f0",
+}
+
+// DOT renders fn with its regions as clusters. prof may be nil (edges then
+// carry no weights); regions may be nil (plain CFG).
+func DOT(fn *ir.Function, regions []*region.Region, prof *profile.Data) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", fn.Name)
+	sb.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+
+	emitted := make(map[ir.BlockID]bool)
+	node := func(indent string, b *ir.Block) {
+		label := fmt.Sprintf("bb%d", b.ID)
+		if b.Orig != b.ID {
+			label += fmt.Sprintf("\\n(dup of bb%d)", b.Orig)
+		}
+		label += fmt.Sprintf("\\n%d ops", len(b.Ops))
+		if prof != nil {
+			label += fmt.Sprintf("\\nw=%.0f", prof.BlockWeight(b.ID))
+		}
+		attrs := ""
+		if b.ID == fn.Entry {
+			attrs = ", penwidth=2"
+		}
+		fmt.Fprintf(&sb, "%sbb%d [label=\"%s\"%s];\n", indent, b.ID, label, attrs)
+		emitted[b.ID] = true
+	}
+
+	for i, r := range regions {
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n", i)
+		fmt.Fprintf(&sb, "    label=\"%s root=bb%d\";\n", r.Kind, r.Root)
+		fmt.Fprintf(&sb, "    style=filled; color=\"%s\";\n", palette[i%len(palette)])
+		for _, bid := range r.Blocks {
+			node("    ", fn.Block(bid))
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, b := range fn.Blocks {
+		if !emitted[b.ID] {
+			node("  ", b)
+		}
+	}
+
+	for _, b := range fn.Blocks {
+		for _, op := range b.Ops {
+			if op.IsBranch() {
+				edge(&sb, prof, b.ID, op.Target, "taken")
+			}
+		}
+		if b.FallThrough != ir.NoBlock {
+			edge(&sb, prof, b.ID, b.FallThrough, "fall")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func edge(sb *strings.Builder, prof *profile.Data, from, to ir.BlockID, kind string) {
+	style := ""
+	if kind == "fall" {
+		style = ", style=dashed"
+	}
+	if prof != nil {
+		fmt.Fprintf(sb, "  bb%d -> bb%d [label=\"%.0f\"%s];\n", from, to, prof.EdgeWeight(from, to), style)
+	} else {
+		fmt.Fprintf(sb, "  bb%d -> bb%d [label=\"\"%s];\n", from, to, style)
+	}
+}

@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"treegion/internal/cfg"
+	"treegion/internal/core"
+	"treegion/internal/interp"
+	"treegion/internal/progen"
+)
+
+func TestDOTOutput(t *testing.T) {
+	p, _ := progen.PresetByName("compress")
+	prog, err := progen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Funcs[0]
+	prof, err := interp.Profile(fn, 1, 20, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := core.Form(fn, cfg.New(fn))
+	dot := DOT(fn, regions, prof)
+
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("not a DOT digraph")
+	}
+	// One cluster per region, one node per block, every edge present.
+	if got := strings.Count(dot, "subgraph cluster_"); got != len(regions) {
+		t.Fatalf("%d clusters, want %d", got, len(regions))
+	}
+	for _, b := range fn.Blocks {
+		if !strings.Contains(dot, "bb"+itoa(int(b.ID))+" [label=") {
+			t.Fatalf("bb%d missing from DOT", b.ID)
+		}
+	}
+	edges := 0
+	for _, b := range fn.Blocks {
+		edges += b.NumSuccs()
+	}
+	if got := strings.Count(dot, " -> "); got != edges {
+		t.Fatalf("%d edges in DOT, want %d", got, edges)
+	}
+	// Entry is highlighted.
+	if !strings.Contains(dot, "penwidth=2") {
+		t.Fatal("entry block not highlighted")
+	}
+}
+
+func TestDOTWithoutRegionsOrProfile(t *testing.T) {
+	p, _ := progen.PresetByName("li")
+	prog, err := progen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Funcs[0]
+	dot := DOT(fn, nil, nil)
+	if strings.Contains(dot, "cluster_") {
+		t.Fatal("clusters without regions")
+	}
+	if strings.Contains(dot, "w=") {
+		t.Fatal("weights without a profile")
+	}
+	for _, b := range fn.Blocks {
+		if !strings.Contains(dot, "bb"+itoa(int(b.ID))+" [label=") {
+			t.Fatalf("bb%d missing", b.ID)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

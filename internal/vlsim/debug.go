@@ -1,0 +1,27 @@
+package vlsim
+
+import (
+	"fmt"
+
+	"treegion/internal/ddg"
+	"treegion/internal/sched"
+)
+
+// SetDebug arms a hook that reports on-path non-speculatable ops scheduled
+// past the taken exit (a schedule-model violation) to stdout.
+func SetDebug() {
+	debugHook = func(s *sched.Schedule, n *ddg.Node, exitCycle int) {
+		fmt.Printf("VIOLATION: region root=bb%d op [bb%d] %v (spec=%v) at cycle %d > exit %d\n",
+			s.Graph.Region.Root, n.Home, n.Op, n.Spec, s.Cycle[n.Index], exitCycle)
+		fmt.Printf("  region: %v\n", s.Graph.Region)
+		for _, e := range n.Succs {
+			fmt.Printf("  succ: [bb%d] %v lat %d at %d\n", e.To.Home, e.To.Op, e.Latency, s.Cycle[e.To.Index])
+		}
+		// terms of home block
+		for _, m := range s.Graph.Nodes {
+			if m.Home == n.Home && m.Term {
+				fmt.Printf("  term of home: %v at %d\n", m.Op, s.Cycle[m.Index])
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package treegion
+
+import (
+	"testing"
+
+	"treegion/internal/eval"
+	"treegion/internal/progen"
+)
+
+// TestShapesHoldOnFreshSeeds regenerates the whole benchmark suite with
+// shifted generator seeds and checks the paper's qualitative results still
+// hold — the reproduction must not be overfitted to the default seeds.
+func TestShapesHoldOnFreshSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a full second suite")
+	}
+	presets := progen.Presets()
+	var progs []*Program
+	var profs []Profiles
+	for _, p := range presets {
+		p.Seed += 7_000_001 // a different universe of programs
+		prog, err := progen.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := eval.ProfileProgram(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, prog)
+		profs = append(profs, pf)
+	}
+
+	speedup := func(i int, c Config) float64 {
+		t.Helper()
+		base, err := CompileProgram(progs[i], profs[i], BaselineConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompileProgram(progs[i], profs[i], c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Speedup(base.Time, res.Time)
+	}
+	tree8 := Config{Kind: Treegion, Heuristic: DepHeight, Machine: EightU, Rename: true}
+	slr8 := Config{Kind: SLR, Heuristic: DepHeight, Machine: EightU, Rename: true}
+	gw4 := Config{Kind: Treegion, Heuristic: GlobalWeight, Machine: FourU, Rename: true}
+	dh4 := Config{Kind: Treegion, Heuristic: DepHeight, Machine: FourU, Rename: true}
+	sb8 := Config{Kind: Superblock, Heuristic: GlobalWeight, Machine: EightU, Rename: false}
+	td8 := Config{
+		Kind: TreegionTD, Heuristic: GlobalWeight, Machine: EightU,
+		Rename: true, DominatorParallelism: true,
+		TD: TDConfig{ExpansionLimit: 3.0, PathLimit: 20, MergeLimit: 4},
+	}
+
+	sumTree, sumSLR, sumGW, sumDH, sumSB, sumTD := 0.0, 0.0, 0.0, 0.0, 0.0, 0.0
+	for i := range progs {
+		sumTree += speedup(i, tree8)
+		sumSLR += speedup(i, slr8)
+		sumGW += speedup(i, gw4)
+		sumDH += speedup(i, dh4)
+		sumSB += speedup(i, sb8)
+		sumTD += speedup(i, td8)
+	}
+	if sumTree <= sumSLR {
+		t.Errorf("fresh seeds: 8U treegions (%v) should beat SLRs (%v)", sumTree, sumSLR)
+	}
+	if sumGW <= sumDH {
+		t.Errorf("fresh seeds: global weight (%v) should beat dep-height (%v) at 4U", sumGW, sumDH)
+	}
+	if sumTD <= sumSB {
+		t.Errorf("fresh seeds: tree-td(3.0) (%v) should beat superblocks (%v) at 8U", sumTD, sumSB)
+	}
+}

@@ -1,0 +1,165 @@
+// Package treegion is a reproduction of "Treegion Scheduling for Wide Issue
+// Processors" (Havanki, Banerjia, Conte; HPCA 1998): a compiler backend that
+// forms non-linear tree-shaped scheduling regions over a program's control
+// flow graph and list schedules them onto wide VLIW machine models, with
+// speculation, compile-time register renaming, tail duplication, and
+// dominator parallelism.
+//
+// The public API exposes the full pipeline:
+//
+//	prog, _  := treegion.GenerateBenchmark("gcc")   // synthetic SPECint95-like program
+//	profs, _ := treegion.ProfileProgram(prog)       // stochastic profiling
+//	cfg      := treegion.DefaultConfig()            // treegions + global weight + 4U
+//	res, _   := treegion.CompileProgram(prog, profs, cfg)
+//	base, _  := treegion.CompileProgram(prog, profs, treegion.BaselineConfig())
+//	fmt.Println(treegion.Speedup(base.Time, res.Time))
+//
+// plus experiment drivers that regenerate every table and figure of the
+// paper (Table1 .. Table4, Figure6, Figure8, Figure13).
+package treegion
+
+import (
+	"fmt"
+
+	"treegion/internal/core"
+	"treegion/internal/eval"
+	"treegion/internal/hyper"
+	"treegion/internal/interp"
+	"treegion/internal/irtext"
+	"treegion/internal/ir"
+	"treegion/internal/machine"
+	"treegion/internal/profile"
+	"treegion/internal/progen"
+	"treegion/internal/region"
+	"treegion/internal/viz"
+)
+
+// Re-exported pipeline types. The aliases expose the full internal
+// functionality as the library's public surface.
+type (
+	// Config selects region former, heuristic and machine model.
+	Config = eval.Config
+	// RegionKind selects the region former.
+	RegionKind = eval.RegionKind
+	// Heuristic is one of the paper's four scheduling priorities.
+	Heuristic = core.Heuristic
+	// Machine is a VLIW machine model.
+	Machine = machine.Model
+	// TDConfig bounds treegion tail duplication.
+	TDConfig = core.TDConfig
+	// HyperConfig bounds hyperblock-style if-conversion.
+	HyperConfig = hyper.Config
+	// Program is a generated synthetic benchmark.
+	Program = progen.Program
+	// Profiles holds per-function profile data for a program.
+	Profiles = eval.Profiles
+	// ProgramResult aggregates one benchmark compilation.
+	ProgramResult = eval.ProgramResult
+	// FunctionResult is one compiled function.
+	FunctionResult = eval.FunctionResult
+	// Function is an IR function (for users building their own inputs).
+	Function = ir.Function
+	// ProfileData is block/edge execution counts for one function.
+	ProfileData = profile.Data
+)
+
+// Region formers.
+const (
+	BasicBlocks = eval.BasicBlocks
+	SLR         = eval.SLR
+	Treegion    = eval.Treegion
+	Superblock  = eval.Superblock
+	TreegionTD  = eval.TreegionTD
+)
+
+// Scheduling heuristics (Section 3 of the paper).
+const (
+	DepHeight     = core.DepHeight
+	ExitCount     = core.ExitCount
+	GlobalWeight  = core.GlobalWeight
+	WeightedCount = core.WeightedCount
+)
+
+// Machine models.
+var (
+	Scalar   = machine.Scalar
+	FourU    = machine.FourU
+	EightU   = machine.EightU
+	SixteenU = machine.SixteenU
+)
+
+// Benchmarks lists the eight synthetic SPECint95-flavoured benchmark names.
+func Benchmarks() []string {
+	var out []string
+	for _, p := range progen.Presets() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// GenerateBenchmark deterministically builds the named synthetic benchmark.
+func GenerateBenchmark(name string) (*Program, error) {
+	p, ok := progen.PresetByName(name)
+	if !ok {
+		return nil, fmt.Errorf("treegion: unknown benchmark %q (want one of %v)", name, Benchmarks())
+	}
+	return progen.Generate(p)
+}
+
+// GenerateSuite builds all eight benchmarks.
+func GenerateSuite() ([]*Program, error) { return progen.GenerateAll() }
+
+// ProfileProgram profiles every function of prog with the stochastic
+// interpreter (deterministic in the preset seed).
+func ProfileProgram(prog *Program) (Profiles, error) { return eval.ProfileProgram(prog) }
+
+// ProfileFunction profiles a single user-built function.
+func ProfileFunction(fn *Function, seed uint64, trips int) (*ProfileData, error) {
+	return interp.Profile(fn, seed, trips, interp.Config{MaxSteps: 2_000_000})
+}
+
+// CompileProgram compiles prog under c on fresh clones and aggregates times,
+// code expansion and region statistics.
+func CompileProgram(prog *Program, profs Profiles, c Config) (*ProgramResult, error) {
+	return eval.CompileProgram(prog, profs, c)
+}
+
+// CompileFunction compiles one function (mutating it; pass a clone to keep
+// the original) and returns its regions, schedules and estimated time.
+func CompileFunction(fn *Function, prof *ProfileData, c Config) (*FunctionResult, error) {
+	return eval.CompileFunction(fn, prof, c)
+}
+
+// DefaultConfig is the paper's headline configuration: treegion scheduling,
+// global weight heuristic, 4-issue machine, renaming on.
+func DefaultConfig() Config { return eval.DefaultConfig() }
+
+// BaselineConfig is the speedup denominator: basic-block scheduling on the
+// single-issue machine.
+func BaselineConfig() Config { return eval.BaselineConfig() }
+
+// Speedup returns baselineTime / t.
+func Speedup(baselineTime, t float64) float64 { return eval.Speedup(baselineTime, t) }
+
+// ParseFunction reads a function in the textual IR format (see
+// internal/irtext's package documentation for the grammar).
+func ParseFunction(src string) (*Function, error) { return irtext.Parse(src) }
+
+// PrintFunction serializes a function to the textual IR format.
+func PrintFunction(fn *Function) string { return irtext.Print(fn) }
+
+// DOT renders a function's CFG (with optional regions and profile) as
+// Graphviz DOT for visual inspection of what the region formers built.
+func DOT(fn *Function, regions []*region.Region, prof *ProfileData) string {
+	return viz.DOT(fn, regions, prof)
+}
+
+// ParseHeuristic resolves a heuristic name (depheight, exitcount,
+// globalweight, weightedcount).
+func ParseHeuristic(name string) (Heuristic, error) { return core.ParseHeuristic(name) }
+
+// ParseRegionKind resolves a region former name (bb, slr, tree, sb, tree-td).
+func ParseRegionKind(name string) (RegionKind, error) { return eval.ParseRegionKind(name) }
+
+// MachineByName resolves a machine model name (1U, 4U, 8U, 16U).
+func MachineByName(name string) (Machine, bool) { return machine.ByName(name) }

@@ -1,0 +1,273 @@
+package treegion
+
+import (
+	"testing"
+
+	"treegion/internal/cfg"
+	"treegion/internal/core"
+	"treegion/internal/ddg"
+	"treegion/internal/eval"
+	"treegion/internal/ir"
+	"treegion/internal/machine"
+	"treegion/internal/profile"
+	"treegion/internal/region"
+	"treegion/internal/sched"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	want := []string{"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"}
+	if len(names) != len(want) {
+		t.Fatalf("Benchmarks() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Benchmarks() = %v, want %v", names, want)
+		}
+	}
+	if _, err := GenerateBenchmark("nonesuch"); err == nil {
+		t.Fatal("bogus benchmark accepted")
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	prog, err := GenerateBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := CompileProgram(prog, profs, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompileProgram(prog, profs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Speedup(base.Time, res.Time)
+	if sp < 1.5 {
+		t.Fatalf("treegion speedup = %.3f, want well above 1 (the paper's headline effect)", sp)
+	}
+	// Compilation must not mutate the cached program: recompiling gives the
+	// same numbers.
+	res2, err := CompileProgram(prog, profs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != res2.Time {
+		t.Fatalf("recompilation differs: %v vs %v", res.Time, res2.Time)
+	}
+}
+
+func TestParsersRoundTrip(t *testing.T) {
+	for _, h := range []Heuristic{DepHeight, ExitCount, GlobalWeight, WeightedCount} {
+		got, err := ParseHeuristic(h.String())
+		if err != nil || got != h {
+			t.Errorf("ParseHeuristic(%q) = %v, %v", h.String(), got, err)
+		}
+	}
+	for _, k := range []RegionKind{BasicBlocks, SLR, Treegion, Superblock, TreegionTD} {
+		got, err := ParseRegionKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseRegionKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if m, ok := MachineByName("8U"); !ok || m.IssueWidth != 8 {
+		t.Error("MachineByName failed")
+	}
+}
+
+// paperCFG builds the Figure 1 CFG with the Figures 4/5 ops; see
+// examples/paperfigure for the annotated version.
+func paperCFG(t *testing.T) (*ir.Function, *profile.Data) {
+	t.Helper()
+	f := ir.NewFunction("fig1")
+	bb := make([]*ir.Block, 9)
+	for i := range bb {
+		bb[i] = f.NewBlock()
+	}
+	rA, rB := f.NewReg(ir.ClassGPR), f.NewReg(ir.ClassGPR)
+	r1, r2, r3 := f.NewReg(ir.ClassGPR), f.NewReg(ir.ClassGPR), f.NewReg(ir.ClassGPR)
+	r4, r5, r6 := f.NewReg(ir.ClassGPR), f.NewReg(ir.ClassGPR), f.NewReg(ir.ClassGPR)
+	r100 := f.NewReg(ir.ClassGPR)
+	p1, p3 := f.NewReg(ir.ClassPred), f.NewReg(ir.ClassPred)
+
+	f.EmitMovI(bb[0], rA, 1000)
+	f.EmitMovI(bb[0], rB, 2000)
+	f.EmitLd(bb[0], r1, rA, 0)
+	f.EmitLd(bb[0], r2, rB, 0)
+	f.EmitCmpp(bb[0], p1, ir.NoReg, ir.CondGT, r1, r2)
+	b8 := f.NewReg(ir.ClassBTR)
+	f.EmitPbr(bb[0], b8, bb[7].ID)
+	f.EmitBrct(bb[0], b8, p1, bb[7].ID, 0.35)
+	bb[0].FallThrough = bb[1].ID
+
+	f.EmitMovI(bb[1], r100, 100)
+	f.EmitALU(bb[1], ir.Add, r3, r1, r2)
+	f.EmitCmpp(bb[1], p3, ir.NoReg, ir.CondLT, r3, r100)
+	b4 := f.NewReg(ir.ClassBTR)
+	f.EmitPbr(bb[1], b4, bb[3].ID)
+	f.EmitBrct(bb[1], b4, p3, bb[3].ID, 0.4)
+	bb[1].FallThrough = bb[2].ID
+
+	f.EmitMovI(bb[2], r4, 1)
+	f.EmitMovI(bb[2], r5, 2)
+	bb[2].FallThrough = bb[4].ID
+	f.EmitMovI(bb[3], r4, 3)
+	f.EmitMovI(bb[3], r5, 4)
+	bb[3].FallThrough = bb[4].ID
+
+	f.EmitMovI(bb[4], r6, 0)
+	p5 := f.NewReg(ir.ClassPred)
+	f.EmitCmpp(bb[4], p5, ir.NoReg, ir.CondGT, r4, r5)
+	f.EmitBrct(bb[4], ir.NoReg, p5, bb[5].ID, 0.5)
+	bb[4].FallThrough = bb[6].ID
+	f.EmitSt(bb[5], rA, 8, r4)
+	bb[5].FallThrough = bb[8].ID
+	f.EmitSt(bb[6], rA, 16, r5)
+	bb[6].FallThrough = bb[8].ID
+	f.EmitMovI(bb[7], r6, 5)
+	bb[7].FallThrough = bb[8].ID
+	f.EmitSt(bb[8], rB, 8, r6)
+	f.EmitRet(bb[8])
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	prof := profile.New()
+	for _, w := range []struct {
+		b ir.BlockID
+		v float64
+	}{{0, 100}, {1, 65}, {2, 40}, {3, 25}, {4, 65}, {5, 32}, {6, 33}, {7, 35}, {8, 100}} {
+		prof.AddBlock(w.b, w.v)
+	}
+	for _, e := range []struct {
+		f, t ir.BlockID
+		v    float64
+	}{
+		{0, 7, 35}, {0, 1, 65}, {1, 3, 25}, {1, 2, 40}, {2, 4, 40}, {3, 4, 25},
+		{4, 5, 32}, {4, 6, 33}, {5, 8, 32}, {6, 8, 33}, {7, 8, 35},
+	} {
+		prof.AddEdge(e.f, e.t, e.v)
+	}
+	return f, prof
+}
+
+// TestPaperWorkedExample replays the Figures 4/5 comparison: on the same
+// code and profile, the treegion schedule's weighted time beats the
+// superblock setup (the paper's 525 vs 500 cycles).
+func TestPaperWorkedExample(t *testing.T) {
+	measure := func(fn *ir.Function, prof *profile.Data, r *region.Region, rename bool) float64 {
+		lv := cfg.ComputeLiveness(cfg.New(fn))
+		g, err := ddg.Build(fn, r, ddg.Options{Rename: rename, Liveness: lv, Profile: prof})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sched.ListSchedule(g, machine.FourU, core.GlobalWeight.Keys)
+		if err := s.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return eval.MeasureRegion(s, prof, lv).Time
+	}
+
+	// Superblock setup: trace (bb1,bb2,bb3) + bb4 + bb8 sections.
+	fnSB, profSB := paperCFG(t)
+	trace := region.New(fnSB, region.KindSuperblock, 0)
+	trace.Add(1, 0)
+	trace.Add(2, 1)
+	sbTime := measure(fnSB, profSB, trace, false) +
+		measure(fnSB, profSB, region.New(fnSB, region.KindSuperblock, 3), false) +
+		measure(fnSB, profSB, region.New(fnSB, region.KindSuperblock, 7), false)
+
+	// Treegion: formation gives {bb1,bb2,bb3,bb4,bb8} rooted at bb1.
+	fnT, profT := paperCFG(t)
+	var top *region.Region
+	for _, r := range core.Form(fnT, cfg.New(fnT)) {
+		if r.Root == 0 {
+			top = r
+		}
+	}
+	if top == nil || len(top.Blocks) != 5 {
+		t.Fatalf("top treegion = %v, want the paper's 5-block tree", top)
+	}
+	treeTime := measure(fnT, profT, top, true)
+
+	if treeTime >= sbTime {
+		t.Fatalf("treegion (%v) must beat the superblock setup (%v) on the worked example",
+			treeTime, sbTime)
+	}
+	// Figure 5's renamed registers (r4a, r5a) must exist: the MOVIs writing
+	// r4/r5 on the duplicated-diamond arms conflict and get fresh dests.
+	renamed := 0
+	for _, b := range top.Blocks {
+		for _, op := range fnT.Block(b).Ops {
+			if op.Renamed {
+				renamed++
+			}
+		}
+	}
+	if renamed == 0 {
+		t.Fatal("expected renamed ops (the paper's r4a/r5a)")
+	}
+}
+
+func TestSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite generation is not short")
+	}
+	s, err := NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Paper Table 1: treegions average well above one block and carry
+		// tens of ops.
+		if r.AvgBlocks < 1.5 || r.AvgOps < 10 {
+			t.Errorf("%s: treegion stats too small: %+v", r.Benchmark, r)
+		}
+	}
+	slr, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if slr[i].AvgBlocks >= rows[i].AvgBlocks {
+			t.Errorf("%s: SLRs (%v blocks) should be smaller than treegions (%v)",
+				slr[i].Benchmark, slr[i].AvgBlocks, rows[i].AvgBlocks)
+		}
+	}
+	// One speedup sanity point: treegions with global weight beat the
+	// baseline on the 8U machine for every benchmark.
+	for i := range s.Programs {
+		sp, err := s.SpeedupOf(i, Config{Kind: Treegion, Heuristic: GlobalWeight, Machine: EightU, Rename: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp <= 1.5 {
+			t.Errorf("%s: 8U treegion speedup = %.3f", s.Programs[i].Name, sp)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	rows := []SpeedupRow{
+		{Benchmark: "a", Speedup: map[string]float64{"x": 2}},
+		{Benchmark: "b", Speedup: map[string]float64{"x": 8}},
+	}
+	if g := GeoMean(rows, "x"); g < 3.99 || g > 4.01 {
+		t.Fatalf("GeoMean = %v, want 4", g)
+	}
+	if g := GeoMean(rows, "missing"); g != 0 {
+		t.Fatalf("GeoMean of empty column = %v", g)
+	}
+}
