@@ -1,0 +1,28 @@
+# Build/verify entry points. `make ci` is the PR gate: vet + build + tests
+# + the race detector over the concurrent pipeline, cache and daemon.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The compilation service is concurrent (worker pool, sharded cache,
+# daemon); every PR must pass the race detector, not just the plain tests.
+race:
+	$(GO) test -race ./...
+
+# Serial vs parallel vs cached suite compile (the service-mode headline).
+bench:
+	$(GO) test -run XXX -bench 'CompileSuite(Serial|Parallel|ParallelCached)$$' -benchtime 3x .
+
+ci: vet build test race

@@ -10,6 +10,7 @@ package treegion
 // per-benchmark rows come from `go run ./cmd/experiments`.
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -232,5 +233,59 @@ func BenchmarkCompileTreegion(b *testing.B) {
 		if _, err := CompileProgram(prog, profs, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// compileSuite compiles all eight benchmarks under the paper's headline
+// configuration with the given pipeline options.
+func compileSuite(b *testing.B, s *Suite, opts CompileOptions) {
+	b.Helper()
+	cfg := DefaultConfig()
+	for i := range s.Programs {
+		if _, err := CompileProgramWith(context.Background(), s.Programs[i], s.Profiles[i], cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileSuiteSerial is the 1-worker, no-cache reference point for
+// BenchmarkCompileSuiteParallel: the whole 8-benchmark suite compiled the
+// way the seed did it.
+func BenchmarkCompileSuiteSerial(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, s, CompileOptions{Workers: 1})
+	}
+}
+
+// BenchmarkCompileSuiteParallel compiles the 8-benchmark suite on the full
+// worker pool. On >= 2 cores this is measurably faster than
+// BenchmarkCompileSuiteSerial; compare with
+//
+//	go test -bench 'CompileSuite(Serial|Parallel)$' -benchtime 3x
+func BenchmarkCompileSuiteParallel(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, s, CompileOptions{})
+	}
+}
+
+// BenchmarkCompileSuiteParallelCached adds the content-addressed result
+// cache: every iteration after the first is pure cache hits, and the
+// reported hit rate must be > 0 on any second pass.
+func BenchmarkCompileSuiteParallelCached(b *testing.B) {
+	s := sharedSuite(b)
+	cache := NewCompileCache(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, s, CompileOptions{Cache: cache})
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	b.ReportMetric(st.HitRate(), "hit-rate")
+	if b.N > 1 && st.HitRate() <= 0 {
+		b.Fatalf("hit rate = %v on repeated passes, want > 0", st.HitRate())
 	}
 }

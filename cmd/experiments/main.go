@@ -17,12 +17,15 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1..table4, fig6, fig8, fig13, profvar, wide, ablation, hyper, resources, registers, or all")
+	workers := flag.Int("workers", 0, "concurrent function compiles per benchmark (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print pipeline and compile-cache statistics at the end")
 	flag.Parse()
 
 	suite, err := treegion.NewSuite()
 	if err != nil {
 		fail(err)
 	}
+	suite.SetWorkers(*workers)
 	run := func(name string, f func(*treegion.Suite) error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -44,6 +47,14 @@ func main() {
 	run("hyper", hyperexp)
 	run("resources", resources)
 	run("registers", registers)
+
+	if *stats {
+		cs := suite.CacheStats()
+		compiles, hits, panics := suite.PipelineMetrics()
+		fmt.Printf("pipeline: %d cold compiles, %d cache hits, %d panics\n", compiles, hits, panics)
+		fmt.Printf("cache:    %d entries, %d/%d bytes, hit rate %.1f%% (%d evictions)\n",
+			cs.Entries, cs.Bytes, cs.Budget, 100*cs.HitRate(), cs.Evictions)
+	}
 }
 
 func fail(err error) {

@@ -6,10 +6,11 @@
 // Usage:
 //
 //	treegionc [-bench gcc] [-region tree] [-heuristic globalweight]
-//	          [-machine 4U] [-limit 2.0] [-dump 3]
+//	          [-machine 4U] [-limit 2.0] [-dump 3] [-workers 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ import (
 
 func main() {
 	bench := flag.String("bench", "compress", "benchmark to compile (see -list)")
+	workers := flag.Int("workers", 0, "concurrent function compiles (0 = GOMAXPROCS)")
 	input := flag.String("input", "", "compile a single function from a textual-IR file instead of a benchmark")
 	trips := flag.Int("trips", 100, "profiling trips for -input functions")
 	list := flag.Bool("list", false, "list benchmarks and exit")
@@ -92,11 +94,12 @@ func main() {
 		TD:                   treegion.TDConfig{ExpansionLimit: *limit, PathLimit: 20, MergeLimit: 4},
 		IfConvert:            *ifConvert,
 	}
-	res, err := treegion.CompileProgram(prog, profs, cfg)
+	opts := treegion.CompileOptions{Workers: *workers}
+	res, err := treegion.CompileProgramWith(context.Background(), prog, profs, cfg, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := treegion.CompileProgram(prog, profs, treegion.BaselineConfig())
+	base, err := treegion.CompileProgramWith(context.Background(), prog, profs, treegion.BaselineConfig(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,10 +122,15 @@ func main() {
 	fmt.Printf("speculated %d ops; renamed %d dests (%d copies); merged %d duplicates\n",
 		spec, ren, cop, mer)
 
-	if *dot != "" && len(res.Funcs) > 0 {
+	if *dot != "" {
+		if len(res.Funcs) == 0 {
+			fmt.Fprintf(os.Stderr, "treegionc: -dot %s: program has no compiled functions to render\n", *dot)
+			os.Exit(1)
+		}
 		fr := res.Funcs[0]
 		if err := os.WriteFile(*dot, []byte(treegion.DOT(fr.Fn, fr.Regions, fr.Prof)), 0o644); err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "treegionc: writing DOT file: %v\n", err)
+			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (render with: dot -Tsvg %s)\n", *dot, *dot)
 	}

@@ -1,0 +1,40 @@
+// Command treegiond is the treegion compilation service: an HTTP daemon
+// that compiles textual-IR functions through the concurrent pipeline and a
+// content-addressed result cache.
+//
+// Endpoints:
+//
+//	POST /compile   {"ir": "func f\nbb0:\n  ...", "region": "tree", ...}
+//	                → schedule metadata + timing JSON (see compileRequest)
+//	GET  /metrics   cache/pipeline/HTTP counters, Prometheus text format
+//	GET  /healthz   liveness probe
+//
+// Usage:
+//
+//	treegiond [-addr :8037] [-workers 0] [-cache-bytes 536870912]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8037", "listen address")
+	workers := flag.Int("workers", 0, "pipeline workers per compile (0 = GOMAXPROCS)")
+	cacheBytes := flag.Int64("cache-bytes", 512<<20, "result cache byte budget")
+	flag.Parse()
+
+	s := newServer(*workers, *cacheBytes)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("treegiond: listening on %s (workers=%d, cache budget=%d bytes)", *addr, *workers, *cacheBytes)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("treegiond: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(0, 1<<20)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func fig1(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/fig1.tir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func postCompile(t *testing.T, ts *httptest.Server, body string) (*http.Response, compileResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr compileResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, cr
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	req, err := json.Marshal(map[string]any{"ir": fig1(t), "schedules": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, cr := postCompile(t, ts, string(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if cr.Function != "fig1" {
+		t.Errorf("function = %q, want fig1", cr.Function)
+	}
+	if cr.Time <= 0 {
+		t.Errorf("time = %v, want > 0", cr.Time)
+	}
+	if cr.Regions == 0 || len(cr.ScheduleLengths) != cr.Regions {
+		t.Errorf("regions = %d, schedule lengths = %d", cr.Regions, len(cr.ScheduleLengths))
+	}
+	if len(cr.Schedules) == 0 {
+		t.Error("schedules requested but absent")
+	}
+	if cr.Cached {
+		t.Error("first compile reported cached")
+	}
+
+	// The same request again must hit the content-addressed cache and
+	// return identical numbers.
+	resp2, cr2 := postCompile(t, ts, string(req))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d, want 200", resp2.StatusCode)
+	}
+	if !cr2.Cached {
+		t.Error("second identical compile missed the cache")
+	}
+	if cr2.Time != cr.Time || cr2.OpsAfter != cr.OpsAfter {
+		t.Errorf("cached result differs: time %v vs %v, ops %d vs %d", cr2.Time, cr.Time, cr2.OpsAfter, cr.OpsAfter)
+	}
+
+	// A different config is a different content address.
+	req8, _ := json.Marshal(map[string]any{"ir": fig1(t), "machine": "8U"})
+	_, cr3 := postCompile(t, ts, string(req8))
+	if cr3.Cached {
+		t.Error("different config reported cached")
+	}
+}
+
+func TestCompileEndpointErrors(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"empty body", ``, http.StatusBadRequest},
+		{"missing ir", `{}`, http.StatusBadRequest},
+		{"bad ir", `{"ir": "not a function"}`, http.StatusBadRequest},
+		{"bad region", `{"ir": "func f\nbb0:\n  ret\n", "region": "nope"}`, http.StatusBadRequest},
+		{"bad machine", `{"ir": "func f\nbb0:\n  ret\n", "machine": "2U"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, _ := postCompile(t, ts, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compile status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMetricsAndHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	req, _ := json.Marshal(map[string]any{"ir": fig1(t)})
+	postCompile(t, ts, string(req))
+	postCompile(t, ts, string(req))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"treegiond_cache_hits_total 1",
+		"treegiond_cache_misses_total 1",
+		"treegiond_pipeline_compiles_total 1",
+		"treegiond_http_compile_requests_total 2",
+		"# TYPE treegiond_cache_entries gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d, want 200", hresp.StatusCode)
+	}
+}

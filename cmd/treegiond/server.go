@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"treegion"
+)
+
+// server is the daemon state: a shared compile cache, pipeline metrics and
+// per-endpoint request counters.
+type server struct {
+	workers int
+	cache   *treegion.CompileCache
+	metrics *treegion.CompileMetrics
+
+	start    time.Time
+	requests struct {
+		compile, compileErrors, metrics, healthz atomic.Int64
+	}
+}
+
+func newServer(workers int, cacheBytes int64) *server {
+	return &server{
+		workers: workers,
+		cache:   treegion.NewCompileCache(cacheBytes),
+		metrics: &treegion.CompileMetrics{},
+		start:   time.Now(),
+	}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// compileRequest is the POST /compile body. The function arrives as
+// textual IR (the internal/irtext grammar); the configuration arrives by
+// name, mirroring treegionc's flags. Zero values select the paper's
+// defaults (treegions, global weight, 4U, renaming on).
+type compileRequest struct {
+	IR        string `json:"ir"`
+	Region    string `json:"region"`    // bb, slr, tree, sb, tree-td (default tree)
+	Heuristic string `json:"heuristic"` // depheight, exitcount, globalweight, weightedcount
+	Machine   string `json:"machine"`   // 1U, 4U, 8U, 16U (default 4U)
+	// Rename defaults to true; send false explicitly to disable.
+	Rename    *bool `json:"rename"`
+	DomPar    bool  `json:"dompar"`
+	IfConvert bool  `json:"ifconvert"`
+	// ExpansionLimit bounds tree-td tail duplication (default 2.0).
+	ExpansionLimit float64 `json:"expansion_limit"`
+	// Seed and Trips drive the stochastic profiler (defaults 1 and 100).
+	Seed  uint64 `json:"seed"`
+	Trips int    `json:"trips"`
+	// Schedules requests the textual schedules in the response.
+	Schedules bool `json:"schedules"`
+}
+
+// compileResponse is the POST /compile reply: the schedule metadata and
+// timing of one compiled function.
+type compileResponse struct {
+	Function        string   `json:"function"`
+	Time            float64  `json:"time_cycles"`
+	TimeWithCopies  float64  `json:"time_with_copies_cycles"`
+	OpsBefore       int      `json:"ops_before"`
+	OpsAfter        int      `json:"ops_after"`
+	Regions         int      `json:"regions"`
+	ScheduleLengths []int    `json:"schedule_lengths"`
+	Speculated      int      `json:"speculated"`
+	Renamed         int      `json:"renamed"`
+	Copies          int      `json:"copies"`
+	Merged          int      `json:"merged"`
+	Cached          bool     `json:"cached"`
+	ElapsedMS       float64  `json:"elapsed_ms"`
+	Schedules       []string `json:"schedules,omitempty"`
+}
+
+func (s *server) configFrom(req *compileRequest) (treegion.Config, error) {
+	var zero treegion.Config
+	if req.Region == "" {
+		req.Region = "tree"
+	}
+	if req.Heuristic == "" {
+		req.Heuristic = "globalweight"
+	}
+	if req.Machine == "" {
+		req.Machine = "4U"
+	}
+	if req.ExpansionLimit == 0 {
+		req.ExpansionLimit = 2.0
+	}
+	kind, err := treegion.ParseRegionKind(req.Region)
+	if err != nil {
+		return zero, err
+	}
+	h, err := treegion.ParseHeuristic(req.Heuristic)
+	if err != nil {
+		return zero, err
+	}
+	m, ok := treegion.MachineByName(req.Machine)
+	if !ok {
+		return zero, fmt.Errorf("unknown machine %q (want 1U, 4U, 8U or 16U)", req.Machine)
+	}
+	rename := true
+	if req.Rename != nil {
+		rename = *req.Rename
+	}
+	return treegion.Config{
+		Kind:                 kind,
+		Heuristic:            h,
+		Machine:              m,
+		Rename:               rename,
+		DominatorParallelism: req.DomPar || kind == treegion.TreegionTD,
+		TD:                   treegion.TDConfig{ExpansionLimit: req.ExpansionLimit, PathLimit: 20, MergeLimit: 4},
+		IfConvert:            req.IfConvert,
+	}, nil
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.compile.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	started := time.Now()
+	var req compileRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.IR == "" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("missing \"ir\" field"))
+		return
+	}
+	cfg, err := s.configFrom(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	fn, err := treegion.ParseFunction(req.IR)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("parse ir: %w", err))
+		return
+	}
+	seed, trips := req.Seed, req.Trips
+	if seed == 0 {
+		seed = 1
+	}
+	if trips <= 0 {
+		trips = 100
+	}
+	prof, err := treegion.ProfileFunction(fn, seed, trips)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("profile: %w", err))
+		return
+	}
+	fr, cached, err := treegion.CompileFunctionWith(r.Context(), fn, prof, cfg, treegion.CompileOptions{
+		Workers: s.workers,
+		Cache:   s.cache,
+		Metrics: s.metrics,
+	})
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("compile: %w", err))
+		return
+	}
+	resp := compileResponse{
+		Function:       fr.Fn.Name,
+		Time:           fr.Time,
+		TimeWithCopies: fr.Copies,
+		OpsBefore:      fr.OpsBefore,
+		OpsAfter:       fr.OpsAfter,
+		Regions:        len(fr.Regions),
+		Speculated:     fr.NumSpeculated,
+		Renamed:        fr.NumRenamed,
+		Copies:         fr.NumCopies,
+		Merged:         fr.NumMerged,
+		Cached:         cached,
+		ElapsedMS:      float64(time.Since(started).Microseconds()) / 1000,
+	}
+	for _, sc := range fr.Schedules {
+		resp.ScheduleLengths = append(resp.ScheduleLengths, sc.Length)
+		if req.Schedules {
+			resp.Schedules = append(resp.Schedules, sc.String())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.requests.compileErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleMetrics serves the cache and pipeline counters in Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.metrics.Add(1)
+	cs := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("treegiond_cache_hits_total", "Compiles served from the result cache.", cs.Hits)
+	counter("treegiond_cache_misses_total", "Cache lookups that required a compile.", cs.Misses)
+	counter("treegiond_cache_evictions_total", "Entries evicted under the byte budget.", cs.Evictions)
+	gauge("treegiond_cache_entries", "Resident cache entries.", cs.Entries)
+	gauge("treegiond_cache_bytes", "Estimated resident cache bytes.", cs.Bytes)
+	gauge("treegiond_cache_budget_bytes", "Configured cache byte budget.", cs.Budget)
+	counter("treegiond_pipeline_compiles_total", "Cold function compiles executed.", s.metrics.Compiles.Load())
+	counter("treegiond_pipeline_cache_hits_total", "Pipeline compiles served from cache.", s.metrics.CacheHits.Load())
+	counter("treegiond_pipeline_panics_total", "Compiles that panicked (isolated to errors).", s.metrics.Panics.Load())
+	counter("treegiond_pipeline_errors_total", "Compiles that returned errors.", s.metrics.Errors.Load())
+	gauge("treegiond_pipeline_in_flight", "Compiles currently executing.", s.metrics.InFlight.Load())
+	counter("treegiond_http_compile_requests_total", "POST /compile requests.", s.requests.compile.Load())
+	counter("treegiond_http_request_errors_total", "Requests answered with an error status.", s.requests.compileErrors.Load())
+	counter("treegiond_http_metrics_requests_total", "GET /metrics requests.", s.requests.metrics.Load())
+	counter("treegiond_http_healthz_requests_total", "GET /healthz requests.", s.requests.healthz.Load())
+	gauge("treegiond_uptime_seconds", "Seconds since daemon start.", int64(time.Since(s.start).Seconds()))
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests.healthz.Add(1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

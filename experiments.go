@@ -1,25 +1,37 @@
 package treegion
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
+	"treegion/internal/compcache"
 	"treegion/internal/core"
 	"treegion/internal/eval"
 	"treegion/internal/linear"
 	"treegion/internal/machine"
+	"treegion/internal/pipeline"
 	"treegion/internal/regalloc"
 )
 
 // Suite caches the generated benchmark programs, their profiles, and the
 // per-benchmark baseline times, so the experiment drivers (one per paper
-// table/figure) don't regenerate shared state.
+// table/figure) don't regenerate shared state. Program compiles run on the
+// concurrent pipeline over a shared content-addressed function cache, and
+// the memoization maps are mutex-guarded, so Suite methods may be called
+// from multiple goroutines.
 type Suite struct {
 	Programs []*Program
 	Profiles []Profiles
 
+	mu       sync.Mutex
 	baseline map[string]float64 // benchmark -> 1U basic-block time
 	cache    map[string]*ProgramResult
+
+	workers int
+	ccache  *compcache.Cache
+	metrics pipeline.Metrics
 }
 
 // NewSuite generates and profiles all eight benchmarks.
@@ -32,6 +44,7 @@ func NewSuite() (*Suite, error) {
 		Programs: progs,
 		baseline: make(map[string]float64),
 		cache:    make(map[string]*ProgramResult),
+		ccache:   compcache.New(compcache.DefaultBudget),
 	}
 	for _, p := range progs {
 		profs, err := ProfileProgram(p)
@@ -43,20 +56,50 @@ func NewSuite() (*Suite, error) {
 	return s, nil
 }
 
-// run compiles benchmark i under c, memoizing on a config fingerprint.
+// SetWorkers bounds the pipeline's per-program compile concurrency
+// (<= 0 restores the GOMAXPROCS default).
+func (s *Suite) SetWorkers(n int) {
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
+}
+
+// CacheStats snapshots the shared function-compile cache counters.
+func (s *Suite) CacheStats() compcache.Stats { return s.ccache.Stats() }
+
+// PipelineMetrics snapshots the pipeline activity counters.
+func (s *Suite) PipelineMetrics() (compiles, cacheHits, panics int64) {
+	return s.metrics.Compiles.Load(), s.metrics.CacheHits.Load(), s.metrics.Panics.Load()
+}
+
+// run compiles benchmark i under c on the pipeline, memoizing the whole
+// ProgramResult on the config fingerprint.
 func (s *Suite) run(i int, c Config) (*ProgramResult, error) {
-	key := fmt.Sprintf("%d/%s/%s/%s/r%v/d%v/td%.1f-%d-%d/sb%.1f/h%v",
-		i, c.Kind, c.Heuristic, c.Machine.Name, c.Rename, c.DominatorParallelism,
-		c.TD.ExpansionLimit, c.TD.PathLimit, c.TD.MergeLimit, c.SB.ExpansionLimit,
-		c.IfConvert)
-	if r, ok := s.cache[key]; ok {
+	key := fmt.Sprintf("%d/%s", i, c.Fingerprint())
+	s.mu.Lock()
+	r, ok := s.cache[key]
+	workers := s.workers
+	s.mu.Unlock()
+	if ok {
 		return r, nil
 	}
-	r, err := CompileProgram(s.Programs[i], s.Profiles[i], c)
+	r, err := CompileProgramWith(context.Background(), s.Programs[i], s.Profiles[i], c, CompileOptions{
+		Workers: workers,
+		Cache:   s.ccache,
+		Metrics: &s.metrics,
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.cache[key] = r
+	s.mu.Lock()
+	// A concurrent caller may have raced us here; keep the first result so
+	// every caller sees one canonical *ProgramResult per key.
+	if prev, ok := s.cache[key]; ok {
+		r = prev
+	} else {
+		s.cache[key] = r
+	}
+	s.mu.Unlock()
 	return r, nil
 }
 
@@ -64,14 +107,18 @@ func (s *Suite) run(i int, c Config) (*ProgramResult, error) {
 // basic-block scheduling on the 1-issue machine (the paper's metric).
 func (s *Suite) SpeedupOf(i int, c Config) (float64, error) {
 	name := s.Programs[i].Name
+	s.mu.Lock()
 	base, ok := s.baseline[name]
+	s.mu.Unlock()
 	if !ok {
 		br, err := s.run(i, BaselineConfig())
 		if err != nil {
 			return 0, err
 		}
 		base = br.Time
+		s.mu.Lock()
 		s.baseline[name] = base
+		s.mu.Unlock()
 	}
 	r, err := s.run(i, c)
 	if err != nil {

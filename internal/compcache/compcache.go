@@ -1,0 +1,225 @@
+// Package compcache is a sharded, content-addressed cache of function
+// compilation results. A compilation is fully determined by three inputs —
+// the textual IR of the function, the profile that guides formation and
+// scheduling, and the Config — so the cache key is a SHA-256 over exactly
+// those, and a hit can stand in for a recompile byte-for-byte.
+//
+// Entries carry the FunctionResult plus lightweight schedule metadata and
+// an estimated in-memory size; each shard evicts least-recently-used entries
+// once its slice of the byte budget is exceeded. Hit, miss and eviction
+// counters are exported for the daemon's /metrics endpoint.
+//
+// Cached results are shared between callers and MUST be treated as
+// immutable: do not mutate the Fn, Prof, Regions or Schedules of a
+// FunctionResult obtained from the cache.
+package compcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"treegion/internal/eval"
+)
+
+// Key is the content address of one (function IR, profile, config)
+// compilation.
+type Key [sha256.Size]byte
+
+// KeyOf hashes the three compilation inputs. irText must be the canonical
+// textual IR (irtext.Print), profCanonical a profile.Data.Canonical() dump,
+// and cfgFingerprint an eval.Config.Fingerprint().
+func KeyOf(irText, profCanonical, cfgFingerprint string) Key {
+	h := sha256.New()
+	h.Write([]byte(irText))
+	h.Write([]byte{0})
+	h.Write([]byte(profCanonical))
+	h.Write([]byte{0})
+	h.Write([]byte(cfgFingerprint))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Entry is one cached compilation: the result plus schedule metadata.
+type Entry struct {
+	Result *eval.FunctionResult
+	// ScheduleLengths are the per-region schedule lengths in cycles.
+	ScheduleLengths []int
+	// Size is the estimated in-memory footprint charged against the budget.
+	Size int64
+}
+
+// EstimateSize approximates the in-memory footprint of a cached result. It
+// only needs to be proportional to reality for LRU eviction to behave.
+func EstimateSize(fr *eval.FunctionResult) int64 {
+	const (
+		opCost    = 112 // ir.Op + block bookkeeping
+		nodeCost  = 160 // ddg.Node + schedule cycle + map slot
+		baseCost  = 512
+		statCost  = 64
+		entryCost = 256 // Entry + list element + map slot
+	)
+	n := int64(baseCost + entryCost)
+	n += int64(fr.OpsAfter) * opCost
+	for _, s := range fr.Schedules {
+		n += int64(len(s.Cycle)) * nodeCost
+	}
+	n += int64(len(fr.Regions)) * statCost
+	if fr.Prof != nil {
+		n += int64(len(fr.Prof.Block)+len(fr.Prof.Edge)) * 32
+	}
+	return n
+}
+
+// NewEntry wraps a compile result, extracting schedule metadata and
+// estimating its size.
+func NewEntry(fr *eval.FunctionResult) *Entry {
+	e := &Entry{Result: fr, Size: EstimateSize(fr)}
+	for _, s := range fr.Schedules {
+		e.ScheduleLengths = append(e.ScheduleLengths, s.Length)
+	}
+	return e
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int64
+	Bytes, Budget           int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+const numShards = 32
+
+// Cache is a sharded LRU cache under a byte budget. The zero value is not
+// usable; call New. A nil *Cache is a valid "no caching" sentinel: Get
+// always misses (without counting) and Put is a no-op.
+type Cache struct {
+	shards      [numShards]shard
+	shardBudget int64
+
+	hits, misses, evictions atomic.Int64
+	entries, bytes          atomic.Int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	m     map[Key]*list.Element
+	bytes int64
+}
+
+type lruItem struct {
+	key   Key
+	entry *Entry
+}
+
+// DefaultBudget is a comfortable in-process budget: large enough to hold
+// the whole experiment suite under every paper configuration.
+const DefaultBudget = 512 << 20
+
+// New builds a cache with the given total byte budget (split evenly across
+// shards). Budgets <= 0 fall back to DefaultBudget.
+func New(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudget
+	}
+	c := &Cache{shardBudget: budgetBytes / numShards}
+	if c.shardBudget < 1 {
+		c.shardBudget = 1
+	}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].m = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard {
+	// The key is a cryptographic hash; its first byte is already uniform.
+	return &c.shards[int(k[0])%numShards]
+}
+
+// Get returns the cached entry for k, marking it most recently used.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.m[k]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*lruItem).entry, true
+}
+
+// Put stores e under k, evicting least-recently-used entries from the
+// shard until it fits its slice of the budget. Re-putting an existing key
+// replaces the entry.
+func (c *Cache) Put(k Key, e *Entry) {
+	if c == nil || e == nil {
+		return
+	}
+	s := c.shard(k)
+	var freed []*Entry
+	s.mu.Lock()
+	if el, ok := s.m[k]; ok {
+		old := el.Value.(*lruItem)
+		s.bytes += e.Size - old.entry.Size
+		c.bytes.Add(e.Size - old.entry.Size)
+		old.entry = e
+		s.ll.MoveToFront(el)
+	} else {
+		s.m[k] = s.ll.PushFront(&lruItem{key: k, entry: e})
+		s.bytes += e.Size
+		c.entries.Add(1)
+		c.bytes.Add(e.Size)
+	}
+	// Evict from the back while over budget, but never the entry just
+	// inserted (an oversized singleton stays resident rather than thrash).
+	for s.bytes > c.shardBudget && s.ll.Len() > 1 {
+		back := s.ll.Back()
+		it := back.Value.(*lruItem)
+		s.ll.Remove(back)
+		delete(s.m, it.key)
+		s.bytes -= it.entry.Size
+		freed = append(freed, it.entry)
+	}
+	s.mu.Unlock()
+	for _, ev := range freed {
+		c.entries.Add(-1)
+		c.bytes.Add(-ev.Size)
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		Budget:    c.shardBudget * numShards,
+	}
+}

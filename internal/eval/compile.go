@@ -79,6 +79,19 @@ type Config struct {
 	Hyper     hyper.Config
 }
 
+// Fingerprint returns a canonical string covering every field of the
+// Config. It is the configuration component of content-addressed cache keys
+// and memoization keys: two Configs compile identically iff their
+// fingerprints match.
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("k%s/h%s/m%s-%d/r%t/d%t/td%g-%d-%d/sb%d-%g/ic%t-%d-%d",
+		c.Kind, c.Heuristic, c.Machine.Name, c.Machine.IssueWidth,
+		c.Rename, c.DominatorParallelism,
+		c.TD.ExpansionLimit, c.TD.PathLimit, c.TD.MergeLimit,
+		c.SB.MaxTraceLen, c.SB.ExpansionLimit,
+		c.IfConvert, c.Hyper.MaxArmOps, c.Hyper.MaxPasses)
+}
+
 // DefaultConfig returns the paper's headline configuration: treegion
 // scheduling with the global weight heuristic on the 4-issue machine.
 func DefaultConfig() Config {
@@ -213,9 +226,7 @@ func ProfileProgram(prog *progen.Program) (Profiles, error) {
 // CompileProgram compiles every function of prog under c, on fresh clones of
 // the functions and profiles, and aggregates the results.
 func CompileProgram(prog *progen.Program, profs Profiles, c Config) (*ProgramResult, error) {
-	res := &ProgramResult{Name: prog.Name, Cfg: c}
-	before, after := 0, 0
-	var statParts []region.Stats
+	frs := make([]*FunctionResult, len(prog.Funcs))
 	for i, orig := range prog.Funcs {
 		fn := orig.Clone()
 		prof := profs[i].Clone()
@@ -223,6 +234,19 @@ func CompileProgram(prog *progen.Program, profs Profiles, c Config) (*ProgramRes
 		if err != nil {
 			return nil, err
 		}
+		frs[i] = fr
+	}
+	return Aggregate(prog.Name, c, frs), nil
+}
+
+// Aggregate folds per-function results (in function order — aggregation
+// order matters for float sums, so parallel drivers must preserve it) into a
+// ProgramResult exactly as the serial CompileProgram does.
+func Aggregate(name string, c Config, frs []*FunctionResult) *ProgramResult {
+	res := &ProgramResult{Name: name, Cfg: c}
+	before, after := 0, 0
+	var statParts []region.Stats
+	for _, fr := range frs {
 		res.Funcs = append(res.Funcs, fr)
 		res.Time += fr.Time
 		before += fr.OpsBefore
@@ -245,7 +269,7 @@ func CompileProgram(prog *progen.Program, profs Profiles, c Config) (*ProgramRes
 		res.CodeExpansion = float64(after) / float64(before)
 	}
 	res.RegionStats = region.Merge(statParts)
-	return res, nil
+	return res
 }
 
 // BaselineConfig is the speedup denominator: basic-block scheduling on the

@@ -1,0 +1,186 @@
+// Package pipeline is the concurrent compilation driver. Region-based
+// compilation is embarrassingly parallel per function — each function is
+// cloned, formed and scheduled independently — so the pipeline fans the
+// functions of a program out over a bounded worker pool and reassembles the
+// results in function order, making the aggregate byte-identical to the
+// serial path (golden tests see no difference between 1 and N workers).
+//
+// Each worker compile is panic-isolated (a panicking compile yields an
+// error for that function instead of killing the process), honours context
+// cancellation, and consults an optional content-addressed result cache
+// (internal/compcache) before doing any work.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"treegion/internal/compcache"
+	"treegion/internal/eval"
+	"treegion/internal/ir"
+	"treegion/internal/irtext"
+	"treegion/internal/profile"
+	"treegion/internal/progen"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Workers bounds concurrent function compiles; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, memoizes compiles content-addressed by
+	// (function IR, profile, config). Results served from the cache are
+	// shared and must be treated as immutable.
+	Cache *compcache.Cache
+	// Metrics, when non-nil, receives pipeline counters.
+	Metrics *Metrics
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Metrics counts pipeline activity; safe for concurrent use. The daemon
+// exports these on /metrics.
+type Metrics struct {
+	// Compiles counts cold compiles actually executed.
+	Compiles atomic.Int64
+	// CacheHits counts compiles served from the result cache.
+	CacheHits atomic.Int64
+	// Panics counts compiles that panicked and were converted to errors.
+	Panics atomic.Int64
+	// Errors counts compiles that returned an error (including panics).
+	Errors atomic.Int64
+	// InFlight is the number of compiles currently executing.
+	InFlight atomic.Int64
+}
+
+// compileFunc is the per-function compile entry point; tests swap it to
+// inject panics and failures.
+var compileFunc = eval.CompileFunction
+
+// CompileProgram compiles every function of prog under c across the worker
+// pool and aggregates the results exactly as eval.CompileProgram does.
+// Function results are assembled in function order regardless of completion
+// order, so the returned ProgramResult is deterministic in the inputs. On
+// error it returns the failing function with the lowest index (also
+// deterministic). The originals in prog and profs are never mutated.
+func CompileProgram(ctx context.Context, prog *progen.Program, profs eval.Profiles, c eval.Config, opts Options) (*eval.ProgramResult, error) {
+	if len(profs) != len(prog.Funcs) {
+		return nil, fmt.Errorf("pipeline: %s: %d profiles for %d functions", prog.Name, len(profs), len(prog.Funcs))
+	}
+	n := len(prog.Funcs)
+	frs := make([]*eval.FunctionResult, n)
+	errs := make([]error, n)
+
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				frs[i], _, errs[i] = compileOne(prog.Funcs[i], profs[i], c, opts)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark the unfed tail cancelled so the first-by-index error
+			// below reports cancellation rather than a nil result.
+			for ; i < n; i++ {
+				errs[i] = ctx.Err()
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s: function %s: %w", prog.Name, prog.Funcs[i].Name, err)
+		}
+	}
+	return eval.Aggregate(prog.Name, c, frs), nil
+}
+
+// CompileFunction compiles a single function through the cache and the
+// panic isolation of the pipeline. Unlike eval.CompileFunction it does NOT
+// mutate fn or prof — it compiles clones — so callers can keep feeding the
+// same parsed function. It reports whether the result came from the cache.
+func CompileFunction(ctx context.Context, fn *ir.Function, prof *profile.Data, c eval.Config, opts Options) (*eval.FunctionResult, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	return compileOne(fn, prof, c, opts)
+}
+
+// compileOne compiles one function on clones of (orig, prof), going through
+// the cache when one is configured.
+func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Options) (*eval.FunctionResult, bool, error) {
+	var key compcache.Key
+	if opts.Cache != nil {
+		key = compcache.KeyOf(irtext.Print(orig), prof.Canonical(), c.Fingerprint())
+		if e, ok := opts.Cache.Get(key); ok {
+			if opts.Metrics != nil {
+				opts.Metrics.CacheHits.Add(1)
+			}
+			return e.Result, true, nil
+		}
+	}
+	fr, err := compileIsolated(orig.Clone(), prof.Clone(), c, opts.Metrics)
+	if err != nil {
+		if opts.Metrics != nil {
+			opts.Metrics.Errors.Add(1)
+		}
+		return nil, false, err
+	}
+	if opts.Cache != nil {
+		opts.Cache.Put(key, compcache.NewEntry(fr))
+	}
+	return fr, false, nil
+}
+
+// compileIsolated runs one compile with panic isolation: a panic inside
+// region formation or scheduling becomes an error result for this function
+// instead of killing the process.
+func compileIsolated(fn *ir.Function, prof *profile.Data, c eval.Config, m *Metrics) (fr *eval.FunctionResult, err error) {
+	if m != nil {
+		m.InFlight.Add(1)
+		defer m.InFlight.Add(-1)
+		m.Compiles.Add(1)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if m != nil {
+				m.Panics.Add(1)
+			}
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			fr, err = nil, fmt.Errorf("compile panicked: %v\n%s", r, buf)
+		}
+	}()
+	return compileFunc(fn, prof, c)
+}

@@ -1,0 +1,225 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"treegion/internal/compcache"
+	"treegion/internal/eval"
+	"treegion/internal/ir"
+	"treegion/internal/profile"
+	"treegion/internal/progen"
+)
+
+func testProgram(t testing.TB) (*progen.Program, eval.Profiles) {
+	t.Helper()
+	p, ok := progen.PresetByName("compress")
+	if !ok {
+		t.Fatal("no compress preset")
+	}
+	prog, err := progen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := eval.ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, profs
+}
+
+// projection is the observable content of a ProgramResult, copied into
+// plain values so reflect.DeepEqual ignores pointer identity (the ddg
+// graphs key maps by *ir.Op, which differs between independent compiles).
+type projection struct {
+	Name          string
+	Time          float64
+	CodeExpansion float64
+	RegionCount   int
+	FuncTimes     []float64
+	FuncCopies    []float64
+	OpsAfter      []int
+	SchedLengths  [][]int
+	Counters      [][4]int
+}
+
+func project(r *eval.ProgramResult) projection {
+	p := projection{
+		Name:          r.Name,
+		Time:          r.Time,
+		CodeExpansion: r.CodeExpansion,
+		RegionCount:   r.RegionStats.Count,
+	}
+	for _, fr := range r.Funcs {
+		p.FuncTimes = append(p.FuncTimes, fr.Time)
+		p.FuncCopies = append(p.FuncCopies, fr.Copies)
+		p.OpsAfter = append(p.OpsAfter, fr.OpsAfter)
+		var lens []int
+		for _, s := range fr.Schedules {
+			lens = append(lens, s.Length)
+		}
+		p.SchedLengths = append(p.SchedLengths, lens)
+		p.Counters = append(p.Counters, [4]int{fr.NumRenamed, fr.NumCopies, fr.NumMerged, fr.NumSpeculated})
+	}
+	return p
+}
+
+// TestDeterministicAcrossWorkerCounts is the determinism contract: the same
+// benchmark compiled with 1 worker and N workers (with and without the
+// cache) produces identical cycle counts, schedule lengths and speedups.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	prog, profs := testProgram(t)
+	cfg := eval.DefaultConfig()
+
+	serial, err := eval.CompileProgram(prog, profs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := project(serial)
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, withCache := range []bool{false, true} {
+			opts := Options{Workers: workers}
+			if withCache {
+				opts.Cache = compcache.New(64 << 20)
+			}
+			got, err := CompileProgram(context.Background(), prog, profs, cfg, opts)
+			if err != nil {
+				t.Fatalf("workers=%d cache=%v: %v", workers, withCache, err)
+			}
+			if !reflect.DeepEqual(project(got), want) {
+				t.Errorf("workers=%d cache=%v: result differs from serial compile", workers, withCache)
+			}
+			base, err := CompileProgram(context.Background(), prog, profs, eval.BaselineConfig(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp := eval.Speedup(base.Time, got.Time); sp <= 0 {
+				t.Errorf("workers=%d: speedup = %v", workers, sp)
+			}
+		}
+	}
+}
+
+// TestOriginalsNotMutated: the pipeline must compile clones; callers keep
+// the pristine program for other configurations.
+func TestOriginalsNotMutated(t *testing.T) {
+	prog, profs := testProgram(t)
+	before := make([]int, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		before[i] = fn.NumOps()
+	}
+	cfg := eval.DefaultConfig()
+	cfg.Kind = eval.TreegionTD // tail duplication mutates hardest
+	if _, err := CompileProgram(context.Background(), prog, profs, cfg, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i, fn := range prog.Funcs {
+		if fn.NumOps() != before[i] {
+			t.Errorf("function %s mutated: %d ops, was %d", fn.Name, fn.NumOps(), before[i])
+		}
+	}
+}
+
+// TestPanicIsolation: a panicking function compile must surface as an error
+// for that function, not kill the process — and the error must be the
+// first failing function by index regardless of completion order.
+func TestPanicIsolation(t *testing.T) {
+	prog, profs := testProgram(t)
+	orig := compileFunc
+	defer func() { compileFunc = orig }()
+	victim := prog.Funcs[1].Name
+	compileFunc = func(fn *ir.Function, prof *profile.Data, c eval.Config) (*eval.FunctionResult, error) {
+		if fn.Name == victim {
+			panic("injected scheduler bug")
+		}
+		return orig(fn, prof, c)
+	}
+	var m Metrics
+	_, err := CompileProgram(context.Background(), prog, profs, eval.DefaultConfig(), Options{Workers: 4, Metrics: &m})
+	if err == nil {
+		t.Fatal("panicking compile returned nil error")
+	}
+	if !strings.Contains(err.Error(), victim) || !strings.Contains(err.Error(), "injected scheduler bug") {
+		t.Errorf("error %q does not name the panicking function", err)
+	}
+	if m.Panics.Load() != 1 {
+		t.Errorf("panics counter = %d, want 1", m.Panics.Load())
+	}
+	if m.Errors.Load() != 1 {
+		t.Errorf("errors counter = %d, want 1", m.Errors.Load())
+	}
+}
+
+// TestFirstErrorByIndex: with several failing functions, the reported error
+// is deterministic — the lowest function index wins.
+func TestFirstErrorByIndex(t *testing.T) {
+	prog, profs := testProgram(t)
+	orig := compileFunc
+	defer func() { compileFunc = orig }()
+	compileFunc = func(fn *ir.Function, prof *profile.Data, c eval.Config) (*eval.FunctionResult, error) {
+		return nil, fmt.Errorf("boom %s", fn.Name)
+	}
+	for trial := 0; trial < 4; trial++ {
+		_, err := CompileProgram(context.Background(), prog, profs, eval.DefaultConfig(), Options{Workers: 8})
+		if err == nil || !strings.Contains(err.Error(), prog.Funcs[0].Name) {
+			t.Fatalf("trial %d: error %v, want first function %s", trial, err, prog.Funcs[0].Name)
+		}
+	}
+}
+
+// TestContextCancellation: a cancelled context aborts the run with
+// context.Canceled instead of compiling everything.
+func TestContextCancellation(t *testing.T) {
+	prog, profs := testProgram(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CompileProgram(ctx, prog, profs, eval.DefaultConfig(), Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCacheRoundTrip: a second program compile over a shared cache is all
+// hits and returns identical observable results.
+func TestCacheRoundTrip(t *testing.T) {
+	prog, profs := testProgram(t)
+	cfg := eval.DefaultConfig()
+	cache := compcache.New(64 << 20)
+	var m Metrics
+	opts := Options{Workers: 4, Cache: cache, Metrics: &m}
+
+	cold, err := CompileProgram(context.Background(), prog, profs, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CacheHits.Load(); got != 0 {
+		t.Errorf("cold run cache hits = %d", got)
+	}
+	warm, err := CompileProgram(context.Background(), prog, profs, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CacheHits.Load(); got != int64(len(prog.Funcs)) {
+		t.Errorf("warm run cache hits = %d, want %d", got, len(prog.Funcs))
+	}
+	if !reflect.DeepEqual(project(cold), project(warm)) {
+		t.Error("warm result differs from cold result")
+	}
+	if st := cache.Stats(); st.HitRate() <= 0 {
+		t.Errorf("hit rate = %v, want > 0", st.HitRate())
+	}
+}
+
+// TestProfileMismatch: profile/function count skew is an input error, not a
+// crash.
+func TestProfileMismatch(t *testing.T) {
+	prog, profs := testProgram(t)
+	if _, err := CompileProgram(context.Background(), prog, profs[:1], eval.DefaultConfig(), Options{}); err == nil {
+		t.Fatal("mismatched profiles accepted")
+	}
+}

@@ -8,6 +8,7 @@ package profile
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"treegion/internal/ir"
@@ -119,6 +120,36 @@ func (d *Data) Total() float64 {
 		t += w
 	}
 	return t
+}
+
+// Canonical returns a deterministic full serialization of the profile —
+// block and edge weights, sorted — suitable as the profile component of a
+// content-addressed cache key. Two profiles with equal Canonical strings
+// drive every profile-guided decision identically.
+func (d *Data) Canonical() string {
+	blocks := make([]int, 0, len(d.Block))
+	for b := range d.Block {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	edges := make([]Edge, 0, len(d.Edge))
+	for e := range d.Edge {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	var sb strings.Builder
+	for _, b := range blocks {
+		fmt.Fprintf(&sb, "b%d=%s;", b, strconv.FormatFloat(d.Block[ir.BlockID(b)], 'g', -1, 64))
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "e%d-%d=%s;", e.From, e.To, strconv.FormatFloat(d.Edge[e], 'g', -1, 64))
+	}
+	return sb.String()
 }
 
 // String dumps the profile sorted by block ID, for debugging.

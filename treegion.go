@@ -19,8 +19,10 @@
 package treegion
 
 import (
+	"context"
 	"fmt"
 
+	"treegion/internal/compcache"
 	"treegion/internal/core"
 	"treegion/internal/eval"
 	"treegion/internal/hyper"
@@ -28,6 +30,7 @@ import (
 	"treegion/internal/irtext"
 	"treegion/internal/ir"
 	"treegion/internal/machine"
+	"treegion/internal/pipeline"
 	"treegion/internal/profile"
 	"treegion/internal/progen"
 	"treegion/internal/region"
@@ -61,6 +64,16 @@ type (
 	Function = ir.Function
 	// ProfileData is block/edge execution counts for one function.
 	ProfileData = profile.Data
+	// CompileOptions configures the concurrent compilation pipeline
+	// (worker count, result cache, metrics).
+	CompileOptions = pipeline.Options
+	// CompileMetrics holds the pipeline's activity counters.
+	CompileMetrics = pipeline.Metrics
+	// CompileCache is a sharded content-addressed cache of function
+	// compilation results with LRU eviction under a byte budget.
+	CompileCache = compcache.Cache
+	// CacheStats is a snapshot of a CompileCache's counters.
+	CacheStats = compcache.Stats
 )
 
 // Region formers.
@@ -119,9 +132,31 @@ func ProfileFunction(fn *Function, seed uint64, trips int) (*ProfileData, error)
 }
 
 // CompileProgram compiles prog under c on fresh clones and aggregates times,
-// code expansion and region statistics.
+// code expansion and region statistics. Functions compile concurrently on
+// the worker pipeline (bounded by GOMAXPROCS) with results reassembled in
+// function order, so the output is byte-identical to a serial compile.
 func CompileProgram(prog *Program, profs Profiles, c Config) (*ProgramResult, error) {
-	return eval.CompileProgram(prog, profs, c)
+	return pipeline.CompileProgram(context.Background(), prog, profs, c, pipeline.Options{})
+}
+
+// CompileProgramWith is CompileProgram with explicit pipeline control:
+// context cancellation, worker count, a shared result cache, and metrics.
+func CompileProgramWith(ctx context.Context, prog *Program, profs Profiles, c Config, opts CompileOptions) (*ProgramResult, error) {
+	return pipeline.CompileProgram(ctx, prog, profs, c, opts)
+}
+
+// CompileFunctionWith compiles a single function through the pipeline's
+// cache and panic isolation. Unlike CompileFunction it does not mutate fn
+// or prof (it compiles clones); it reports whether the result was served
+// from the cache.
+func CompileFunctionWith(ctx context.Context, fn *Function, prof *ProfileData, c Config, opts CompileOptions) (*FunctionResult, bool, error) {
+	return pipeline.CompileFunction(ctx, fn, prof, c, opts)
+}
+
+// NewCompileCache builds a content-addressed compilation result cache with
+// the given byte budget (<= 0 selects a default of 512 MiB).
+func NewCompileCache(budgetBytes int64) *CompileCache {
+	return compcache.New(budgetBytes)
 }
 
 // CompileFunction compiles one function (mutating it; pass a clone to keep
