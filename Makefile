@@ -21,8 +21,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Serial vs parallel vs cached suite compile (the service-mode headline).
+# Serial vs parallel vs cached suite compile (the service-mode headline),
+# with allocation counts. The raw `go test -json` stream is captured in
+# BENCH_2.json for machine comparison against earlier runs.
 bench:
-	$(GO) test -run XXX -bench 'CompileSuite(Serial|Parallel|ParallelCached)$$' -benchtime 3x .
+	$(GO) test -run XXX -bench 'BenchmarkCompileSuite' -benchmem -benchtime 3x -json . | tee BENCH_2.json
 
+# vet runs first and fails the gate on any finding.
 ci: vet build test race

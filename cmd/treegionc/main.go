@@ -6,7 +6,11 @@
 // Usage:
 //
 //	treegionc [-bench gcc] [-region tree] [-heuristic globalweight]
-//	          [-machine 4U] [-limit 2.0] [-dump 3] [-workers 0]
+//	          [-machine 4U] [-limit 2.0] [-dump 3] [-workers 0] [-stats]
+//
+// -stats prints the per-phase compile trace (calls, ops, wall time per
+// phase) for the whole program and for each function, plus scheduling
+// statistics (speculated ops, branch packing).
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	noRename := flag.Bool("norename", false, "disable compile-time register renaming")
 	ifConvert := flag.Bool("ifconvert", false, "run hyperblock-style if-conversion first")
 	dump := flag.Int("dump", 0, "print the N hottest region schedules")
+	stats := flag.Bool("stats", false, "print per-phase compile traces and scheduling statistics")
 	dot := flag.String("dot", "", "write the first function's region-annotated CFG as Graphviz DOT to this file")
 	flag.Parse()
 
@@ -94,12 +99,12 @@ func main() {
 		TD:                   treegion.TDConfig{ExpansionLimit: *limit, PathLimit: 20, MergeLimit: 4},
 		IfConvert:            *ifConvert,
 	}
-	opts := treegion.CompileOptions{Workers: *workers}
-	res, err := treegion.CompileProgramWith(context.Background(), prog, profs, cfg, opts)
+	ctx := context.Background()
+	res, err := treegion.Compile(ctx, prog, profs, cfg, treegion.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := treegion.CompileProgramWith(context.Background(), prog, profs, treegion.BaselineConfig(), opts)
+	base, err := treegion.Compile(ctx, prog, profs, treegion.BaselineConfig(), treegion.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,6 +126,18 @@ func main() {
 	}
 	fmt.Printf("speculated %d ops; renamed %d dests (%d copies); merged %d duplicates\n",
 		spec, ren, cop, mer)
+
+	if *stats {
+		fmt.Printf("\nscheduling:     %d ops in %d cycles; %d speculated; %.2f branches/cycle (max %d); %d predicated branch cycles\n",
+			res.Sched.Ops, res.Sched.Length, res.Sched.Speculated,
+			res.Sched.BranchesPerCycle(), res.Sched.MaxBranchesPerCycle, res.Sched.PredicatedCycles)
+		fmt.Printf("region blocks:  %s\n", res.RegionStats.Blocks)
+		fmt.Printf("region paths:   %s\n", res.RegionStats.Paths)
+		fmt.Printf("\n== compile trace: %s\n%s", prog.Name, res.Trace.Snapshot().Table())
+		for _, fr := range res.Funcs {
+			fmt.Printf("\n== compile trace: %s\n%s", fr.Fn.Name, fr.Trace.Snapshot().Table())
+		}
+	}
 
 	if *dot != "" {
 		if len(res.Funcs) == 0 {

@@ -2,16 +2,25 @@
 // that compiles textual-IR functions through the concurrent pipeline and a
 // content-addressed result cache.
 //
-// Endpoints:
+// Endpoints (API v1; the unversioned paths redirect permanently and carry a
+// Deprecation header):
 //
-//	POST /compile   {"ir": "func f\nbb0:\n  ...", "region": "tree", ...}
-//	                → schedule metadata + timing JSON (see compileRequest)
-//	GET  /metrics   cache/pipeline/HTTP counters, Prometheus text format
-//	GET  /healthz   liveness probe
+//	POST /v1/compile   {"ir": "func f\nbb0:\n  ...", "region": "tree", ...}
+//	                   → schedule metadata + timing JSON (see compileRequest)
+//	GET  /v1/metrics   cache/pipeline/HTTP counters plus per-phase compile
+//	                   latency histograms, Prometheus text format
+//	GET  /v1/healthz   liveness probe
+//
+// Errors are structured: {"error": {"code": "...", "message": "..."}} with
+// a machine-readable code (bad_json, unknown_field, bad_config, ...).
 //
 // Usage:
 //
 //	treegiond [-addr :8037] [-workers 0] [-cache-bytes 536870912]
+//	          [-debug-addr :8038]
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/, kept off the service port so profiling is opt-in.
 package main
 
 import (
@@ -25,9 +34,23 @@ func main() {
 	addr := flag.String("addr", ":8037", "listen address")
 	workers := flag.Int("workers", 0, "pipeline workers per compile (0 = GOMAXPROCS)")
 	cacheBytes := flag.Int64("cache-bytes", 512<<20, "result cache byte budget")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address (empty = disabled)")
 	flag.Parse()
 
 	s := newServer(*workers, *cacheBytes)
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugRoutes(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("treegiond: pprof on %s/debug/pprof/", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil {
+				log.Printf("treegiond: pprof listener: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.routes(),

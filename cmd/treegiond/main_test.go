@@ -29,7 +29,7 @@ func fig1(t *testing.T) string {
 
 func postCompile(t *testing.T, ts *httptest.Server, body string) (*http.Response, compileResponse) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,9 +43,20 @@ func postCompile(t *testing.T, ts *httptest.Server, body string) (*http.Response
 	return resp, cr
 }
 
+// decodeError reads a structured {"error": {"code", "message"}} body.
+func decodeError(t *testing.T, resp *http.Response) errorResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	return er
+}
+
 func TestCompileEndpoint(t *testing.T) {
 	_, ts := testServer(t)
-	req, err := json.Marshal(map[string]any{"ir": fig1(t), "schedules": true})
+	req, err := json.Marshal(map[string]any{"ir": fig1(t), "schedules": true, "trace": true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +79,14 @@ func TestCompileEndpoint(t *testing.T) {
 	}
 	if cr.Cached {
 		t.Error("first compile reported cached")
+	}
+	if len(cr.Trace) == 0 {
+		t.Error("trace requested but absent")
+	}
+	for _, phase := range []string{"treeform", "list-sched", "ddg-build"} {
+		if _, ok := cr.Trace[phase]; !ok {
+			t.Errorf("trace missing phase %q: %v", phase, cr.Trace)
+		}
 	}
 
 	// The same request again must hit the content-addressed cache and
@@ -96,26 +115,124 @@ func TestCompileEndpointErrors(t *testing.T) {
 	cases := []struct {
 		name, body string
 		want       int
+		code       string
 	}{
-		{"empty body", ``, http.StatusBadRequest},
-		{"missing ir", `{}`, http.StatusBadRequest},
-		{"bad ir", `{"ir": "not a function"}`, http.StatusBadRequest},
-		{"bad region", `{"ir": "func f\nbb0:\n  ret\n", "region": "nope"}`, http.StatusBadRequest},
-		{"bad machine", `{"ir": "func f\nbb0:\n  ret\n", "machine": "2U"}`, http.StatusBadRequest},
+		{"empty body", ``, http.StatusBadRequest, "bad_json"},
+		{"missing ir", `{}`, http.StatusBadRequest, "missing_field"},
+		{"bad ir", `{"ir": "not a function"}`, http.StatusBadRequest, "bad_ir"},
+		{"bad region", `{"ir": "func f\nbb0:\n  ret\n", "region": "nope"}`, http.StatusBadRequest, "bad_config"},
+		{"bad machine", `{"ir": "func f\nbb0:\n  ret\n", "machine": "2U"}`, http.StatusBadRequest, "bad_config"},
 	}
 	for _, tc := range cases {
-		resp, _ := postCompile(t, ts, tc.body)
+		resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
 		if resp.StatusCode != tc.want {
 			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
 		}
+		er := decodeError(t, resp)
+		if er.Error.Code != tc.code {
+			t.Errorf("%s: error code = %q, want %q", tc.name, er.Error.Code, tc.code)
+		}
+		if er.Error.Message == "" {
+			t.Errorf("%s: error message empty", tc.name)
+		}
 	}
-	resp, err := http.Get(ts.URL + "/compile")
+	resp, err := http.Get(ts.URL + "/v1/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/compile status = %d, want 405", resp.StatusCode)
+	}
+	if er := decodeError(t, resp); er.Error.Code != "method_not_allowed" {
+		t.Errorf("GET /v1/compile error code = %q, want method_not_allowed", er.Error.Code)
+	}
+}
+
+// TestCompileUnknownField verifies the strict decoder: an unknown config
+// field is a structured 400 naming the field and listing the valid ones.
+func TestCompileUnknownField(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json",
+		strings.NewReader(`{"ir": "func f\nbb0:\n  ret\n", "mahcine": "8U"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	er := decodeError(t, resp)
+	if er.Error.Code != "unknown_field" {
+		t.Errorf("error code = %q, want unknown_field", er.Error.Code)
+	}
+	if !strings.Contains(er.Error.Message, `"mahcine"`) {
+		t.Errorf("message does not name the bad field: %q", er.Error.Message)
+	}
+	for _, valid := range []string{"machine", "region", "heuristic", "expansion_limit"} {
+		if !strings.Contains(er.Error.Message, valid) {
+			t.Errorf("message does not list valid field %q: %q", valid, er.Error.Message)
+		}
+	}
+}
+
+// TestLegacyRedirects verifies the unversioned paths answer with permanent
+// redirects to /v1 (308 for POST so the body is re-sent, 301 for GETs),
+// carry a Deprecation header, and still work end to end through a client
+// that follows redirects.
+func TestLegacyRedirects(t *testing.T) {
+	_, ts := testServer(t)
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+
+	resp, err := noFollow.Post(ts.URL+"/compile", "application/json", strings.NewReader(`{}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /compile status = %d, want 405", resp.StatusCode)
+	if resp.StatusCode != http.StatusPermanentRedirect {
+		t.Errorf("POST /compile status = %d, want 308", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/compile" {
+		t.Errorf("POST /compile Location = %q, want /v1/compile", loc)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("POST /compile missing Deprecation header")
+	}
+
+	for _, path := range []string{"/metrics", "/healthz"} {
+		resp, err := noFollow.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMovedPermanently {
+			t.Errorf("GET %s status = %d, want 301", path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/v1"+path {
+			t.Errorf("GET %s Location = %q, want /v1%s", path, loc, path)
+		}
+	}
+
+	// The default client follows the 308 re-sending the POST body, so old
+	// clients keep working unmodified.
+	req, _ := json.Marshal(map[string]any{"ir": fig1(t)})
+	resp2, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(string(req)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("redirected POST /compile status = %d, want 200", resp2.StatusCode)
+	}
+	var cr compileResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Function != "fig1" {
+		t.Errorf("redirected compile function = %q, want fig1", cr.Function)
 	}
 }
 
@@ -125,7 +242,7 @@ func TestMetricsAndHealthz(t *testing.T) {
 	postCompile(t, ts, string(req))
 	postCompile(t, ts, string(req))
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,23 +253,73 @@ func TestMetricsAndHealthz(t *testing.T) {
 	}
 	body := string(raw)
 	for _, want := range []string{
+		// Cache and pipeline counters (names unchanged from the old API).
 		"treegiond_cache_hits_total 1",
 		"treegiond_cache_misses_total 1",
 		"treegiond_pipeline_compiles_total 1",
 		"treegiond_http_compile_requests_total 2",
 		"# TYPE treegiond_cache_entries gauge",
+		// Per-phase compile latency histograms from the telemetry registry.
+		"# TYPE treegion_compile_phase_seconds histogram",
+		`treegion_compile_phase_seconds_bucket{phase="treeform",le="+Inf"} 1`,
+		`treegion_compile_phase_seconds_count{phase="list-sched"} 1`,
+		// Scheduling counters: speculation and renaming after one compile.
+		"treegion_sched_speculated_ops_total",
+		"treegion_sched_renamed_dests_total",
+		"treegion_compile_functions_total 1",
+		// Region-shape histograms.
+		"# TYPE treegion_region_blocks histogram",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, body)
 		}
 	}
 
-	hresp, err := http.Get(ts.URL + "/healthz")
+	hresp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	hresp.Body.Close()
+	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		t.Errorf("healthz status = %d, want 200", hresp.StatusCode)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" {
+		t.Errorf("healthz status field = %q, want ok", hz.Status)
+	}
+}
+
+// TestDebugRoutes checks the pprof mux serves its index (the daemon mounts
+// it on -debug-addr only, never on the service listener).
+func TestDebugRoutes(t *testing.T) {
+	ts := httptest.NewServer(debugRoutes())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ status = %d, want 200", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+
+	// The service mux must NOT expose pprof.
+	_, svc := testServer(t)
+	sresp, err := http.Get(svc.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotFound {
+		t.Errorf("service mux serves /debug/pprof/ with %d, want 404", sresp.StatusCode)
 	}
 }

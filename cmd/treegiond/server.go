@@ -2,48 +2,92 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sync/atomic"
+	"net/http/pprof"
+	"strings"
 	"time"
 
 	"treegion"
 )
 
 // server is the daemon state: a shared compile cache, pipeline metrics and
-// per-endpoint request counters.
+// a telemetry registry that every subsystem (cache, pipeline, HTTP layer,
+// per-phase compile telemetry) reports through.
 type server struct {
 	workers int
 	cache   *treegion.CompileCache
 	metrics *treegion.CompileMetrics
+	reg     *treegion.Telemetry
 
-	start    time.Time
-	requests struct {
-		compile, compileErrors, metrics, healthz atomic.Int64
-	}
+	start time.Time
 }
 
 func newServer(workers int, cacheBytes int64) *server {
-	return &server{
+	s := &server{
 		workers: workers,
 		cache:   treegion.NewCompileCache(cacheBytes),
 		metrics: &treegion.CompileMetrics{},
+		reg:     treegion.NewTelemetry(),
 		start:   time.Now(),
 	}
+	s.cache.Register(s.reg, "treegiond")
+	s.metrics.Register(s.reg, "treegiond")
+	s.reg.GaugeFunc("treegiond_uptime_seconds", "Seconds since daemon start.", func() int64 {
+		return int64(time.Since(s.start).Seconds())
+	})
+	return s
 }
+
+// API version prefix. Old unversioned paths redirect permanently (308 for
+// POST /compile so clients re-send the body, 301 for the GET endpoints) and
+// carry a Deprecation header; they will be dropped one release after /v1.
+const apiPrefix = "/v1"
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/compile", s.handleCompile)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc(apiPrefix+"/compile", s.handleCompile)
+	mux.HandleFunc(apiPrefix+"/metrics", s.handleMetrics)
+	mux.HandleFunc(apiPrefix+"/healthz", s.handleHealthz)
+	mux.HandleFunc("/compile", s.legacyRedirect(apiPrefix+"/compile", http.StatusPermanentRedirect))
+	mux.HandleFunc("/metrics", s.legacyRedirect(apiPrefix+"/metrics", http.StatusMovedPermanently))
+	mux.HandleFunc("/healthz", s.legacyRedirect(apiPrefix+"/healthz", http.StatusMovedPermanently))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.fail(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no such endpoint %q (want %s/compile, %s/metrics or %s/healthz)",
+				r.URL.Path, apiPrefix, apiPrefix, apiPrefix))
+	})
 	return mux
 }
 
-// compileRequest is the POST /compile body. The function arrives as
+// debugRoutes serves net/http/pprof on the -debug-addr listener, kept off
+// the public mux so profiling is never exposed on the service port.
+func debugRoutes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *server) legacyRedirect(target string, code int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("treegiond_http_legacy_redirects_total",
+			"Requests to deprecated unversioned paths.").Inc()
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", target))
+		http.Redirect(w, r, target, code)
+	}
+}
+
+// compileRequest is the POST /v1/compile body. The function arrives as
 // textual IR (the internal/irtext grammar); the configuration arrives by
 // name, mirroring treegionc's flags. Zero values select the paper's
-// defaults (treegions, global weight, 4U, renaming on).
+// defaults (treegions, global weight, 4U, renaming on). Unknown fields are
+// rejected with a structured 400.
 type compileRequest struct {
 	IR        string `json:"ir"`
 	Region    string `json:"region"`    // bb, slr, tree, sb, tree-td (default tree)
@@ -60,25 +104,52 @@ type compileRequest struct {
 	Trips int    `json:"trips"`
 	// Schedules requests the textual schedules in the response.
 	Schedules bool `json:"schedules"`
+	// Trace requests the per-phase compile trace in the response.
+	Trace bool `json:"trace"`
 }
 
-// compileResponse is the POST /compile reply: the schedule metadata and
+// compileRequestFields lists the accepted body fields, quoted in the
+// structured 400 a request with an unknown field receives.
+var compileRequestFields = []string{
+	"ir", "region", "heuristic", "machine", "rename", "dompar", "ifconvert",
+	"expansion_limit", "seed", "trips", "schedules", "trace",
+}
+
+// tracePhase is one row of the optional per-phase trace in the response.
+type tracePhase struct {
+	Calls int64   `json:"calls"`
+	Ops   int64   `json:"ops"`
+	MS    float64 `json:"ms"`
+}
+
+// compileResponse is the POST /v1/compile reply: the schedule metadata and
 // timing of one compiled function.
 type compileResponse struct {
-	Function        string   `json:"function"`
-	Time            float64  `json:"time_cycles"`
-	TimeWithCopies  float64  `json:"time_with_copies_cycles"`
-	OpsBefore       int      `json:"ops_before"`
-	OpsAfter        int      `json:"ops_after"`
-	Regions         int      `json:"regions"`
-	ScheduleLengths []int    `json:"schedule_lengths"`
-	Speculated      int      `json:"speculated"`
-	Renamed         int      `json:"renamed"`
-	Copies          int      `json:"copies"`
-	Merged          int      `json:"merged"`
-	Cached          bool     `json:"cached"`
-	ElapsedMS       float64  `json:"elapsed_ms"`
-	Schedules       []string `json:"schedules,omitempty"`
+	Function        string                `json:"function"`
+	Time            float64               `json:"time_cycles"`
+	TimeWithCopies  float64               `json:"time_with_copies_cycles"`
+	OpsBefore       int                   `json:"ops_before"`
+	OpsAfter        int                   `json:"ops_after"`
+	Regions         int                   `json:"regions"`
+	ScheduleLengths []int                 `json:"schedule_lengths"`
+	Speculated      int                   `json:"speculated"`
+	Renamed         int                   `json:"renamed"`
+	Copies          int                   `json:"copies"`
+	Merged          int                   `json:"merged"`
+	BranchCycles    int                   `json:"branch_cycles"`
+	Cached          bool                  `json:"cached"`
+	ElapsedMS       float64               `json:"elapsed_ms"`
+	Schedules       []string              `json:"schedules,omitempty"`
+	Trace           map[string]tracePhase `json:"trace,omitempty"`
+}
+
+// errorResponse is the structured error body every non-2xx reply carries:
+// {"error": {"code": "...", "message": "..."}}.
+type errorResponse struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
 }
 
 func (s *server) configFrom(req *compileRequest) (treegion.Config, error) {
@@ -122,30 +193,58 @@ func (s *server) configFrom(req *compileRequest) (treegion.Config, error) {
 	}, nil
 }
 
+// unknownField extracts the field name from the json package's
+// DisallowUnknownFields error, which is only exposed as text.
+func unknownField(err error) (string, bool) {
+	const marker = `json: unknown field "`
+	msg := err.Error()
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(marker):]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j], true
+	}
+	return "", false
+}
+
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	s.requests.compile.Add(1)
+	s.reg.Counter("treegiond_http_compile_requests_total", "POST /v1/compile requests.").Inc()
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		s.fail(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("POST required"))
 		return
 	}
 	started := time.Now()
 	var req compileRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		if f, ok := unknownField(err); ok {
+			s.fail(w, http.StatusBadRequest, "unknown_field",
+				fmt.Errorf("unknown config field %q (valid fields: %s)", f, strings.Join(compileRequestFields, ", ")))
+			return
+		}
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body_too_large", err)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad_json", fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if req.IR == "" {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("missing \"ir\" field"))
+		s.fail(w, http.StatusBadRequest, "missing_field", fmt.Errorf("missing \"ir\" field"))
 		return
 	}
 	cfg, err := s.configFrom(&req)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, http.StatusBadRequest, "bad_config", err)
 		return
 	}
 	fn, err := treegion.ParseFunction(req.IR)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("parse ir: %w", err))
+		s.fail(w, http.StatusBadRequest, "bad_ir", fmt.Errorf("parse ir: %w", err))
 		return
 	}
 	seed, trips := req.Seed, req.Trips
@@ -157,16 +256,16 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	prof, err := treegion.ProfileFunction(fn, seed, trips)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("profile: %w", err))
+		s.fail(w, http.StatusUnprocessableEntity, "profile_failed", fmt.Errorf("profile: %w", err))
 		return
 	}
-	fr, cached, err := treegion.CompileFunctionWith(r.Context(), fn, prof, cfg, treegion.CompileOptions{
-		Workers: s.workers,
-		Cache:   s.cache,
-		Metrics: s.metrics,
-	})
+	fr, cached, err := treegion.CompileOne(r.Context(), fn, prof, cfg,
+		treegion.WithWorkers(s.workers),
+		treegion.WithCache(s.cache),
+		treegion.WithMetrics(s.metrics),
+		treegion.WithTelemetry(s.reg))
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, fmt.Errorf("compile: %w", err))
+		s.fail(w, http.StatusUnprocessableEntity, "compile_failed", fmt.Errorf("compile: %w", err))
 		return
 	}
 	resp := compileResponse{
@@ -180,6 +279,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Renamed:        fr.NumRenamed,
 		Copies:         fr.NumCopies,
 		Merged:         fr.NumMerged,
+		BranchCycles:   fr.Sched.BranchCycles,
 		Cached:         cached,
 		ElapsedMS:      float64(time.Since(started).Microseconds()) / 1000,
 	}
@@ -189,51 +289,50 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			resp.Schedules = append(resp.Schedules, sc.String())
 		}
 	}
+	if req.Trace {
+		snap := fr.Trace.Snapshot()
+		resp.Trace = make(map[string]tracePhase)
+		for p := treegion.Phase(0); int(p) < len(snap.Phase); p++ {
+			ps := snap.Phase[p]
+			if ps.Calls == 0 {
+				continue
+			}
+			resp.Trace[p.String()] = tracePhase{
+				Calls: ps.Calls,
+				Ops:   ps.Ops,
+				MS:    float64(ps.Duration().Microseconds()) / 1000,
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
 }
 
-func (s *server) fail(w http.ResponseWriter, code int, err error) {
-	s.requests.compileErrors.Add(1)
+// fail writes the structured error body with the given HTTP status and
+// machine-readable code.
+func (s *server) fail(w http.ResponseWriter, status int, code string, err error) {
+	s.reg.Counter("treegiond_http_request_errors_total",
+		"Requests answered with an error status.").Inc()
+	var body errorResponse
+	body.Error.Code = code
+	body.Error.Message = err.Error()
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
 }
 
-// handleMetrics serves the cache and pipeline counters in Prometheus text
-// exposition format.
+// handleMetrics renders the whole registry — cache, pipeline, HTTP and
+// per-phase compile telemetry — in Prometheus text exposition format.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.requests.metrics.Add(1)
-	cs := s.cache.Stats()
+	s.reg.Counter("treegiond_http_metrics_requests_total", "GET /v1/metrics requests.").Inc()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter("treegiond_cache_hits_total", "Compiles served from the result cache.", cs.Hits)
-	counter("treegiond_cache_misses_total", "Cache lookups that required a compile.", cs.Misses)
-	counter("treegiond_cache_evictions_total", "Entries evicted under the byte budget.", cs.Evictions)
-	gauge("treegiond_cache_entries", "Resident cache entries.", cs.Entries)
-	gauge("treegiond_cache_bytes", "Estimated resident cache bytes.", cs.Bytes)
-	gauge("treegiond_cache_budget_bytes", "Configured cache byte budget.", cs.Budget)
-	counter("treegiond_pipeline_compiles_total", "Cold function compiles executed.", s.metrics.Compiles.Load())
-	counter("treegiond_pipeline_cache_hits_total", "Pipeline compiles served from cache.", s.metrics.CacheHits.Load())
-	counter("treegiond_pipeline_panics_total", "Compiles that panicked (isolated to errors).", s.metrics.Panics.Load())
-	counter("treegiond_pipeline_errors_total", "Compiles that returned errors.", s.metrics.Errors.Load())
-	gauge("treegiond_pipeline_in_flight", "Compiles currently executing.", s.metrics.InFlight.Load())
-	counter("treegiond_http_compile_requests_total", "POST /compile requests.", s.requests.compile.Load())
-	counter("treegiond_http_request_errors_total", "Requests answered with an error status.", s.requests.compileErrors.Load())
-	counter("treegiond_http_metrics_requests_total", "GET /metrics requests.", s.requests.metrics.Load())
-	counter("treegiond_http_healthz_requests_total", "GET /healthz requests.", s.requests.healthz.Load())
-	gauge("treegiond_uptime_seconds", "Seconds since daemon start.", int64(time.Since(s.start).Seconds()))
+	s.reg.WritePrometheus(w)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.requests.healthz.Add(1)
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	s.reg.Counter("treegiond_http_healthz_requests_total", "GET /v1/healthz requests.").Inc()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%d}\n", int64(time.Since(s.start).Seconds()))
 }

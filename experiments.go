@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"treegion/internal/compcache"
 	"treegion/internal/core"
@@ -13,6 +14,7 @@ import (
 	"treegion/internal/machine"
 	"treegion/internal/pipeline"
 	"treegion/internal/regalloc"
+	"treegion/internal/telemetry"
 )
 
 // Suite caches the generated benchmark programs, their profiles, and the
@@ -32,6 +34,7 @@ type Suite struct {
 	workers int
 	ccache  *compcache.Cache
 	metrics pipeline.Metrics
+	reg     *telemetry.Registry
 }
 
 // NewSuite generates and profiles all eight benchmarks.
@@ -45,7 +48,10 @@ func NewSuite() (*Suite, error) {
 		baseline: make(map[string]float64),
 		cache:    make(map[string]*ProgramResult),
 		ccache:   compcache.New(compcache.DefaultBudget),
+		reg:      telemetry.NewRegistry(),
 	}
+	s.ccache.Register(s.reg, "treegion")
+	s.metrics.Register(s.reg, "treegion")
 	for _, p := range progs {
 		profs, err := ProfileProgram(p)
 		if err != nil {
@@ -72,6 +78,11 @@ func (s *Suite) PipelineMetrics() (compiles, cacheHits, panics int64) {
 	return s.metrics.Compiles.Load(), s.metrics.CacheHits.Load(), s.metrics.Panics.Load()
 }
 
+// Telemetry exposes the suite's metrics registry: phase-latency histograms,
+// scheduling counters and cache/pipeline activity for every compile the
+// experiment drivers execute.
+func (s *Suite) Telemetry() *Telemetry { return s.reg }
+
 // run compiles benchmark i under c on the pipeline, memoizing the whole
 // ProgramResult on the config fingerprint.
 func (s *Suite) run(i int, c Config) (*ProgramResult, error) {
@@ -83,11 +94,8 @@ func (s *Suite) run(i int, c Config) (*ProgramResult, error) {
 	if ok {
 		return r, nil
 	}
-	r, err := CompileProgramWith(context.Background(), s.Programs[i], s.Profiles[i], c, CompileOptions{
-		Workers: workers,
-		Cache:   s.ccache,
-		Metrics: &s.metrics,
-	})
+	r, err := Compile(context.Background(), s.Programs[i], s.Profiles[i], c,
+		WithWorkers(workers), WithCache(s.ccache), WithMetrics(&s.metrics), WithTelemetry(s.reg))
 	if err != nil {
 		return nil, err
 	}
@@ -523,9 +531,14 @@ func (s *Suite) Registers() ([]RegisterRow, []int, error) {
 		for _, k := range sizes {
 			files := regalloc.FileSizes{GPR: k, Pred: k, BTR: k, FPR: k}
 			spills, extra, ops := 0, 0.0, 0
+			allocHist := s.reg.Histogram("treegion_compile_phase_seconds",
+				telemetry.Labels{"phase": telemetry.PhaseRegalloc.String()},
+				"Wall time per compile phase per function.", telemetry.DefBuckets)
 			for _, fr := range res.Funcs {
 				for _, sc := range fr.Schedules {
+					t0 := time.Now()
 					a := regalloc.Allocate(sc, files)
+					allocHist.ObserveDuration(time.Since(t0))
 					spills += a.TotalSpills()
 					extra += fr.Prof.BlockWeight(sc.Graph.Region.Root) * float64(a.SpillCycles) / float64(max(1, sc.Model.IssueWidth))
 				}

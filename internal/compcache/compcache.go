@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"treegion/internal/eval"
+	"treegion/internal/telemetry"
 )
 
 // Key is the content address of one (function IR, profile, config)
@@ -207,6 +208,20 @@ func (c *Cache) Put(k Key, e *Entry) {
 		c.bytes.Add(-ev.Size)
 		c.evictions.Add(1)
 	}
+}
+
+// Register exposes the cache counters on reg under prefix (for the daemon,
+// "treegiond"), reporting hits, misses, evictions and residency through the
+// same registry as the rest of the compile path.
+func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_cache_hits_total", "Compiles served from the result cache.", c.hits.Load)
+	reg.CounterFunc(prefix+"_cache_misses_total", "Cache lookups that required a compile.", c.misses.Load)
+	reg.CounterFunc(prefix+"_cache_evictions_total", "Entries evicted under the byte budget.", c.evictions.Load)
+	reg.GaugeFunc(prefix+"_cache_entries", "Resident cache entries.", c.entries.Load)
+	reg.GaugeFunc(prefix+"_cache_bytes", "Estimated resident cache bytes.", c.bytes.Load)
+	reg.GaugeFunc(prefix+"_cache_budget_bytes", "Configured cache byte budget.", func() int64 {
+		return c.shardBudget * numShards
+	})
 }
 
 // Stats snapshots the counters.

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"time"
+
 	"treegion/internal/cfg"
 	"treegion/internal/ir"
 	"treegion/internal/profile"
 	"treegion/internal/region"
+	"treegion/internal/telemetry"
 )
 
 // TDConfig carries the paper's tail-duplication heuristics (Section 4): the
@@ -29,6 +32,12 @@ func DefaultTDConfig() TDConfig {
 // single incoming edge) until no sapling qualifies. The profile is kept
 // consistent: duplicates inherit the weight of the re-routed edge.
 func FormTD(fn *ir.Function, prof *profile.Data, td TDConfig) []*region.Region {
+	return FormTDTraced(fn, prof, td, nil)
+}
+
+// FormTDTraced is FormTD recording each tail duplication's wall time and
+// duplicated op count on tr as the tail-dup phase (nil disables tracing).
+func FormTDTraced(fn *ir.Function, prof *profile.Data, td TDConfig, tr *telemetry.CompileTrace) []*region.Region {
 	if td.PathLimit <= 0 {
 		td.PathLimit = 20
 	}
@@ -40,7 +49,7 @@ func FormTD(fn *ir.Function, prof *profile.Data, td TDConfig) []*region.Region {
 	}
 	g := cfg.New(fn)
 	f := newFormer(fn, g)
-	e := &expander{f: f, prof: prof, td: td}
+	e := &expander{f: f, prof: prof, td: td, tr: tr}
 	return f.form(region.KindTreegionTD, e.expand)
 }
 
@@ -48,6 +57,7 @@ type expander struct {
 	f    *former
 	prof *profile.Data
 	td   TDConfig
+	tr   *telemetry.CompileTrace
 	// base is the current tree's size at initial absorption; see expand.
 	base int
 }
@@ -91,11 +101,13 @@ func (e *expander) expand(r *region.Region) {
 			if p == ir.NoBlock {
 				break // defensive; saplings always have an in-region pred
 			}
+			t0 := time.Now()
 			dup := region.TailDuplicate(fn, e.prof, p, sap)
 			e.retargetPreds(p, sap, dup)
 			r.Add(dup.ID, p)
 			f.inRegion[dup.ID] = true
 			f.absorb(r, dup.ID)
+			e.tr.Observe(telemetry.PhaseTailDup, time.Since(t0), len(dup.Ops))
 		} else {
 			// A single remaining incoming edge: absorb directly.
 			p := f.preds[sap][0]

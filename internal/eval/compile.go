@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"time"
 
 	"treegion/internal/cfg"
 	"treegion/internal/core"
@@ -15,6 +16,7 @@ import (
 	"treegion/internal/progen"
 	"treegion/internal/region"
 	"treegion/internal/sched"
+	"treegion/internal/telemetry"
 )
 
 // RegionKind selects the region former for a compilation.
@@ -119,6 +121,12 @@ type FunctionResult struct {
 	OpsBefore, OpsAfter int
 	// Transformation counters summed over regions.
 	NumRenamed, NumCopies, NumMerged, NumSpeculated int
+	// Sched aggregates the per-region schedule statistics (speculation,
+	// branch packing, copies) over every region of the function.
+	Sched sched.Stats
+	// Trace is the per-phase compile telemetry of this function. Its call
+	// and op counts are deterministic in the inputs; wall times are not.
+	Trace *telemetry.CompileTrace
 	// If-conversion statistics (when Config.IfConvert was set).
 	Hyper hyper.Stats
 }
@@ -127,13 +135,20 @@ type FunctionResult struct {
 // original must survive), schedules every region, and measures the result.
 // The profile is mutated in step with tail duplication; pass a clone.
 func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionResult, error) {
-	res := &FunctionResult{Fn: fn, Prof: prof, OpsBefore: fn.NumOps()}
+	tr := telemetry.NewTrace(fn.Name)
+	res := &FunctionResult{Fn: fn, Prof: prof, OpsBefore: fn.NumOps(), Trace: tr}
 	if c.IfConvert {
+		t0 := time.Now()
 		res.Hyper = hyper.IfConvert(fn, prof, c.Hyper)
+		tr.Observe(telemetry.PhaseIfConvert, time.Since(t0), fn.NumOps())
 		if err := fn.Validate(); err != nil {
 			return nil, fmt.Errorf("eval: %s: invalid after if-conversion: %w", fn.Name, err)
 		}
 	}
+	// Formation. Tail duplication records its own phase inside FormTDTraced;
+	// the treeform phase is the formation time net of it, so the trace's
+	// phase totals add up without double counting.
+	t0 := time.Now()
 	g := cfg.New(fn)
 	switch c.Kind {
 	case BasicBlocks:
@@ -153,16 +168,21 @@ func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionRe
 		if td.ExpansionLimit == 0 {
 			td = core.DefaultTDConfig()
 		}
-		res.Regions = core.FormTD(fn, prof, td)
+		res.Regions = core.FormTDTraced(fn, prof, td, tr)
 	default:
 		return nil, fmt.Errorf("eval: unknown region kind %d", c.Kind)
 	}
 	res.OpsAfter = fn.NumOps()
+	tr.Observe(telemetry.PhaseTreeform,
+		time.Since(t0)-time.Duration(tr.PhaseNanos(telemetry.PhaseTailDup)), res.OpsAfter)
 	if err := region.CheckPartition(fn, res.Regions); err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", fn.Name, err)
 	}
+	t0 = time.Now()
 	lv := cfg.ComputeLiveness(cfg.New(fn))
+	tr.Observe(telemetry.PhaseLiveness, time.Since(t0), res.OpsAfter)
 	for _, r := range res.Regions {
+		t0 = time.Now()
 		dg, err := ddg.Build(fn, r, ddg.Options{
 			Rename:               c.Rename,
 			DominatorParallelism: c.DominatorParallelism,
@@ -172,18 +192,23 @@ func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionRe
 		if err != nil {
 			return nil, err
 		}
-		s := sched.ListSchedule(dg, c.Machine, c.Heuristic.Keys)
+		tr.Observe(telemetry.PhaseDDG, time.Since(t0), len(dg.Nodes))
+		s := sched.ListScheduleTraced(dg, c.Machine, c.Heuristic.Keys, tr)
 		if err := s.Verify(); err != nil {
 			return nil, fmt.Errorf("eval: %s: %w", fn.Name, err)
 		}
+		t0 = time.Now()
 		rt := MeasureRegion(s, prof, lv)
+		tr.Observe(telemetry.PhaseMeasure, time.Since(t0), len(dg.Nodes))
 		res.Time += rt.Time
 		res.Copies += rt.TimeWithCopies
 		res.Schedules = append(res.Schedules, s)
 		res.NumRenamed += dg.NumRenamed
 		res.NumCopies += dg.NumCopies
 		res.NumMerged += dg.NumMerged
-		res.NumSpeculated += s.SpeculatedAbove()
+		ss := s.Stats()
+		res.Sched = res.Sched.Add(ss)
+		res.NumSpeculated += ss.Speculated
 	}
 	return res, nil
 }
@@ -200,6 +225,11 @@ type ProgramResult struct {
 	// RegionStats aggregates the formed regions (executed regions only when
 	// a profile is supplied to the underlying stats call).
 	RegionStats region.Stats
+	// Sched aggregates schedule statistics over every function.
+	Sched sched.Stats
+	// Trace merges the per-function compile traces. Its call and op counts
+	// are deterministic in the inputs and the worker count.
+	Trace *telemetry.CompileTrace
 }
 
 // Profiles holds the per-function profiles of one generated program.
@@ -243,7 +273,7 @@ func CompileProgram(prog *progen.Program, profs Profiles, c Config) (*ProgramRes
 // order matters for float sums, so parallel drivers must preserve it) into a
 // ProgramResult exactly as the serial CompileProgram does.
 func Aggregate(name string, c Config, frs []*FunctionResult) *ProgramResult {
-	res := &ProgramResult{Name: name, Cfg: c}
+	res := &ProgramResult{Name: name, Cfg: c, Trace: telemetry.NewTrace(name)}
 	before, after := 0, 0
 	var statParts []region.Stats
 	for _, fr := range frs {
@@ -251,6 +281,8 @@ func Aggregate(name string, c Config, frs []*FunctionResult) *ProgramResult {
 		res.Time += fr.Time
 		before += fr.OpsBefore
 		after += fr.OpsAfter
+		res.Sched = res.Sched.Add(fr.Sched)
+		res.Trace.Merge(fr.Trace)
 		switch c.Kind {
 		case Superblock:
 			// The paper's Table 4 counts only trace-formed superblocks.

@@ -24,6 +24,7 @@ import (
 	"treegion/internal/irtext"
 	"treegion/internal/profile"
 	"treegion/internal/progen"
+	"treegion/internal/telemetry"
 )
 
 // Options configures a pipeline run.
@@ -37,6 +38,10 @@ type Options struct {
 	Cache *compcache.Cache
 	// Metrics, when non-nil, receives pipeline counters.
 	Metrics *Metrics
+	// Telemetry, when non-nil, receives per-compile phase-latency
+	// histograms, scheduling counters and region-shape histograms for every
+	// cold compile.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) workers() int {
@@ -160,7 +165,65 @@ func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Optio
 	if opts.Cache != nil {
 		opts.Cache.Put(key, compcache.NewEntry(fr))
 	}
+	if opts.Telemetry != nil {
+		observeResult(opts.Telemetry, fr)
+	}
 	return fr, false, nil
+}
+
+// observeResult publishes one cold compile's telemetry: per-phase latency
+// histograms and op counters, the scheduling counters behind the paper's
+// why-treegions-win discussion, and region-shape histograms.
+func observeResult(reg *telemetry.Registry, fr *eval.FunctionResult) {
+	reg.Counter("treegion_compile_functions_total", "Functions cold-compiled through the pipeline.").Inc()
+	snap := fr.Trace.Snapshot()
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		ps := snap.Phase[p]
+		if ps.Calls == 0 {
+			continue
+		}
+		lbl := telemetry.Labels{"phase": p.String()}
+		reg.Histogram("treegion_compile_phase_seconds", lbl,
+			"Wall time per compile phase per function.", telemetry.DefBuckets).Observe(ps.Duration().Seconds())
+		reg.LabeledCounter("treegion_compile_phase_ops_total", lbl,
+			"Ops processed per compile phase.").Add(ps.Ops)
+	}
+	ss := fr.Sched
+	reg.Counter("treegion_sched_speculated_ops_total",
+		"Ops scheduled above an ancestor block's branch.").Add(int64(ss.Speculated))
+	reg.Counter("treegion_sched_renamed_dests_total",
+		"Destinations renamed at compile time to enable speculation.").Add(int64(fr.NumRenamed))
+	reg.Counter("treegion_sched_copies_total",
+		"Renaming copy ops inserted.").Add(int64(fr.NumCopies))
+	reg.Counter("treegion_sched_merged_ops_total",
+		"Duplicate ops merged by dominator parallelism.").Add(int64(fr.NumMerged))
+	reg.Counter("treegion_sched_branches_total",
+		"Terminator ops scheduled.").Add(int64(ss.Branches))
+	reg.Counter("treegion_sched_branch_cycles_total",
+		"Cycles issuing at least one branch.").Add(int64(ss.BranchCycles))
+	reg.Counter("treegion_sched_predicated_branch_cycles_total",
+		"Cycles issuing two or more branches (predicated multiway MultiOps).").Add(int64(ss.PredicatedCycles))
+	for _, r := range fr.Regions {
+		reg.Histogram("treegion_region_blocks", nil,
+			"Basic blocks per formed region.", telemetry.SizeBuckets).Observe(float64(len(r.Blocks)))
+		reg.Histogram("treegion_region_paths", nil,
+			"Root-to-leaf paths per formed region.", telemetry.SizeBuckets).Observe(float64(r.PathCount()))
+	}
+	if fr.OpsBefore > 0 {
+		reg.Histogram("treegion_code_expansion_ratio", nil,
+			"Tail-duplication code expansion per function (ops after / ops before).",
+			telemetry.RatioBuckets).Observe(float64(fr.OpsAfter) / float64(fr.OpsBefore))
+	}
+}
+
+// Register exposes the pipeline counters on reg under prefix (for the
+// daemon, "treegiond"), so the whole service reports through one registry.
+func (m *Metrics) Register(reg *telemetry.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_pipeline_compiles_total", "Cold function compiles executed.", m.Compiles.Load)
+	reg.CounterFunc(prefix+"_pipeline_cache_hits_total", "Pipeline compiles served from cache.", m.CacheHits.Load)
+	reg.CounterFunc(prefix+"_pipeline_panics_total", "Compiles that panicked (isolated to errors).", m.Panics.Load)
+	reg.CounterFunc(prefix+"_pipeline_errors_total", "Compiles that returned errors.", m.Errors.Load)
+	reg.GaugeFunc(prefix+"_pipeline_in_flight", "Compiles currently executing.", m.InFlight.Load)
 }
 
 // compileIsolated runs one compile with panic isolation: a panic inside

@@ -7,14 +7,84 @@ import (
 	"treegion/internal/profile"
 )
 
+// HistBuckets are the bucket upper ranges of Hist, chosen to resolve the
+// paper's region-shape discussion: singleton blocks, pairs, then powers of
+// two up to the "wide tree" tail.
+var HistBuckets = [6]string{"1", "2", "3-4", "5-8", "9-16", "17+"}
+
+// Hist is a fixed-bucket histogram of small integer region measures (block
+// counts, root-to-leaf path counts). The value-typed representation adds
+// and compares cheaply and keeps region stats allocation-free.
+type Hist [6]int
+
+func histBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Observe counts one measure of size n.
+func (h *Hist) Observe(n int) { h[histBucket(n)]++ }
+
+// Add returns the bucket-wise sum.
+func (h Hist) Add(o Hist) Hist {
+	for i := range h {
+		h[i] += o[i]
+	}
+	return h
+}
+
+// Total returns the number of observations.
+func (h Hist) Total() int {
+	n := 0
+	for _, v := range h {
+		n += v
+	}
+	return n
+}
+
+// String renders the non-empty buckets compactly, e.g. "1:3 3-4:2 17+:1".
+func (h Hist) String() string {
+	out := ""
+	for i, v := range h {
+		if v == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", HistBuckets[i], v)
+	}
+	if out == "" {
+		return "empty"
+	}
+	return out
+}
+
 // Stats aggregates the paper's region-characteristic measures (Tables 1, 2
 // and 4): region count, average and maximum basic-block count, and average
-// op count per region.
+// op count per region, plus the size and path-count histograms the
+// telemetry layer exports.
 type Stats struct {
 	Count     int
 	AvgBlocks float64
 	MaxBlocks int
 	AvgOps    float64
+	// Blocks histograms the block count per counted region.
+	Blocks Hist
+	// Paths histograms the root-to-leaf path count per counted region.
+	Paths Hist
 }
 
 // ComputeStats aggregates over regions. If prof is non-nil, only regions
@@ -35,6 +105,8 @@ func ComputeStats(regions []*Region, prof *profile.Data) Stats {
 			s.MaxBlocks = nb
 		}
 		totalOps += r.NumOps()
+		s.Blocks.Observe(nb)
+		s.Paths.Observe(r.PathCount())
 	}
 	if s.Count > 0 {
 		s.AvgBlocks = float64(totalBlocks) / float64(s.Count)
@@ -55,6 +127,8 @@ func Merge(parts []Stats) Stats {
 		if p.MaxBlocks > out.MaxBlocks {
 			out.MaxBlocks = p.MaxBlocks
 		}
+		out.Blocks = out.Blocks.Add(p.Blocks)
+		out.Paths = out.Paths.Add(p.Paths)
 	}
 	if out.Count > 0 {
 		out.AvgBlocks = totalBlocks / float64(out.Count)

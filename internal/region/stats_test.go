@@ -1,0 +1,76 @@
+package region
+
+import "testing"
+
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		n, bucket int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {16, 4}, {17, 5}, {100, 5},
+	}
+	for _, tc := range cases {
+		var h Hist
+		h.Observe(tc.n)
+		if h[tc.bucket] != 1 {
+			t.Errorf("Observe(%d) landed in %v, want bucket %d (%s)", tc.n, h, tc.bucket, HistBuckets[tc.bucket])
+		}
+		if h.Total() != 1 {
+			t.Errorf("Observe(%d): total = %d", tc.n, h.Total())
+		}
+	}
+}
+
+func TestHistAddAndString(t *testing.T) {
+	var a, b Hist
+	a.Observe(1)
+	a.Observe(1)
+	a.Observe(3)
+	b.Observe(20)
+	sum := a.Add(b)
+	if sum.Total() != 4 {
+		t.Errorf("total = %d, want 4", sum.Total())
+	}
+	if got, want := sum.String(), "1:2 3-4:1 17+:1"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := (Hist{}).String(); got != "empty" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestComputeStatsHistograms(t *testing.T) {
+	// The Fig. 1-style tree holds 5 blocks with 3 root-to-leaf paths; the
+	// two exit blocks become singleton regions.
+	fn, r := tree(t)
+	s5 := New(fn, KindBasicBlock, 5)
+	s6 := New(fn, KindBasicBlock, 6)
+
+	s := ComputeStats([]*Region{r, s5, s6}, nil)
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	if got, want := s.Blocks.String(), "1:2 5-8:1"; got != want {
+		t.Errorf("Blocks = %q, want %q", got, want)
+	}
+	if got, want := s.Paths.String(), "1:2 3-4:1"; got != want {
+		t.Errorf("Paths = %q, want %q", got, want)
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	var a, b Stats
+	a.Count = 1
+	a.Blocks.Observe(3)
+	a.Paths.Observe(2)
+	b.Count = 1
+	b.Blocks.Observe(1)
+	b.Paths.Observe(1)
+	m := Merge([]Stats{a, b})
+	if m.Blocks.Total() != 2 || m.Paths.Total() != 2 {
+		t.Errorf("merged totals = %d/%d, want 2/2", m.Blocks.Total(), m.Paths.Total())
+	}
+	if got, want := m.Blocks.String(), "1:1 3-4:1"; got != want {
+		t.Errorf("merged Blocks = %q, want %q", got, want)
+	}
+}

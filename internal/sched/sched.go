@@ -9,9 +9,11 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"treegion/internal/ddg"
 	"treegion/internal/machine"
+	"treegion/internal/telemetry"
 )
 
 // EagerTerminators makes terminators sort ahead of every other op so each
@@ -38,11 +40,18 @@ type Schedule struct {
 // ListSchedule builds the schedule. It never fails: the DDG is acyclic by
 // construction (node order is topological).
 func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
+	return ListScheduleTraced(g, m, prio, nil)
+}
+
+// ListScheduleTraced is ListSchedule recording the priority sort and the
+// scheduling loop as separate phases on tr (nil disables tracing).
+func ListScheduleTraced(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *telemetry.CompileTrace) *Schedule {
 	n := len(g.Nodes)
 	s := &Schedule{Graph: g, Model: m, Cycle: make([]int, n)}
 	if n == 0 {
 		return s
 	}
+	t0 := time.Now()
 
 	// Static priority order. Terminators always sort first: a branch gates
 	// every exit below it, predicated branches pack several to a cycle, and
@@ -69,7 +78,9 @@ func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
 		}
 		return ni.Index < nj.Index
 	})
+	tr.Observe(telemetry.PhasePrioritySort, time.Since(t0), n)
 
+	t0 = time.Now()
 	unscheduledPreds := make([]int, n)
 	earliest := make([]int, n)
 	for _, nd := range g.Nodes {
@@ -145,6 +156,7 @@ func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
 			s.Length = c
 		}
 	}
+	tr.Observe(telemetry.PhaseListSched, time.Since(t0), n)
 	return s
 }
 

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"testing"
+
+	"treegion/internal/ir"
+	"treegion/internal/machine"
+	"treegion/internal/region"
+)
+
+// specTreegion builds the two-armed treegion of
+// TestScheduleSpeculatesAcrossPaths: a root compare+branch with three
+// independent ops on each arm, wide enough to hoist everything.
+func specTreegion(t *testing.T) *Schedule {
+	t.Helper()
+	f := ir.NewFunction("spec")
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	r0, r1 := ir.GPR(0), ir.GPR(1)
+	f.NoteReg(r0)
+	f.NoteReg(r1)
+	p := f.NewReg(ir.ClassPred)
+	f.EmitCmpp(b0, p, ir.NoReg, ir.CondGT, r0, r1)
+	f.EmitBrct(b0, ir.NoReg, p, b1.ID, 0.5)
+	b0.FallThrough = b2.ID
+	for i := 0; i < 3; i++ {
+		f.EmitALU(b1, ir.Add, f.NewReg(ir.ClassGPR), r0, r1)
+		f.EmitALU(b2, ir.Sub, f.NewReg(ir.ClassGPR), r0, r1)
+	}
+	b1.FallThrough = b3.ID
+	b2.FallThrough = b3.ID
+	f.EmitRet(b3)
+	r := region.New(f, region.KindTreegion, b0.ID)
+	r.Add(b1.ID, b0.ID)
+	r.Add(b2.ID, b0.ID)
+	g := buildGraph(t, f, r)
+	s := ListSchedule(g, machine.EightU, depHeight)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStatsMatchesSchedule(t *testing.T) {
+	s := specTreegion(t)
+	st := s.Stats()
+	if st.Ops != len(s.Graph.Nodes) {
+		t.Errorf("Ops = %d, want %d", st.Ops, len(s.Graph.Nodes))
+	}
+	if st.Length != s.Length {
+		t.Errorf("Length = %d, want %d", st.Length, s.Length)
+	}
+	if st.Speculated != s.SpeculatedAbove() {
+		t.Errorf("Speculated = %d, want SpeculatedAbove() = %d", st.Speculated, s.SpeculatedAbove())
+	}
+	if st.Speculated < 4 {
+		t.Errorf("Speculated = %d, want most arm ops hoisted", st.Speculated)
+	}
+	// The region has one conditional branch; only the branch terminator
+	// counts (bb3 with the Ret is outside the region).
+	if st.Branches != 1 {
+		t.Errorf("Branches = %d, want 1", st.Branches)
+	}
+	if st.BranchCycles != 1 || st.MaxBranchesPerCycle != 1 || st.PredicatedCycles != 0 {
+		t.Errorf("branch packing = %d cycles, max %d, predicated %d; want 1/1/0",
+			st.BranchCycles, st.MaxBranchesPerCycle, st.PredicatedCycles)
+	}
+}
+
+func TestStatsSingleBlock(t *testing.T) {
+	f := ir.NewFunction("bb")
+	b0 := f.NewBlock()
+	r0 := f.NewReg(ir.ClassGPR)
+	f.EmitALU(b0, ir.Add, f.NewReg(ir.ClassGPR), r0, r0)
+	f.EmitRet(b0)
+	r := region.New(f, region.KindBasicBlock, b0.ID)
+	g := buildGraph(t, f, r)
+	s := ListSchedule(g, machine.FourU, depHeight)
+	st := s.Stats()
+	if st.Speculated != 0 {
+		t.Errorf("basic block speculated %d ops", st.Speculated)
+	}
+	// The Ret is the block's only terminator.
+	if st.Branches != 1 || st.BranchCycles != 1 {
+		t.Errorf("Branches = %d, BranchCycles = %d, want 1/1", st.Branches, st.BranchCycles)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Ops: 10, Copies: 1, Branches: 3, Length: 5, Speculated: 2,
+		BranchCycles: 3, PredicatedCycles: 1, MaxBranchesPerCycle: 2}
+	b := Stats{Ops: 4, Branches: 1, Length: 2, BranchCycles: 1, MaxBranchesPerCycle: 3}
+	got := a.Add(b)
+	want := Stats{Ops: 14, Copies: 1, Branches: 4, Length: 7, Speculated: 2,
+		BranchCycles: 4, PredicatedCycles: 1, MaxBranchesPerCycle: 3}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	if got.BranchesPerCycle() != 1.0 {
+		t.Errorf("BranchesPerCycle = %v, want 1.0", got.BranchesPerCycle())
+	}
+	if (Stats{}).BranchesPerCycle() != 0 {
+		t.Error("zero stats BranchesPerCycle != 0")
+	}
+}

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels attach Prometheus label pairs to an instrument. Two instruments
+// with the same name but different labels are distinct series under one
+// metric family (e.g. compile-phase histograms labelled by phase).
+type Labels map[string]string
+
+// Counter is a monotonically increasing int64. A nil counter no-ops.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram with an exact sum and
+// count, safe for concurrent observation. A nil histogram no-ops.
+type Histogram struct {
+	bounds  []float64      // upper bounds, ascending; +Inf implicit
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Standard bucket layouts.
+var (
+	// DefBuckets spans compile-phase latencies from 1µs to 2.5s.
+	DefBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+	}
+	// SizeBuckets covers small integer measures (blocks or paths per region).
+	SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+	// RatioBuckets covers code-expansion ratios (ops after / ops before).
+	RatioBuckets = []float64{1, 1.1, 1.25, 1.5, 2, 3}
+)
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series: a counter, a gauge/counter backed by a
+// read function, or a histogram.
+type metric struct {
+	name, help string
+	labels     string // rendered pairs without braces, e.g. `phase="treeform"`
+	kind       metricKind
+	counter    *Counter
+	hist       *Histogram
+	fn         func() int64
+}
+
+// Registry holds instruments in registration order and renders them in the
+// Prometheus text exposition format. Registration is idempotent: asking for
+// an existing (name, labels) returns the same instrument, so hot paths may
+// re-resolve instruments without double registration. A nil registry hands
+// out nil instruments, which no-op.
+type Registry struct {
+	mu    sync.Mutex
+	order []*metric
+	byKey map[string]*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return out
+}
+
+// register returns the existing metric for (name, labels) or installs m.
+func (r *Registry) register(name string, labels Labels, m *metric) *metric {
+	m.name = name
+	m.labels = renderLabels(labels)
+	key := name + "{" + m.labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[key]; ok {
+		return prev
+	}
+	r.byKey[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or returns) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.LabeledCounter(name, nil, help)
+}
+
+// LabeledCounter registers (or returns) a counter series with labels.
+func (r *Registry) LabeledCounter(name string, labels Labels, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, labels, &metric{help: help, kind: kindCounter, counter: &Counter{}})
+	return m.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time (e.g. an atomic owned by another subsystem).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.register(name, nil, &metric{help: help, kind: kindCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.register(name, nil, &metric{help: help, kind: kindGauge, fn: fn})
+}
+
+// Histogram registers (or returns) a histogram series with the given
+// bucket upper bounds.
+func (r *Registry) Histogram(name string, labels Labels, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	m := r.register(name, labels, &metric{help: help, kind: kindHistogram, hist: h})
+	return m.hist
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func series(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// WritePrometheus renders every registered instrument in the text
+// exposition format, emitting HELP/TYPE once per metric family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+
+	seen := make(map[string]bool, len(metrics))
+	for _, m := range metrics {
+		if !seen[m.name] {
+			seen[m.name] = true
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind)
+		}
+		switch {
+		case m.hist != nil:
+			h := m.hist
+			cum := int64(0)
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				le := `le="` + fmtFloat(ub) + `"`
+				if m.labels != "" {
+					le = m.labels + "," + le
+				}
+				fmt.Fprintf(w, "%s %d\n", series(m.name+"_bucket", le), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			le := `le="+Inf"`
+			if m.labels != "" {
+				le = m.labels + "," + le
+			}
+			fmt.Fprintf(w, "%s %d\n", series(m.name+"_bucket", le), cum)
+			fmt.Fprintf(w, "%s %s\n", series(m.name+"_sum", m.labels), fmtFloat(h.Sum()))
+			fmt.Fprintf(w, "%s %d\n", series(m.name+"_count", m.labels), h.Count())
+		case m.fn != nil:
+			fmt.Fprintf(w, "%s %d\n", series(m.name, m.labels), m.fn())
+		default:
+			fmt.Fprintf(w, "%s %d\n", series(m.name, m.labels), m.counter.Value())
+		}
+	}
+}

@@ -28,12 +28,14 @@ package vlsim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"treegion/internal/ddg"
 	"treegion/internal/eval"
 	"treegion/internal/interp"
 	"treegion/internal/ir"
 	"treegion/internal/sched"
+	"treegion/internal/telemetry"
 )
 
 // debugHook, when set by tests, is called for on-path non-speculatable ops
@@ -92,6 +94,10 @@ func (s *state) flush() {
 // the path matches the sequential interpreter on the original program). It
 // returns the observable trace.
 func Run(fr *eval.FunctionResult, o interp.Oracle, maxRegions int) (*interp.Trace, error) {
+	if fr.Trace != nil {
+		t0 := time.Now()
+		defer func() { fr.Trace.Observe(telemetry.PhaseVLSim, time.Since(t0), fr.OpsAfter) }()
+	}
 	// Map each block to its region and schedule.
 	owner := make(map[ir.BlockID]int)
 	for i, r := range fr.Regions {

@@ -10,8 +10,8 @@
 //	prog, _  := treegion.GenerateBenchmark("gcc")   // synthetic SPECint95-like program
 //	profs, _ := treegion.ProfileProgram(prog)       // stochastic profiling
 //	cfg      := treegion.DefaultConfig()            // treegions + global weight + 4U
-//	res, _   := treegion.CompileProgram(prog, profs, cfg)
-//	base, _  := treegion.CompileProgram(prog, profs, treegion.BaselineConfig())
+//	res, _   := treegion.Compile(ctx, prog, profs, cfg, treegion.WithWorkers(8))
+//	base, _  := treegion.Compile(ctx, prog, profs, treegion.BaselineConfig())
 //	fmt.Println(treegion.Speedup(base.Time, res.Time))
 //
 // plus experiment drivers that regenerate every table and figure of the
@@ -27,13 +27,15 @@ import (
 	"treegion/internal/eval"
 	"treegion/internal/hyper"
 	"treegion/internal/interp"
-	"treegion/internal/irtext"
 	"treegion/internal/ir"
+	"treegion/internal/irtext"
 	"treegion/internal/machine"
 	"treegion/internal/pipeline"
 	"treegion/internal/profile"
 	"treegion/internal/progen"
 	"treegion/internal/region"
+	"treegion/internal/sched"
+	"treegion/internal/telemetry"
 	"treegion/internal/viz"
 )
 
@@ -64,11 +66,27 @@ type (
 	Function = ir.Function
 	// ProfileData is block/edge execution counts for one function.
 	ProfileData = profile.Data
-	// CompileOptions configures the concurrent compilation pipeline
-	// (worker count, result cache, metrics).
+	// CompileOptions configures the concurrent compilation pipeline.
+	//
+	// Deprecated: pass CompileOption functional options (WithWorkers,
+	// WithCache, WithMetrics, WithTelemetry) to Compile or CompileOne.
 	CompileOptions = pipeline.Options
 	// CompileMetrics holds the pipeline's activity counters.
 	CompileMetrics = pipeline.Metrics
+	// Telemetry is the metrics registry: counters, gauges and phase-latency
+	// histograms rendered in the Prometheus text format (NewTelemetry).
+	Telemetry = telemetry.Registry
+	// CompileTrace is the per-function (or per-program, when merged)
+	// compile-phase trace attached to every FunctionResult.
+	CompileTrace = telemetry.CompileTrace
+	// TraceSnapshot is a point-in-time copy of a CompileTrace.
+	TraceSnapshot = telemetry.TraceSnapshot
+	// Phase identifies one compile phase in a CompileTrace.
+	Phase = telemetry.Phase
+	// SchedStats summarizes schedules: speculation, branch packing, copies.
+	SchedStats = sched.Stats
+	// RegionStats aggregates region shapes (counts, sizes, histograms).
+	RegionStats = region.Stats
 	// CompileCache is a sharded content-addressed cache of function
 	// compilation results with LRU eviction under a byte budget.
 	CompileCache = compcache.Cache
@@ -131,24 +149,76 @@ func ProfileFunction(fn *Function, seed uint64, trips int) (*ProfileData, error)
 	return interp.Profile(fn, seed, trips, interp.Config{MaxSteps: 2_000_000})
 }
 
-// CompileProgram compiles prog under c on fresh clones and aggregates times,
-// code expansion and region statistics. Functions compile concurrently on
-// the worker pipeline (bounded by GOMAXPROCS) with results reassembled in
-// function order, so the output is byte-identical to a serial compile.
-func CompileProgram(prog *Program, profs Profiles, c Config) (*ProgramResult, error) {
-	return pipeline.CompileProgram(context.Background(), prog, profs, c, pipeline.Options{})
+// CompileOption customizes Compile and CompileOne. The zero set of options
+// compiles with GOMAXPROCS workers, no cache, no metrics, no telemetry.
+type CompileOption func(*pipeline.Options)
+
+// WithWorkers bounds concurrent function compiles (<= 0 means GOMAXPROCS).
+func WithWorkers(n int) CompileOption {
+	return func(o *pipeline.Options) { o.Workers = n }
 }
 
-// CompileProgramWith is CompileProgram with explicit pipeline control:
-// context cancellation, worker count, a shared result cache, and metrics.
+// WithCache memoizes compiles in a shared content-addressed result cache.
+func WithCache(c *CompileCache) CompileOption {
+	return func(o *pipeline.Options) { o.Cache = c }
+}
+
+// WithMetrics publishes pipeline activity counters to m.
+func WithMetrics(m *CompileMetrics) CompileOption {
+	return func(o *pipeline.Options) { o.Metrics = m }
+}
+
+// WithTelemetry publishes per-compile phase-latency histograms, scheduling
+// counters and region-shape histograms to the registry.
+func WithTelemetry(t *Telemetry) CompileOption {
+	return func(o *pipeline.Options) { o.Telemetry = t }
+}
+
+// NewTelemetry builds an empty metrics registry; render it with its
+// WritePrometheus method (the daemon serves it on /v1/metrics).
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// Compile compiles prog under c on fresh clones and aggregates times, code
+// expansion, region statistics, scheduling statistics and the compile
+// trace. Functions compile concurrently on the worker pipeline with results
+// reassembled in function order, so the output is byte-identical to a
+// serial compile regardless of worker count.
+func Compile(ctx context.Context, prog *Program, profs Profiles, c Config, opts ...CompileOption) (*ProgramResult, error) {
+	var o pipeline.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return pipeline.CompileProgram(ctx, prog, profs, c, o)
+}
+
+// CompileOne compiles a single function through the pipeline's cache and
+// panic isolation. Unlike CompileFunction it does not mutate fn or prof (it
+// compiles clones); it reports whether the result was served from the cache.
+func CompileOne(ctx context.Context, fn *Function, prof *ProfileData, c Config, opts ...CompileOption) (*FunctionResult, bool, error) {
+	var o pipeline.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return pipeline.CompileFunction(ctx, fn, prof, c, o)
+}
+
+// CompileProgram compiles prog under c with default pipeline options.
+//
+// Deprecated: use Compile.
+func CompileProgram(prog *Program, profs Profiles, c Config) (*ProgramResult, error) {
+	return Compile(context.Background(), prog, profs, c)
+}
+
+// CompileProgramWith is CompileProgram with an explicit options struct.
+//
+// Deprecated: use Compile with functional options.
 func CompileProgramWith(ctx context.Context, prog *Program, profs Profiles, c Config, opts CompileOptions) (*ProgramResult, error) {
 	return pipeline.CompileProgram(ctx, prog, profs, c, opts)
 }
 
-// CompileFunctionWith compiles a single function through the pipeline's
-// cache and panic isolation. Unlike CompileFunction it does not mutate fn
-// or prof (it compiles clones); it reports whether the result was served
-// from the cache.
+// CompileFunctionWith compiles one function with an explicit options struct.
+//
+// Deprecated: use CompileOne with functional options.
 func CompileFunctionWith(ctx context.Context, fn *Function, prof *ProfileData, c Config, opts CompileOptions) (*FunctionResult, bool, error) {
 	return pipeline.CompileFunction(ctx, fn, prof, c, opts)
 }
