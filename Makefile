@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet lint test race bench check ci
 
 all: build
 
@@ -13,6 +13,11 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: go vet plus the schedule verifier over every example
+# program, across all five region formers.
+lint: vet
+	$(GO) run ./cmd/treegion-lint -region all testdata/fig1.tir examples/tir/*.tir
+
 test:
 	$(GO) test ./...
 
@@ -21,11 +26,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Serial vs parallel vs cached suite compile (the service-mode headline),
-# with allocation counts. The raw `go test -json` stream is captured in
-# BENCH_2.json for machine comparison against earlier runs.
+# Serial vs parallel vs cached vs verified suite compile (the service-mode
+# headline), with allocation counts. The raw `go test -json` stream is
+# captured in BENCH_3.json for machine comparison against earlier runs; the
+# Verified variant measures the static verifier's overhead.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkCompileSuite' -benchmem -benchtime 3x -json . | tee BENCH_2.json
+	$(GO) test -run XXX -bench 'BenchmarkCompileSuite' -benchmem -benchtime 3x -json . | tee BENCH_3.json
 
-# vet runs first and fails the gate on any finding.
-ci: vet build test race
+check: lint build test
+
+# lint runs first and fails the gate on any finding.
+ci: lint build test race

@@ -272,6 +272,17 @@ func BenchmarkCompileSuiteParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileSuiteVerified compiles the suite on the full worker pool
+// with the static schedule verifier on, measuring the cost of proving every
+// emitted schedule legal. Compare against BenchmarkCompileSuiteParallel.
+func BenchmarkCompileSuiteVerified(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, s, CompileOptions{Verify: true})
+	}
+}
+
 // BenchmarkCompileSuiteParallelCached adds the content-addressed result
 // cache: every iteration after the first is pure cache hits, and the
 // reported hit rate must be > 0 on any second pass.

@@ -1,0 +1,148 @@
+// Command treegion-lint statically verifies compiled schedules. It parses
+// each textual-IR file, compiles it under the requested configurations and
+// runs the internal/verify rule set — IR well-formedness (IR001-IR009),
+// region invariants (RG001-RG005), schedule legality (SC001-SC008, MC001)
+// and differential semantics (SEM001-SEM002) — over every result.
+//
+// Usage:
+//
+//	treegion-lint [-region all] [-heuristic globalweight] [-machine 4U]
+//	              [-limit 2.0] [-seed 1] [-trips 100] [-q] file.tir...
+//
+// -region/-heuristic accept "all" to sweep every former or heuristic. Each
+// diagnostic prints as "file [config]: severity RULE fn/bb/op: message".
+// The exit status is non-zero iff any Error-severity diagnostic fired.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"treegion"
+)
+
+var regionNames = []string{"bb", "slr", "tree", "sb", "tree-td"}
+var heuristicNames = []string{"depheight", "exitcount", "globalweight", "weightedcount"}
+
+func main() {
+	regionFlag := flag.String("region", "all", "region former to lint: bb, slr, tree, sb, tree-td or all")
+	heuristicFlag := flag.String("heuristic", "globalweight", "scheduling heuristic, or all")
+	machineName := flag.String("machine", "4U", "machine model: 1U, 4U, 8U, 16U")
+	limit := flag.Float64("limit", 2.0, "code expansion limit for tree-td")
+	seed := flag.Uint64("seed", 1, "profiling seed")
+	trips := flag.Int("trips", 100, "profiling trips")
+	quiet := flag.Bool("q", false, "print Error-severity diagnostics only")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "treegion-lint: no input files (usage: treegion-lint [flags] file.tir...)")
+		os.Exit(2)
+	}
+	kinds, err := expand(*regionFlag, regionNames)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treegion-lint: %v\n", err)
+		os.Exit(2)
+	}
+	heuristics, err := expand(*heuristicFlag, heuristicNames)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treegion-lint: %v\n", err)
+		os.Exit(2)
+	}
+	m, ok := treegion.MachineByName(*machineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "treegion-lint: unknown machine %q\n", *machineName)
+		os.Exit(2)
+	}
+
+	failed := false
+	files, configs := 0, 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treegion-lint: %v\n", err)
+			failed = true
+			continue
+		}
+		fn, err := treegion.ParseFunction(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: parse: %v\n", path, err)
+			failed = true
+			continue
+		}
+		prof, err := treegion.ProfileFunction(fn, *seed, *trips)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: profile: %v\n", path, err)
+			failed = true
+			continue
+		}
+		files++
+		for _, kindName := range kinds {
+			for _, hName := range heuristics {
+				kind, err := treegion.ParseRegionKind(kindName)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "treegion-lint: %v\n", err)
+					os.Exit(2)
+				}
+				h, err := treegion.ParseHeuristic(hName)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "treegion-lint: %v\n", err)
+					os.Exit(2)
+				}
+				cfg := treegion.Config{
+					Kind:                 kind,
+					Heuristic:            h,
+					Machine:              m,
+					Rename:               true,
+					DominatorParallelism: kind == treegion.TreegionTD,
+					TD:                   treegion.TDConfig{ExpansionLimit: *limit, PathLimit: 20, MergeLimit: 4},
+				}
+				configs++
+				if lintOne(path, fn, prof, cfg, *quiet) {
+					failed = true
+				}
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("treegion-lint: %d file(s) clean across %d configuration(s)\n", files, configs)
+	}
+}
+
+// lintOne compiles fn under cfg and renders every diagnostic the verifier
+// produces. It reports whether an Error-severity diagnostic (or a compile
+// failure) occurred.
+func lintOne(path string, fn *treegion.Function, prof *treegion.ProfileData, cfg treegion.Config, quiet bool) bool {
+	tag := fmt.Sprintf("%s/%s/%s", cfg.Kind, cfg.Heuristic, cfg.Machine.Name)
+	fr, err := treegion.CompileFunction(fn.Clone(), prof.Clone(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s [%s]: compile: %v\n", path, tag, err)
+		return true
+	}
+	failed := false
+	for _, d := range treegion.VerifyFunction(fn, fr, cfg) {
+		if d.Severity >= treegion.SeverityError {
+			failed = true
+		} else if quiet {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s [%s]: %s\n", path, tag, d)
+	}
+	return failed
+}
+
+// expand resolves a flag value that is either "all" or one of valid.
+func expand(v string, valid []string) ([]string, error) {
+	if v == "all" {
+		return valid, nil
+	}
+	for _, name := range valid {
+		if name == v {
+			return []string{v}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown value %q (want all or one of %v)", v, valid)
+}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -38,6 +39,7 @@ func main() {
 	ifConvert := flag.Bool("ifconvert", false, "run hyperblock-style if-conversion first")
 	dump := flag.Int("dump", 0, "print the N hottest region schedules")
 	stats := flag.Bool("stats", false, "print per-phase compile traces and scheduling statistics")
+	verifyFlag := flag.Bool("verify", false, "statically verify every emitted schedule; exit non-zero with rule IDs on violations")
 	dot := flag.String("dot", "", "write the first function's region-annotated CFG as Graphviz DOT to this file")
 	flag.Parse()
 
@@ -100,13 +102,28 @@ func main() {
 		IfConvert:            *ifConvert,
 	}
 	ctx := context.Background()
-	res, err := treegion.Compile(ctx, prog, profs, cfg, treegion.WithWorkers(*workers))
-	if err != nil {
-		log.Fatal(err)
+	copts := []treegion.CompileOption{treegion.WithWorkers(*workers)}
+	if *verifyFlag {
+		copts = append(copts, treegion.WithVerify())
 	}
-	base, err := treegion.Compile(ctx, prog, profs, treegion.BaselineConfig(), treegion.WithWorkers(*workers))
+	res, err := treegion.Compile(ctx, prog, profs, cfg, copts...)
 	if err != nil {
-		log.Fatal(err)
+		fatalCompile(err)
+	}
+	base, err := treegion.Compile(ctx, prog, profs, treegion.BaselineConfig(), copts...)
+	if err != nil {
+		fatalCompile(err)
+	}
+	if *verifyFlag {
+		advisories := 0
+		for _, fr := range res.Funcs {
+			for _, d := range fr.Diagnostics {
+				advisories++
+				fmt.Fprintf(os.Stderr, "treegionc: %s\n", d)
+			}
+		}
+		fmt.Printf("verify:         %d functions proven legal (%d advisory diagnostics)\n",
+			len(res.Funcs), advisories)
 	}
 
 	fmt.Printf("benchmark:      %s (%d functions)\n", prog.Name, len(prog.Funcs))
@@ -173,4 +190,18 @@ func main() {
 				fr.Fn.Name, fr.Regions[x.ri], x.w, fr.Schedules[x.ri])
 		}
 	}
+}
+
+// fatalCompile reports a compile failure. Verifier rejections render every
+// diagnostic with its rule ID; anything else is reported as-is.
+func fatalCompile(err error) {
+	var vf *treegion.VerifyFailure
+	if errors.As(err, &vf) {
+		fmt.Fprintf(os.Stderr, "treegionc: %v\n", err)
+		for _, d := range vf.Diagnostics {
+			fmt.Fprintf(os.Stderr, "treegionc: %s\n", d)
+		}
+		os.Exit(1)
+	}
+	log.Fatal(err)
 }

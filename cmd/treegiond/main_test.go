@@ -323,3 +323,41 @@ func TestDebugRoutes(t *testing.T) {
 		t.Errorf("service mux serves /debug/pprof/ with %d, want 404", sresp.StatusCode)
 	}
 }
+
+// TestCompileVerify covers the "verify" request field: a verified compile
+// succeeds with verified=true, and verified results are cached under their
+// own key, separate from plain compiles of the same function.
+func TestCompileVerify(t *testing.T) {
+	_, ts := testServer(t)
+	plain, err := json.Marshal(map[string]any{"ir": fig1(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, cr := postCompile(t, ts, string(plain)); resp.StatusCode != http.StatusOK || cr.Verified {
+		t.Fatalf("plain compile: status %d, verified %v", resp.StatusCode, cr.Verified)
+	}
+
+	verified, err := json.Marshal(map[string]any{"ir": fig1(t), "verify": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, cr := postCompile(t, ts, string(verified))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verified compile: status %d, want 200", resp.StatusCode)
+	}
+	if !cr.Verified {
+		t.Error("verified compile did not report verified")
+	}
+	if cr.Cached {
+		t.Error("verified compile served from the unverified cache entry")
+	}
+	if len(cr.Diagnostics) != 0 {
+		t.Errorf("unexpected diagnostics: %v", cr.Diagnostics)
+	}
+
+	resp2, cr2 := postCompile(t, ts, string(verified))
+	if resp2.StatusCode != http.StatusOK || !cr2.Cached || !cr2.Verified {
+		t.Errorf("repeated verified compile: status %d, cached %v, verified %v",
+			resp2.StatusCode, cr2.Cached, cr2.Verified)
+	}
+}

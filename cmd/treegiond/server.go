@@ -106,13 +106,18 @@ type compileRequest struct {
 	Schedules bool `json:"schedules"`
 	// Trace requests the per-phase compile trace in the response.
 	Trace bool `json:"trace"`
+	// Verify runs the static schedule verifier over the result. A schedule
+	// with Error-severity diagnostics is rejected with a 422 verify_failed
+	// error listing the violated rule IDs; advisory diagnostics ride along
+	// in the response.
+	Verify bool `json:"verify"`
 }
 
 // compileRequestFields lists the accepted body fields, quoted in the
 // structured 400 a request with an unknown field receives.
 var compileRequestFields = []string{
 	"ir", "region", "heuristic", "machine", "rename", "dompar", "ifconvert",
-	"expansion_limit", "seed", "trips", "schedules", "trace",
+	"expansion_limit", "seed", "trips", "schedules", "trace", "verify",
 }
 
 // tracePhase is one row of the optional per-phase trace in the response.
@@ -141,14 +146,21 @@ type compileResponse struct {
 	ElapsedMS       float64               `json:"elapsed_ms"`
 	Schedules       []string              `json:"schedules,omitempty"`
 	Trace           map[string]tracePhase `json:"trace,omitempty"`
+	// Verified is true when the request asked for verification and every
+	// rule passed; Diagnostics carries any advisory (sub-Error) findings.
+	Verified    bool     `json:"verified,omitempty"`
+	Diagnostics []string `json:"diagnostics,omitempty"`
 }
 
 // errorResponse is the structured error body every non-2xx reply carries:
-// {"error": {"code": "...", "message": "..."}}.
+// {"error": {"code": "...", "message": "..."}}. verify_failed errors also
+// carry the distinct violated rule IDs and the rendered diagnostics.
 type errorResponse struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code        string   `json:"code"`
+		Message     string   `json:"message"`
+		Rules       []string `json:"rules,omitempty"`
+		Diagnostics []string `json:"diagnostics,omitempty"`
 	} `json:"error"`
 }
 
@@ -259,12 +271,22 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, "profile_failed", fmt.Errorf("profile: %w", err))
 		return
 	}
-	fr, cached, err := treegion.CompileOne(r.Context(), fn, prof, cfg,
+	copts := []treegion.CompileOption{
 		treegion.WithWorkers(s.workers),
 		treegion.WithCache(s.cache),
 		treegion.WithMetrics(s.metrics),
-		treegion.WithTelemetry(s.reg))
+		treegion.WithTelemetry(s.reg),
+	}
+	if req.Verify {
+		copts = append(copts, treegion.WithVerify())
+	}
+	fr, cached, err := treegion.CompileOne(r.Context(), fn, prof, cfg, copts...)
 	if err != nil {
+		var vf *treegion.VerifyFailure
+		if errors.As(err, &vf) {
+			s.failVerify(w, vf)
+			return
+		}
 		s.fail(w, http.StatusUnprocessableEntity, "compile_failed", fmt.Errorf("compile: %w", err))
 		return
 	}
@@ -282,6 +304,12 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		BranchCycles:   fr.Sched.BranchCycles,
 		Cached:         cached,
 		ElapsedMS:      float64(time.Since(started).Microseconds()) / 1000,
+	}
+	if req.Verify {
+		resp.Verified = true
+		for _, d := range fr.Diagnostics {
+			resp.Diagnostics = append(resp.Diagnostics, d.String())
+		}
 	}
 	for _, sc := range fr.Schedules {
 		resp.ScheduleLengths = append(resp.ScheduleLengths, sc.Length)
@@ -320,6 +348,23 @@ func (s *server) fail(w http.ResponseWriter, status int, code string, err error)
 	body.Error.Message = err.Error()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// failVerify answers a verifier rejection: 422 verify_failed with the
+// distinct violated rule IDs and every rendered diagnostic.
+func (s *server) failVerify(w http.ResponseWriter, vf *treegion.VerifyFailure) {
+	s.reg.Counter("treegiond_http_request_errors_total",
+		"Requests answered with an error status.").Inc()
+	var body errorResponse
+	body.Error.Code = "verify_failed"
+	body.Error.Message = vf.Error()
+	body.Error.Rules = vf.Rules()
+	for _, d := range vf.Diagnostics {
+		body.Error.Diagnostics = append(body.Error.Diagnostics, d.String())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnprocessableEntity)
 	json.NewEncoder(w).Encode(body)
 }
 

@@ -100,7 +100,7 @@ func (w *walker) visit(n *Node) {
 			continue
 		}
 		for _, def := range w.lastDef[s] {
-			addEdge(def, n, machine.Latency(def.Op.Opcode))
+			addEdge(def, n, machine.Latency(def.Op.Opcode), EdgeData)
 		}
 		w.addReader(s, n)
 	}
@@ -108,15 +108,15 @@ func (w *walker) visit(n *Node) {
 	switch op.Opcode {
 	case ir.Ld:
 		if w.lastStore != nil {
-			addEdge(w.lastStore, n, 0)
+			addEdge(w.lastStore, n, 0, EdgeMem)
 		}
 		w.addLoad(n)
 	case ir.St, ir.Call:
 		if w.lastStore != nil {
-			addEdge(w.lastStore, n, 0)
+			addEdge(w.lastStore, n, 0, EdgeMem)
 		}
 		for _, ld := range w.loads {
-			addEdge(ld, n, 0)
+			addEdge(ld, n, 0, EdgeMem)
 		}
 		w.setStore(n)
 	}
@@ -126,10 +126,10 @@ func (w *walker) visit(n *Node) {
 			continue
 		}
 		for _, rd := range w.readers[d] {
-			addEdge(rd, n, 0)
+			addEdge(rd, n, 0, EdgeData)
 		}
 		for _, def := range w.lastDef[d] {
-			addEdge(def, n, 1)
+			addEdge(def, n, 1, EdgeData)
 		}
 	}
 	for _, d := range op.Dests {
@@ -176,12 +176,12 @@ func (b *builder) controlEdges() {
 		for _, n := range body {
 			if !n.Spec {
 				for _, t := range downTerms {
-					addEdge(n, t, 0)
+					addEdge(n, t, 0, EdgeControl)
 				}
 			}
 		}
 		for i := 0; i+1 < len(terms); i++ {
-			addEdge(terms[i], terms[i+1], 0)
+			addEdge(terms[i], terms[i+1], 0, EdgeControl)
 		}
 		// Control resolution: entering this block is decided by the branch
 		// that targets it (for an arm entry, later arms of the parent never
@@ -190,13 +190,13 @@ func (b *builder) controlEdges() {
 		// cannot speculate issue strictly after it.
 		if res := b.resolver(bid); res != nil {
 			for _, t := range terms {
-				addEdge(res, t, 0)
+				addEdge(res, t, 0, EdgeControl)
 			}
 			for _, n := range body {
 				if n.Spec {
 					continue // speculation: free to hoist
 				}
-				addEdge(res, n, 1)
+				addEdge(res, n, 1, EdgeControl)
 			}
 		}
 	}
@@ -256,7 +256,7 @@ func (b *builder) liveExitEdges() {
 			}
 			for _, n := range body {
 				for _, t := range terms {
-					addEdge(n, t, 0)
+					addEdge(n, t, 0, EdgeLive)
 				}
 			}
 		}
@@ -291,7 +291,7 @@ func (b *builder) liveExitEdges() {
 				for _, e := range exits[d] {
 					for _, dst := range op.Dests {
 						if dst.IsValid() && lv.LiveIn[e.target].Has(dst) {
-							addEdge(n, e.n, 0)
+							addEdge(n, e.n, 0, EdgeLive)
 							break
 						}
 					}

@@ -34,16 +34,52 @@ import (
 	"treegion/internal/region"
 )
 
+// EdgeKind classifies a dependence edge. The scheduler treats every kind
+// identically (a minimum issue distance); the verifier uses the kind to map
+// a violated edge to the legality rule it encodes.
+type EdgeKind uint8
+
+const (
+	// EdgeData is a register dependence: flow, anti or output.
+	EdgeData EdgeKind = iota
+	// EdgeMem is serialized memory ordering (loads never bypass stores).
+	EdgeMem
+	// EdgeControl orders terminators and pins non-speculatable ops inside
+	// their control window (resolver → op, op → own exits, arm order).
+	EdgeControl
+	// EdgeLive orders a value producer before a region exit whose target
+	// still needs the value (downward-code-motion limit).
+	EdgeLive
+)
+
+// String names the kind as shown in verifier diagnostics.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeData:
+		return "data"
+	case EdgeMem:
+		return "mem"
+	case EdgeControl:
+		return "control"
+	case EdgeLive:
+		return "live-exit"
+	default:
+		return "?"
+	}
+}
+
 // Edge is a dependence with a minimum issue-distance in cycles.
 type Edge struct {
 	To      *Node
 	Latency int
+	Kind    EdgeKind
 }
 
 // InEdge mirrors Edge from the consumer side.
 type InEdge struct {
 	From    *Node
 	Latency int
+	Kind    EdgeKind
 }
 
 // Node is one schedulable op.
@@ -205,12 +241,12 @@ func (b *builder) makeNodes() {
 
 // addEdge links from→to unless it would self-loop; duplicate edges are
 // harmless (the scheduler takes the max).
-func addEdge(from, to *Node, lat int) {
+func addEdge(from, to *Node, lat int, kind EdgeKind) {
 	if from == nil || to == nil || from == to {
 		return
 	}
-	from.Succs = append(from.Succs, Edge{To: to, Latency: lat})
-	to.Preds = append(to.Preds, InEdge{From: from, Latency: lat})
+	from.Succs = append(from.Succs, Edge{To: to, Latency: lat, Kind: kind})
+	to.Preds = append(to.Preds, InEdge{From: from, Latency: lat, Kind: kind})
 }
 
 // attributes computes height, exit count and weight for every node.

@@ -17,6 +17,7 @@ import (
 	"treegion/internal/region"
 	"treegion/internal/sched"
 	"treegion/internal/telemetry"
+	"treegion/internal/verify"
 )
 
 // RegionKind selects the region former for a compilation.
@@ -129,6 +130,9 @@ type FunctionResult struct {
 	Trace *telemetry.CompileTrace
 	// If-conversion statistics (when Config.IfConvert was set).
 	Hyper hyper.Stats
+	// Diagnostics holds the static verifier's findings when verification
+	// ran (see VerifyResult); nil when it did not.
+	Diagnostics []verify.Diagnostic
 }
 
 // CompileFunction forms regions over fn (mutating it — pass a clone if the

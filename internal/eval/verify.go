@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"treegion/internal/core"
+	"treegion/internal/ir"
+	"treegion/internal/verify"
+)
+
+// VerifyResult runs the static verifier over one compiled function,
+// translating the compilation Config into verifier options exactly as
+// CompileFunction interpreted it (tail-duplication defaults included). orig
+// is the pre-compilation function (CompileFunction mutates its input, so
+// callers keep a clone); nil skips the differential semantics check.
+func VerifyResult(orig *ir.Function, fr *FunctionResult, c Config) []verify.Diagnostic {
+	var td core.TDConfig
+	if c.Kind == TreegionTD {
+		td = c.TD
+		if td.ExpansionLimit == 0 {
+			td = core.DefaultTDConfig()
+		}
+	}
+	ds := verify.Compiled(fr.Fn, fr.Regions, fr.Schedules, verify.Options{
+		Machine:   c.Machine,
+		TD:        td,
+		IfConvert: c.IfConvert,
+		Orig:      orig,
+	})
+	fr.Diagnostics = ds
+	return ds
+}

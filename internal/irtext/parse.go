@@ -13,6 +13,21 @@ import (
 // declared block is the entry. The parsed function is validated before it
 // is returned.
 func Parse(src string) (*ir.Function, error) {
+	fn, err := ParseUnchecked(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := fn.Validate(); err != nil {
+		return nil, fmt.Errorf("irtext: %w", err)
+	}
+	return fn, nil
+}
+
+// ParseUnchecked is Parse without the final ir.Function.Validate call. It
+// exists for the verifier's adversarial fixtures: structurally broken
+// functions (an op after a branch, a RET with successors) must be loadable
+// so the IR well-formedness rules can be exercised against them.
+func ParseUnchecked(src string) (*ir.Function, error) {
 	p := &parser{}
 	lines := strings.Split(src, "\n")
 	// Pre-scan declarations so forward references resolve and block IDs
@@ -55,9 +70,6 @@ func Parse(src string) (*ir.Function, error) {
 		if err := p.line(line); err != nil {
 			return nil, fmt.Errorf("irtext: line %d: %w", i+1, err)
 		}
-	}
-	if err := p.fn.Validate(); err != nil {
-		return nil, fmt.Errorf("irtext: %w", err)
 	}
 	return p.fn, nil
 }

@@ -4,7 +4,11 @@
 // floating-point multiply (3) and floating-point divide (9).
 package machine
 
-import "treegion/internal/ir"
+import (
+	"fmt"
+
+	"treegion/internal/ir"
+)
 
 // Model is a VLIW machine model.
 type Model struct {
@@ -22,6 +26,15 @@ var (
 	EightU    = Model{Name: "8U", IssueWidth: 8}
 	SixteenU  = Model{Name: "16U", IssueWidth: 16}
 )
+
+// Validate checks that the model can execute code at all: a MultiOp must
+// hold at least one Op. The verifier reports a violation as rule MC001.
+func (m Model) Validate() error {
+	if m.IssueWidth < 1 {
+		return fmt.Errorf("machine: model %q has issue width %d (want >= 1)", m.Name, m.IssueWidth)
+	}
+	return nil
+}
 
 // ByName looks a model up by its paper name ("1U", "4U", "8U", "16U").
 func ByName(name string) (Model, bool) {

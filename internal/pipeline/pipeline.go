@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"treegion/internal/compcache"
 	"treegion/internal/eval"
@@ -25,6 +26,7 @@ import (
 	"treegion/internal/profile"
 	"treegion/internal/progen"
 	"treegion/internal/telemetry"
+	"treegion/internal/verify"
 )
 
 // Options configures a pipeline run.
@@ -42,6 +44,13 @@ type Options struct {
 	// histograms, scheduling counters and region-shape histograms for every
 	// cold compile.
 	Telemetry *telemetry.Registry
+	// Verify runs the static verifier over every cold compile. A function
+	// whose schedule produces Error-severity diagnostics fails with a
+	// *verify.Failure carrying the full diagnostic list; advisory
+	// diagnostics ride along on the FunctionResult. Verified results are
+	// cached under a distinct key, so verified and unverified pipelines
+	// never serve each other's entries.
+	Verify bool
 }
 
 func (o Options) workers() int {
@@ -64,6 +73,8 @@ type Metrics struct {
 	Errors atomic.Int64
 	// InFlight is the number of compiles currently executing.
 	InFlight atomic.Int64
+	// VerifyFailures counts compiles rejected by the static verifier.
+	VerifyFailures atomic.Int64
 }
 
 // compileFunc is the per-function compile entry point; tests swap it to
@@ -147,7 +158,11 @@ func CompileFunction(ctx context.Context, fn *ir.Function, prof *profile.Data, c
 func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Options) (*eval.FunctionResult, bool, error) {
 	var key compcache.Key
 	if opts.Cache != nil {
-		key = compcache.KeyOf(irtext.Print(orig), prof.Canonical(), c.Fingerprint())
+		fp := c.Fingerprint()
+		if opts.Verify {
+			fp += "/verified"
+		}
+		key = compcache.KeyOf(irtext.Print(orig), prof.Canonical(), fp)
 		if e, ok := opts.Cache.Get(key); ok {
 			if opts.Metrics != nil {
 				opts.Metrics.CacheHits.Add(1)
@@ -161,6 +176,22 @@ func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Optio
 			opts.Metrics.Errors.Add(1)
 		}
 		return nil, false, err
+	}
+	if opts.Verify {
+		t0 := time.Now()
+		ds := eval.VerifyResult(orig, fr, c)
+		fr.Trace.Observe(telemetry.PhaseVerify, time.Since(t0), fr.OpsAfter)
+		if verify.HasErrors(ds) {
+			if opts.Metrics != nil {
+				opts.Metrics.Errors.Add(1)
+				opts.Metrics.VerifyFailures.Add(1)
+			}
+			if opts.Telemetry != nil {
+				observeResult(opts.Telemetry, fr)
+			}
+			// Never cache a rejected compile.
+			return nil, false, &verify.Failure{Fn: orig.Name, Diagnostics: ds}
+		}
 	}
 	if opts.Cache != nil {
 		opts.Cache.Put(key, compcache.NewEntry(fr))
@@ -176,6 +207,11 @@ func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Optio
 // why-treegions-win discussion, and region-shape histograms.
 func observeResult(reg *telemetry.Registry, fr *eval.FunctionResult) {
 	reg.Counter("treegion_compile_functions_total", "Functions cold-compiled through the pipeline.").Inc()
+	for _, d := range fr.Diagnostics {
+		reg.LabeledCounter("treegion_verify_diagnostics_total",
+			telemetry.Labels{"rule": d.Rule, "severity": d.Severity.String()},
+			"Static-verifier diagnostics by rule and severity.").Inc()
+	}
 	snap := fr.Trace.Snapshot()
 	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
 		ps := snap.Phase[p]
@@ -224,6 +260,7 @@ func (m *Metrics) Register(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_pipeline_panics_total", "Compiles that panicked (isolated to errors).", m.Panics.Load)
 	reg.CounterFunc(prefix+"_pipeline_errors_total", "Compiles that returned errors.", m.Errors.Load)
 	reg.GaugeFunc(prefix+"_pipeline_in_flight", "Compiles currently executing.", m.InFlight.Load)
+	reg.CounterFunc(prefix+"_pipeline_verify_failures_total", "Compiles rejected by the static verifier.", m.VerifyFailures.Load)
 }
 
 // compileIsolated runs one compile with panic isolation: a panic inside

@@ -47,6 +47,8 @@ const (
 	PhaseListSched
 	// PhaseMeasure is the paper's path-height timing estimate per region.
 	PhaseMeasure
+	// PhaseVerify is the static schedule/IR verifier (when enabled).
+	PhaseVerify
 	// PhaseRegalloc is linear-scan register allocation (experiments).
 	PhaseRegalloc
 	// PhaseVLSim is cycle-accurate VLIW simulation (validation runs).
@@ -58,7 +60,7 @@ const (
 
 var phaseNames = [NumPhases]string{
 	"ifconvert", "treeform", "tail-dup", "liveness", "ddg-build",
-	"priority-sort", "list-sched", "measure", "regalloc", "vlsim",
+	"priority-sort", "list-sched", "measure", "verify", "regalloc", "vlsim",
 }
 
 // String names the phase as printed in trace tables and metric labels.

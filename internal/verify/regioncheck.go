@@ -1,0 +1,210 @@
+package verify
+
+import (
+	"fmt"
+
+	"treegion/internal/cfg"
+	"treegion/internal/core"
+	"treegion/internal/ir"
+	"treegion/internal/region"
+)
+
+// Region-invariant rules. The checks re-derive every invariant from the CFG
+// and the region's block lists; none of them consult the formers' own
+// bookkeeping.
+//
+//	RG001  broken region tree: preorder, parentage or CFG edges inconsistent
+//	RG002  the regions do not partition the function's blocks
+//	RG003  a non-root member has a predecessor other than its tree parent
+//	       (single-entry-tree / no-merge-point invariant, paper Section 2)
+//	RG004  a region violates its kind's shape (linear regions with tree
+//	       branching, multi-block "basic block" regions)
+//	RG005  tail duplication exceeded its configured limits (paper Section 4:
+//	       code-expansion limit, path-count limit)
+
+// CheckRegions runs the region rules over a function's region partition. td
+// bounds KindTreegionTD regions; a zero ExpansionLimit skips RG005 (the
+// caller does not know the formation configuration).
+func CheckRegions(fn *ir.Function, regions []*region.Region, td core.TDConfig) []Diagnostic {
+	c := &regionChecker{fn: fn, g: cfg.New(fn)}
+	owner := make(map[ir.BlockID]int)
+	for i, r := range regions {
+		c.tree(i, r)
+		c.kind(i, r)
+		if r.Kind == region.KindTreegionTD {
+			c.tdBounds(i, r, td)
+		}
+		for _, b := range r.Blocks {
+			if prev, dup := owner[b]; dup {
+				c.add("RG002", Error, b, "bb%d belongs to regions %d and %d", b, prev, i)
+			} else {
+				owner[b] = i
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		if _, ok := owner[b.ID]; !ok {
+			c.add("RG002", Error, b.ID, "bb%d belongs to no region", b.ID)
+		}
+	}
+	return c.ds
+}
+
+type regionChecker struct {
+	fn *ir.Function
+	g  *cfg.Graph
+	ds []Diagnostic
+}
+
+func (c *regionChecker) add(rule string, sev Severity, b ir.BlockID, format string, args ...interface{}) {
+	c.ds = append(c.ds, Diagnostic{
+		Rule: rule, Severity: sev, Fn: c.fn.Name, Block: b, Op: -1,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// tree re-derives RG001 (the block list is a preorder of a tree rooted at
+// Root whose edges exist in the CFG) and RG003 (every non-root member's only
+// CFG predecessor is its tree parent).
+func (c *regionChecker) tree(i int, r *region.Region) {
+	if len(r.Blocks) == 0 {
+		c.add("RG001", Error, ir.NoBlock, "region %d has no blocks", i)
+		return
+	}
+	if r.Blocks[0] != r.Root {
+		c.add("RG001", Error, r.Root, "region %d root bb%d is not Blocks[0] (bb%d)", i, r.Root, r.Blocks[0])
+	}
+	seen := make(map[ir.BlockID]bool)
+	for j, b := range r.Blocks {
+		if b < 0 || int(b) >= len(c.fn.Blocks) {
+			c.add("RG001", Error, b, "region %d contains missing bb%d", i, b)
+			continue
+		}
+		if seen[b] {
+			c.add("RG001", Error, b, "region %d lists bb%d twice", i, b)
+			continue
+		}
+		seen[b] = true
+		if j == 0 {
+			continue
+		}
+		p := r.Parent(b)
+		if p == ir.NoBlock || !seen[p] {
+			c.add("RG001", Error, b, "region %d member bb%d has parent bb%d outside the preceding preorder", i, b, p)
+			continue
+		}
+		edge := false
+		for _, s := range c.fn.Block(p).Succs() {
+			if s == b {
+				edge = true
+				break
+			}
+		}
+		if !edge {
+			c.add("RG001", Error, b, "region %d tree edge bb%d->bb%d is not a CFG edge", i, p, b)
+		}
+		// Single-entry tree: one predecessor, the tree parent. The root is
+		// the region's only permitted merge point.
+		preds := c.g.Preds[b]
+		if len(preds) != 1 || preds[0] != p {
+			c.add("RG003", Error, b,
+				"region %d member bb%d has %d CFG predecessors (want exactly its tree parent bb%d): merge point inside a region",
+				i, b, len(preds), p)
+		}
+	}
+}
+
+// kind checks RG004: the shape each region kind promises.
+func (c *regionChecker) kind(i int, r *region.Region) {
+	switch r.Kind {
+	case region.KindBasicBlock:
+		if len(r.Blocks) != 1 {
+			c.add("RG004", Error, r.Root, "region %d is a basic-block region with %d blocks", i, len(r.Blocks))
+		}
+	case region.KindSLR, region.KindSuperblock:
+		for _, b := range r.Blocks {
+			if ch := r.Children(b); len(ch) > 1 {
+				c.add("RG004", Error, b, "region %d (%s) is not linear: bb%d has %d in-region children", i, r.Kind, b, len(ch))
+			}
+		}
+	}
+}
+
+// tdBounds checks RG005 over a tail-duplicated treegion. Sizes mirror the
+// former's growth measure (ops plus one per block) with renaming copies
+// excluded — they are inserted after formation and must not count against
+// the formation-time budget. The sound post-hoc invariant is
+//
+//	size(duplicated blocks) <= (limit-1) * size(original blocks)
+//
+// because every admission is checked against limit * (size at initial
+// absorption), and initial absorption plus directly absorbed saplings are
+// exactly the blocks that kept their original identity (Orig == ID).
+func (c *regionChecker) tdBounds(i int, r *region.Region, td core.TDConfig) {
+	if td.ExpansionLimit == 0 {
+		return
+	}
+	// Mirror the former's defaulting so callers can pass a raw config.
+	if td.PathLimit <= 0 {
+		td.PathLimit = 20
+	}
+	if td.ExpansionLimit < 1 {
+		td.ExpansionLimit = 1
+	}
+	orig, dup := 0, 0
+	for _, bid := range r.Blocks {
+		if bid < 0 || int(bid) >= len(c.fn.Blocks) {
+			return // RG001 already reported; sizes would be meaningless
+		}
+		blk := c.fn.Block(bid)
+		w := 1
+		for _, op := range blk.Ops {
+			if op.Opcode != ir.Copy {
+				w++
+			}
+		}
+		if blk.Orig == bid {
+			orig += w
+		} else {
+			dup += w
+		}
+	}
+	if float64(dup) > (td.ExpansionLimit-1)*float64(orig)+1e-6 {
+		c.add("RG005", Error, r.Root,
+			"region %d duplicated %d ops+blocks onto an original size of %d, beyond expansion limit %.2g",
+			i, dup, orig, td.ExpansionLimit)
+	}
+	// The former tests the path limit before each admission, so the final
+	// admission may legally overshoot by the leaves of the one subtree it
+	// absorbed. Post hoc, an overshoot is legal iff undoing some single
+	// admitted subtree brings the count back within the limit; report only
+	// counts no single admission can explain.
+	if pc := r.PathCount(); pc > td.PathLimit && !c.overshootExplained(r, pc, td.PathLimit) {
+		c.add("RG005", Error, r.Root,
+			"region %d has %d root-to-leaf paths (limit %d, not attributable to one admission)",
+			i, pc, td.PathLimit)
+	}
+}
+
+// overshootExplained reports whether removing some non-root member's
+// subtree — the candidate final admission — reconstructs a pre-admission
+// path count within the limit. Removing subtree c turns its parent into a
+// leaf when c was the parent's only in-region child.
+func (c *regionChecker) overshootExplained(r *region.Region, pc, limit int) bool {
+	for _, b := range r.Blocks[1:] {
+		leaves := 0
+		for _, s := range r.Subtree(b) {
+			if r.IsLeaf(s) {
+				leaves++
+			}
+		}
+		before := pc - leaves
+		if len(r.Children(r.Parent(b))) == 1 {
+			before++
+		}
+		if before <= limit {
+			return true
+		}
+	}
+	return false
+}

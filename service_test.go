@@ -169,3 +169,46 @@ func TestSuiteConcurrentAccess(t *testing.T) {
 		t.Errorf("memoized speedups differ: %v vs %v", v1, v2)
 	}
 }
+
+// TestCompileWithVerify covers the pipeline's verify mode: a clean compile
+// passes with Verify on, verified results live under their own cache key
+// (a plain compile must not satisfy a verified request), and repeated
+// verified compiles hit the cache.
+func TestCompileWithVerify(t *testing.T) {
+	prog, err := GenerateBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cache := NewCompileCache(0)
+	var metrics CompileMetrics
+	fn, prof := prog.Funcs[0], profs[0]
+
+	if _, cached, err := CompileOne(ctx, fn, prof, DefaultConfig(), WithCache(cache), WithMetrics(&metrics)); err != nil {
+		t.Fatal(err)
+	} else if cached {
+		t.Fatal("first compile reported cached")
+	}
+	if _, cached, err := CompileOne(ctx, fn, prof, DefaultConfig(), WithCache(cache), WithMetrics(&metrics), WithVerify()); err != nil {
+		t.Fatalf("verified compile: %v", err)
+	} else if cached {
+		t.Error("verified compile served from the unverified cache entry")
+	}
+	fr, cached, err := CompileOne(ctx, fn, prof, DefaultConfig(), WithCache(cache), WithMetrics(&metrics), WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("repeated verified compile missed the cache")
+	}
+	for _, d := range fr.Diagnostics {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if n := metrics.VerifyFailures.Load(); n != 0 {
+		t.Errorf("verify failures = %d, want 0", n)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"treegion/internal/region"
 	"treegion/internal/sched"
 	"treegion/internal/telemetry"
+	"treegion/internal/verify"
 	"treegion/internal/viz"
 )
 
@@ -92,6 +93,22 @@ type (
 	CompileCache = compcache.Cache
 	// CacheStats is a snapshot of a CompileCache's counters.
 	CacheStats = compcache.Stats
+	// Diagnostic is one static-verifier finding: a stable rule ID, a
+	// severity, and a function/block/op location.
+	Diagnostic = verify.Diagnostic
+	// Severity grades a Diagnostic.
+	Severity = verify.Severity
+	// VerifyFailure is the error a verifying compile returns when the
+	// verifier proves a schedule illegal; it carries the full diagnostic
+	// list and the distinct violated rule IDs.
+	VerifyFailure = verify.Failure
+)
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = verify.Info
+	SeverityWarning = verify.Warning
+	SeverityError   = verify.Error
 )
 
 // Region formers.
@@ -172,6 +189,22 @@ func WithMetrics(m *CompileMetrics) CompileOption {
 // counters and region-shape histograms to the registry.
 func WithTelemetry(t *Telemetry) CompileOption {
 	return func(o *pipeline.Options) { o.Telemetry = t }
+}
+
+// WithVerify runs the static verifier over every cold compile: IR
+// well-formedness, region invariants, schedule legality and differential
+// semantics are re-derived and proven rather than trusted. A function that
+// fails verification returns a *VerifyFailure; advisory diagnostics are
+// attached to its FunctionResult.
+func WithVerify() CompileOption {
+	return func(o *pipeline.Options) { o.Verify = true }
+}
+
+// VerifyFunction runs the static verifier over an already compiled
+// function. orig, when non-nil, is the pre-compilation function and enables
+// the differential interpretation check.
+func VerifyFunction(orig *Function, fr *FunctionResult, c Config) []Diagnostic {
+	return eval.VerifyResult(orig, fr, c)
 }
 
 // NewTelemetry builds an empty metrics registry; render it with its
