@@ -26,14 +26,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Serial vs parallel vs cached vs verified suite compile (the service-mode
-# headline), with allocation counts. The raw `go test -json` stream is
-# captured in BENCH_3.json for machine comparison against earlier runs; the
-# Verified variant measures the static verifier's overhead.
+# Serial vs parallel vs cached vs verified vs warm-store suite compile
+# (the service-mode headline), with allocation counts. The raw `go test
+# -json` stream is captured in BENCH_4.json for machine comparison against
+# earlier runs; the WarmStore variant measures restart-path decode-from-disk
+# throughput against the persistent artifact store.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkCompileSuite' -benchmem -benchtime 3x -json . | tee BENCH_3.json
+	$(GO) test -run XXX -bench 'BenchmarkCompileSuite' -benchmem -benchtime 3x -json . | tee BENCH_4.json
 
+# check is the fast gate: lint + build + full tests, plus the race detector
+# over the new concurrency-heavy subsystems (artifact store, job queue,
+# singleflight cache, daemon endpoints).
 check: lint build test
+	$(GO) test -race ./internal/store/ ./internal/jobs/ ./internal/compcache/ ./cmd/treegiond/
 
 # lint runs first and fails the gate on any finding.
 ci: lint build test race

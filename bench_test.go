@@ -300,3 +300,48 @@ func BenchmarkCompileSuiteParallelCached(b *testing.B) {
 		b.Fatalf("hit rate = %v on repeated passes, want > 0", st.HitRate())
 	}
 }
+
+// BenchmarkCompileSuiteWarmStore measures a warm-start suite compile
+// against a pre-populated persistent artifact store with a COLD memory
+// cache: every function is decoded from disk instead of scheduled. This is
+// the restart path a daemon with -store-dir takes, and the store-hit
+// counter proves the scheduler never ran inside the timed region.
+func BenchmarkCompileSuiteWarmStore(b *testing.B) {
+	s := sharedSuite(b)
+	dir := b.TempDir()
+	seed, err := OpenArtifactStore(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate the store once, outside the timed region.
+	warmCache := NewCompileCache(0)
+	warmCache.SetL2(seed)
+	compileSuite(b, s, CompileOptions{Cache: warmCache})
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	var m CompileMetrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := OpenArtifactStore(dir, 0) // fresh handle = fresh process
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := NewCompileCache(0) // cold memory tier every iteration
+		cache.SetL2(st)
+		b.StartTimer()
+		compileSuite(b, s, CompileOptions{Cache: cache, Metrics: &m})
+		b.StopTimer()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if got := m.Compiles.Load(); got != 0 {
+		b.Fatalf("warm-store pass invoked the scheduler %d times, want 0", got)
+	}
+	b.ReportMetric(float64(m.StoreHits.Load())/float64(b.N), "store-hits/op")
+}

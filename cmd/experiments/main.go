@@ -19,6 +19,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1..table4, fig6, fig8, fig13, profvar, wide, ablation, hyper, resources, registers, or all")
 	workers := flag.Int("workers", 0, "concurrent function compiles per benchmark (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print pipeline and compile-cache statistics at the end")
+	storeDir := flag.String("store-dir", "", "persistent artifact store directory; warm runs reuse on-disk compiles (empty = disabled)")
+	storeBudget := flag.Int64("store-budget", 4<<30, "artifact store byte budget")
 	flag.Parse()
 
 	suite, err := treegion.NewSuite()
@@ -26,6 +28,14 @@ func main() {
 		fail(err)
 	}
 	suite.SetWorkers(*workers)
+	if *storeDir != "" {
+		st, err := treegion.OpenArtifactStore(*storeDir, *storeBudget)
+		if err != nil {
+			fail(err)
+		}
+		defer st.Close()
+		suite.AttachStore(st)
+	}
 	run := func(name string, f func(*treegion.Suite) error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -54,6 +64,10 @@ func main() {
 		fmt.Printf("pipeline: %d cold compiles, %d cache hits, %d panics\n", compiles, hits, panics)
 		fmt.Printf("cache:    %d entries, %d/%d bytes, hit rate %.1f%% (%d evictions)\n",
 			cs.Entries, cs.Bytes, cs.Budget, 100*cs.HitRate(), cs.Evictions)
+		if *storeDir != "" {
+			_, storeHits := suite.StoreHits()
+			fmt.Printf("store:    %d compiles served from %s\n", storeHits, *storeDir)
+		}
 	}
 }
 

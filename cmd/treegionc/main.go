@@ -41,6 +41,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-phase compile traces and scheduling statistics")
 	verifyFlag := flag.Bool("verify", false, "statically verify every emitted schedule; exit non-zero with rule IDs on violations")
 	dot := flag.String("dot", "", "write the first function's region-annotated CFG as Graphviz DOT to this file")
+	storeDir := flag.String("store-dir", "", "persistent artifact store directory; warm runs skip recompiling (empty = disabled)")
+	storeBudget := flag.Int64("store-budget", 4<<30, "artifact store byte budget")
 	flag.Parse()
 
 	if *list {
@@ -105,6 +107,16 @@ func main() {
 	copts := []treegion.CompileOption{treegion.WithWorkers(*workers)}
 	if *verifyFlag {
 		copts = append(copts, treegion.WithVerify())
+	}
+	if *storeDir != "" {
+		st, err := treegion.OpenArtifactStore(*storeDir, *storeBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		cache := treegion.NewCompileCache(0)
+		cache.SetL2(st)
+		copts = append(copts, treegion.WithCache(cache))
 	}
 	res, err := treegion.Compile(ctx, prog, profs, cfg, copts...)
 	if err != nil {

@@ -1,33 +1,55 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strings"
 	"time"
 
 	"treegion"
+	"treegion/internal/jobs"
 )
 
-// server is the daemon state: a shared compile cache, pipeline metrics and
-// a telemetry registry that every subsystem (cache, pipeline, HTTP layer,
-// per-phase compile telemetry) reports through.
+// serverConfig collects the daemon's tunables (one field per flag).
+type serverConfig struct {
+	workers    int
+	cacheBytes int64
+
+	// storeDir, when non-empty, opens the persistent artifact store there
+	// and layers it under the memory cache; storeBudget bounds its bytes.
+	storeDir    string
+	storeBudget int64
+
+	// jobWorkers/jobQueue/jobTimeout configure the async job queue.
+	jobWorkers int
+	jobQueue   int
+	jobTimeout time.Duration
+}
+
+// server is the daemon state: a shared tiered compile cache (memory over
+// the optional persistent artifact store), the async job queue, pipeline
+// metrics and a telemetry registry that every subsystem (cache, store,
+// jobs, pipeline, HTTP layer, per-phase compile telemetry) reports through.
 type server struct {
 	workers int
 	cache   *treegion.CompileCache
+	store   *treegion.ArtifactStore
+	jobs    *jobs.Queue
 	metrics *treegion.CompileMetrics
 	reg     *treegion.Telemetry
 
 	start time.Time
 }
 
-func newServer(workers int, cacheBytes int64) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	s := &server{
-		workers: workers,
-		cache:   treegion.NewCompileCache(cacheBytes),
+		workers: cfg.workers,
+		cache:   treegion.NewCompileCache(cfg.cacheBytes),
 		metrics: &treegion.CompileMetrics{},
 		reg:     treegion.NewTelemetry(),
 		start:   time.Now(),
@@ -37,7 +59,47 @@ func newServer(workers int, cacheBytes int64) *server {
 	s.reg.GaugeFunc("treegiond_uptime_seconds", "Seconds since daemon start.", func() int64 {
 		return int64(time.Since(s.start).Seconds())
 	})
-	return s
+
+	var journal jobs.Journal
+	if cfg.storeDir != "" {
+		st, err := treegion.OpenArtifactStore(cfg.storeDir, cfg.storeBudget)
+		if err != nil {
+			return nil, fmt.Errorf("open artifact store: %w", err)
+		}
+		s.store = st
+		s.cache.SetL2(st)
+		st.Register(s.reg, "treegiond")
+		journal = st.Journal()
+	}
+
+	q, err := jobs.New(jobs.Options{
+		Workers:  cfg.jobWorkers,
+		Capacity: cfg.jobQueue,
+		Timeout:  cfg.jobTimeout,
+		Retries:  2,
+		Journal:  journal,
+		Run:      s.runJob,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = q
+	q.Register(s.reg, "treegiond")
+	q.Start()
+	return s, nil
+}
+
+// shutdown drains the daemon gracefully: stop accepting jobs, let running
+// jobs finish (queued jobs stay journaled for the next start), then flush
+// and close the store.
+func (s *server) shutdown(ctx context.Context) error {
+	err := s.jobs.Drain(ctx)
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // API version prefix. Old unversioned paths redirect permanently (308 for
@@ -48,6 +110,8 @@ const apiPrefix = "/v1"
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(apiPrefix+"/compile", s.handleCompile)
+	mux.HandleFunc(apiPrefix+"/jobs", s.handleJobs)
+	mux.HandleFunc(apiPrefix+"/jobs/", s.handleJob)
 	mux.HandleFunc(apiPrefix+"/metrics", s.handleMetrics)
 	mux.HandleFunc(apiPrefix+"/healthz", s.handleHealthz)
 	mux.HandleFunc("/compile", s.legacyRedirect(apiPrefix+"/compile", http.StatusPermanentRedirect))
@@ -55,8 +119,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/healthz", s.legacyRedirect(apiPrefix+"/healthz", http.StatusMovedPermanently))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "not_found",
-			fmt.Errorf("no such endpoint %q (want %s/compile, %s/metrics or %s/healthz)",
-				r.URL.Path, apiPrefix, apiPrefix, apiPrefix))
+			fmt.Errorf("no such endpoint %q (want %s/compile, %s/jobs, %s/metrics or %s/healthz)",
+				r.URL.Path, apiPrefix, apiPrefix, apiPrefix, apiPrefix))
 	})
 	return mux
 }
@@ -221,43 +285,57 @@ func unknownField(err error) (string, bool) {
 	return "", false
 }
 
-func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	s.reg.Counter("treegiond_http_compile_requests_total", "POST /v1/compile requests.").Inc()
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("POST required"))
-		return
-	}
-	started := time.Now()
+// apiError is one structured API failure: an HTTP status, a
+// machine-readable code and the verify detail when applicable. It doubles
+// as the job runner's error type, so a failed job reports the same code a
+// synchronous request would have.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+	rules  []string
+	diags  []string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// Code implements jobs.Coder: the code lands in Job.ErrorCode.
+func (e *apiError) Code() string { return e.code }
+
+func apiErr(status int, code string, err error) *apiError {
+	return &apiError{status: status, code: code, msg: err.Error()}
+}
+
+// decodeCompileRequest parses one compile-request body (the POST
+// /v1/compile body and the POST /v1/jobs payload share this format).
+func decodeCompileRequest(data []byte) (*compileRequest, *apiError) {
 	var req compileRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		if f, ok := unknownField(err); ok {
-			s.fail(w, http.StatusBadRequest, "unknown_field",
+			return nil, apiErr(http.StatusBadRequest, "unknown_field",
 				fmt.Errorf("unknown config field %q (valid fields: %s)", f, strings.Join(compileRequestFields, ", ")))
-			return
 		}
-		var maxErr *http.MaxBytesError
-		if errors.As(err, &maxErr) {
-			s.fail(w, http.StatusRequestEntityTooLarge, "body_too_large", err)
-			return
-		}
-		s.fail(w, http.StatusBadRequest, "bad_json", fmt.Errorf("bad request body: %w", err))
-		return
+		return nil, apiErr(http.StatusBadRequest, "bad_json", fmt.Errorf("bad request body: %w", err))
 	}
 	if req.IR == "" {
-		s.fail(w, http.StatusBadRequest, "missing_field", fmt.Errorf("missing \"ir\" field"))
-		return
+		return nil, apiErr(http.StatusBadRequest, "missing_field", fmt.Errorf("missing \"ir\" field"))
 	}
-	cfg, err := s.configFrom(&req)
+	return &req, nil
+}
+
+// compile is the request core shared by the synchronous handler and the
+// async job runner: parse, profile, compile through the tiered cache,
+// shape the response. ElapsedMS is left for the caller.
+func (s *server) compile(ctx context.Context, req *compileRequest) (*compileResponse, *apiError) {
+	cfg, err := s.configFrom(req)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad_config", err)
-		return
+		return nil, apiErr(http.StatusBadRequest, "bad_config", err)
 	}
 	fn, err := treegion.ParseFunction(req.IR)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad_ir", fmt.Errorf("parse ir: %w", err))
-		return
+		return nil, apiErr(http.StatusBadRequest, "bad_ir", fmt.Errorf("parse ir: %w", err))
 	}
 	seed, trips := req.Seed, req.Trips
 	if seed == 0 {
@@ -268,8 +346,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	prof, err := treegion.ProfileFunction(fn, seed, trips)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "profile_failed", fmt.Errorf("profile: %w", err))
-		return
+		return nil, apiErr(http.StatusUnprocessableEntity, "profile_failed", fmt.Errorf("profile: %w", err))
 	}
 	copts := []treegion.CompileOption{
 		treegion.WithWorkers(s.workers),
@@ -280,17 +357,20 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if req.Verify {
 		copts = append(copts, treegion.WithVerify())
 	}
-	fr, cached, err := treegion.CompileOne(r.Context(), fn, prof, cfg, copts...)
+	fr, cached, err := treegion.CompileOne(ctx, fn, prof, cfg, copts...)
 	if err != nil {
 		var vf *treegion.VerifyFailure
 		if errors.As(err, &vf) {
-			s.failVerify(w, vf)
-			return
+			ae := apiErr(http.StatusUnprocessableEntity, "verify_failed", vf)
+			ae.rules = vf.Rules()
+			for _, d := range vf.Diagnostics {
+				ae.diags = append(ae.diags, d.String())
+			}
+			return nil, ae
 		}
-		s.fail(w, http.StatusUnprocessableEntity, "compile_failed", fmt.Errorf("compile: %w", err))
-		return
+		return nil, apiErr(http.StatusUnprocessableEntity, "compile_failed", fmt.Errorf("compile: %w", err))
 	}
-	resp := compileResponse{
+	resp := &compileResponse{
 		Function:       fr.Fn.Name,
 		Time:           fr.Time,
 		TimeWithCopies: fr.Copies,
@@ -303,7 +383,6 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Merged:         fr.NumMerged,
 		BranchCycles:   fr.Sched.BranchCycles,
 		Cached:         cached,
-		ElapsedMS:      float64(time.Since(started).Microseconds()) / 1000,
 	}
 	if req.Verify {
 		resp.Verified = true
@@ -332,39 +411,184 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	return resp, nil
+}
+
+// readBody drains one bounded request body.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *apiError) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, apiErr(http.StatusRequestEntityTooLarge, "body_too_large", err)
+		}
+		return nil, apiErr(http.StatusBadRequest, "bad_body", fmt.Errorf("read request body: %w", err))
+	}
+	return data, nil
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("treegiond_http_compile_requests_total", "POST /v1/compile requests.").Inc()
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("POST required"))
+		return
+	}
+	started := time.Now()
+	body, aerr := s.readBody(w, r)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	req, aerr := decodeCompileRequest(body)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	resp, aerr := s.compile(r.Context(), req)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(started).Microseconds()) / 1000
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
 }
 
+// runJob is the async job runner: the journaled payload is a compile
+// request body, the result is the same compileResponse the synchronous
+// endpoint returns.
+func (s *server) runJob(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+	req, aerr := decodeCompileRequest(payload)
+	if aerr != nil {
+		return nil, aerr
+	}
+	started := time.Now()
+	resp, aerr := s.compile(ctx, req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	resp.ElapsedMS = float64(time.Since(started).Microseconds()) / 1000
+	return json.Marshal(resp)
+}
+
+// jobResponse is the job-endpoint reply shape.
+type jobResponse struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	Attempts int             `json:"attempts,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Code     string          `json:"error_code,omitempty"`
+}
+
+func jobView(j jobs.Job) jobResponse {
+	return jobResponse{
+		ID:       j.ID,
+		State:    string(j.State),
+		Attempts: j.Attempts,
+		Result:   j.Result,
+		Error:    j.Error,
+		Code:     j.ErrorCode,
+	}
+}
+
+// handleJobs serves the collection: POST submits a compile job (202 with
+// the job ID; 429 when the queue is full), GET lists known jobs.
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("treegiond_http_jobs_requests_total", "/v1/jobs requests.").Inc()
+	switch r.Method {
+	case http.MethodPost:
+		body, aerr := s.readBody(w, r)
+		if aerr != nil {
+			s.writeError(w, aerr)
+			return
+		}
+		// Reject malformed payloads at submission, not at execution.
+		if _, aerr := decodeCompileRequest(body); aerr != nil {
+			s.writeError(w, aerr)
+			return
+		}
+		j, err := s.jobs.Submit(body)
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			s.writeError(w, apiErr(http.StatusTooManyRequests, "queue_full",
+				fmt.Errorf("job queue is full; retry later or raise -job-queue")))
+			return
+		case errors.Is(err, jobs.ErrDraining):
+			s.writeError(w, apiErr(http.StatusServiceUnavailable, "draining",
+				fmt.Errorf("daemon is shutting down")))
+			return
+		case err != nil:
+			s.writeError(w, apiErr(http.StatusInternalServerError, "submit_failed", err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Location", apiPrefix+"/jobs/"+j.ID)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(jobView(j))
+	case http.MethodGet:
+		list := s.jobs.List()
+		views := make([]jobResponse, len(list))
+		for i, j := range list {
+			views[i] = jobView(j)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"jobs": views})
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("POST or GET required"))
+	}
+}
+
+// handleJob serves one job: GET polls state/result, DELETE cancels.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("treegiond_http_jobs_requests_total", "/v1/jobs requests.").Inc()
+	id := strings.TrimPrefix(r.URL.Path, apiPrefix+"/jobs/")
+	if id == "" || strings.ContainsRune(id, '/') {
+		s.fail(w, http.StatusNotFound, "not_found", fmt.Errorf("no such endpoint %q", r.URL.Path))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		j, ok := s.jobs.Get(id)
+		if !ok {
+			s.fail(w, http.StatusNotFound, "unknown_job", fmt.Errorf("no job %q", id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(jobView(j))
+	case http.MethodDelete:
+		j, ok := s.jobs.Cancel(id)
+		if !ok {
+			s.fail(w, http.StatusNotFound, "unknown_job", fmt.Errorf("no job %q", id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(jobView(j))
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET or DELETE required"))
+	}
+}
+
 // fail writes the structured error body with the given HTTP status and
 // machine-readable code.
 func (s *server) fail(w http.ResponseWriter, status int, code string, err error) {
-	s.reg.Counter("treegiond_http_request_errors_total",
-		"Requests answered with an error status.").Inc()
-	var body errorResponse
-	body.Error.Code = code
-	body.Error.Message = err.Error()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(body)
+	s.writeError(w, apiErr(status, code, err))
 }
 
-// failVerify answers a verifier rejection: 422 verify_failed with the
-// distinct violated rule IDs and every rendered diagnostic.
-func (s *server) failVerify(w http.ResponseWriter, vf *treegion.VerifyFailure) {
+// writeError answers one request with a structured apiError, carrying the
+// verifier rule IDs and diagnostics when the error has them.
+func (s *server) writeError(w http.ResponseWriter, e *apiError) {
 	s.reg.Counter("treegiond_http_request_errors_total",
 		"Requests answered with an error status.").Inc()
 	var body errorResponse
-	body.Error.Code = "verify_failed"
-	body.Error.Message = vf.Error()
-	body.Error.Rules = vf.Rules()
-	for _, d := range vf.Diagnostics {
-		body.Error.Diagnostics = append(body.Error.Diagnostics, d.String())
-	}
+	body.Error.Code = e.code
+	body.Error.Message = e.msg
+	body.Error.Rules = e.rules
+	body.Error.Diagnostics = e.diags
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusUnprocessableEntity)
+	w.WriteHeader(e.status)
 	json.NewEncoder(w).Encode(body)
 }
 

@@ -73,6 +73,22 @@ func (s *Suite) SetWorkers(n int) {
 // CacheStats snapshots the shared function-compile cache counters.
 func (s *Suite) CacheStats() compcache.Stats { return s.ccache.Stats() }
 
+// AttachStore layers the disk-backed artifact store under the suite's
+// memory cache, so compiles hit disk before recomputing and cold compiles
+// are written through for future processes. The store's counters join the
+// suite registry under the "treegion" prefix.
+func (s *Suite) AttachStore(st *ArtifactStore) {
+	s.ccache.SetL2(st)
+	st.Register(s.reg, "treegion")
+}
+
+// StoreStats snapshots the suite's pipeline metrics for store activity:
+// total compiles executed and how many lookups the persistent store
+// served.
+func (s *Suite) StoreHits() (compiles, storeHits int64) {
+	return s.metrics.Compiles.Load(), s.metrics.StoreHits.Load()
+}
+
 // PipelineMetrics snapshots the pipeline activity counters.
 func (s *Suite) PipelineMetrics() (compiles, cacheHits, panics int64) {
 	return s.metrics.Compiles.Load(), s.metrics.CacheHits.Load(), s.metrics.Panics.Load()

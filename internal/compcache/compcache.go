@@ -89,6 +89,9 @@ type Stats struct {
 	Hits, Misses, Evictions int64
 	Entries                 int64
 	Bytes, Budget           int64
+	// InflightDedups counts concurrent identical compiles that were
+	// coalesced onto another caller's in-flight compile.
+	InflightDedups int64
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -101,6 +104,17 @@ func (s Stats) HitRate() float64 {
 
 const numShards = 32
 
+// L2 is a second-level result store layered under the in-memory cache —
+// in practice internal/store's disk-backed artifact store. Lookups go
+// memory → L2 → compile; results compiled cold are written through to both
+// levels. Put errors are the L2's to count and report (a failed disk write
+// must never fail a compile), which is why the interface lets Put return
+// one but GetOrCompute ignores it.
+type L2 interface {
+	Get(Key) (*eval.FunctionResult, bool)
+	Put(Key, *eval.FunctionResult) error
+}
+
 // Cache is a sharded LRU cache under a byte budget. The zero value is not
 // usable; call New. A nil *Cache is a valid "no caching" sentinel: Get
 // always misses (without counting) and Put is a no-op.
@@ -110,6 +124,24 @@ type Cache struct {
 
 	hits, misses, evictions atomic.Int64
 	entries, bytes          atomic.Int64
+
+	// l2 is the optional second level (disk store). Set before concurrent
+	// use via SetL2.
+	l2 L2
+
+	// flightMu guards inflight: one compile per key at a time, with
+	// late-arriving identical requests waiting on the leader's flight
+	// instead of compiling again.
+	flightMu sync.Mutex
+	inflight map[Key]*flight
+	dedups   atomic.Int64
+}
+
+// flight is one in-progress compile other callers may wait on.
+type flight struct {
+	done chan struct{}
+	res  *eval.FunctionResult
+	err  error
 }
 
 type shard struct {
@@ -134,7 +166,7 @@ func New(budgetBytes int64) *Cache {
 	if budgetBytes <= 0 {
 		budgetBytes = DefaultBudget
 	}
-	c := &Cache{shardBudget: budgetBytes / numShards}
+	c := &Cache{shardBudget: budgetBytes / numShards, inflight: make(map[Key]*flight)}
 	if c.shardBudget < 1 {
 		c.shardBudget = 1
 	}
@@ -210,6 +242,118 @@ func (c *Cache) Put(k Key, e *Entry) {
 	}
 }
 
+// SetL2 layers a second-level store (the disk-backed artifact store) under
+// the memory cache. Call once at setup, before the cache is shared across
+// goroutines.
+func (c *Cache) SetL2(l2 L2) {
+	if c != nil {
+		c.l2 = l2
+	}
+}
+
+// Source identifies where GetOrCompute served a result from.
+type Source uint8
+
+// GetOrCompute serve sources.
+const (
+	// SourceCompile is a cold compile actually executed by this call.
+	SourceCompile Source = iota
+	// SourceMemory is a first-level (in-memory) cache hit.
+	SourceMemory
+	// SourceL2 is a second-level (disk store) hit, promoted into memory.
+	SourceL2
+	// SourceInflight is a result shared from a concurrent identical
+	// compile (singleflight dedup).
+	SourceInflight
+)
+
+// String names the source for logs and tests.
+func (s Source) String() string {
+	switch s {
+	case SourceCompile:
+		return "compile"
+	case SourceMemory:
+		return "memory"
+	case SourceL2:
+		return "l2"
+	case SourceInflight:
+		return "inflight"
+	default:
+		return "?"
+	}
+}
+
+// peek is Get without counter or recency side effects; the singleflight
+// leader uses it to re-check the memory level after winning the flight
+// (a racing leader may have populated the key between the caller's miss
+// and this flight's start).
+func (c *Cache) peek(k Key) (*eval.FunctionResult, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.m[k]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruItem).entry.Result, true
+}
+
+// GetOrCompute is the cache's full lookup path: memory, then the L2 store,
+// then compute — with singleflight coalescing, so N concurrent identical
+// requests execute compute exactly once and the rest share the leader's
+// result (or error). Errors are never cached at either level; every waiter
+// of a failed flight receives the leader's error. A nil cache degenerates
+// to calling compute directly.
+func (c *Cache) GetOrCompute(k Key, compute func() (*eval.FunctionResult, error)) (*eval.FunctionResult, Source, error) {
+	if c == nil {
+		fr, err := compute()
+		return fr, SourceCompile, err
+	}
+	if e, ok := c.Get(k); ok {
+		return e.Result, SourceMemory, nil
+	}
+	c.flightMu.Lock()
+	if f, ok := c.inflight[k]; ok {
+		c.flightMu.Unlock()
+		c.dedups.Add(1)
+		<-f.done
+		return f.res, SourceInflight, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.flightMu.Unlock()
+	defer func() {
+		c.flightMu.Lock()
+		delete(c.inflight, k)
+		c.flightMu.Unlock()
+		close(f.done)
+	}()
+	if fr, ok := c.peek(k); ok {
+		f.res = fr
+		return fr, SourceMemory, nil
+	}
+	if c.l2 != nil {
+		if fr, ok := c.l2.Get(k); ok {
+			c.Put(k, NewEntry(fr))
+			f.res = fr
+			return fr, SourceL2, nil
+		}
+	}
+	fr, err := compute()
+	if err != nil {
+		f.err = err
+		return nil, SourceCompile, err
+	}
+	c.Put(k, NewEntry(fr))
+	if c.l2 != nil {
+		// Write-through; a failed disk write is the store's problem (it
+		// counts write errors), not the compile's.
+		_ = c.l2.Put(k, fr)
+	}
+	f.res = fr
+	return fr, SourceCompile, nil
+}
+
 // Register exposes the cache counters on reg under prefix (for the daemon,
 // "treegiond"), reporting hits, misses, evictions and residency through the
 // same registry as the rest of the compile path.
@@ -222,6 +366,8 @@ func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"_cache_budget_bytes", "Configured cache byte budget.", func() int64 {
 		return c.shardBudget * numShards
 	})
+	reg.CounterFunc(prefix+"_compcache_inflight_dedup_total",
+		"Concurrent identical compiles coalesced onto one in-flight compile.", c.dedups.Load)
 }
 
 // Stats snapshots the counters.
@@ -230,11 +376,12 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   c.entries.Load(),
-		Bytes:     c.bytes.Load(),
-		Budget:    c.shardBudget * numShards,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		Entries:        c.entries.Load(),
+		Bytes:          c.bytes.Load(),
+		Budget:         c.shardBudget * numShards,
+		InflightDedups: c.dedups.Load(),
 	}
 }

@@ -1,0 +1,75 @@
+package ddg
+
+import (
+	"fmt"
+
+	"treegion/internal/ir"
+	"treegion/internal/region"
+)
+
+// NodeSpec is the serialized form of one Node: everything Build computed,
+// minus the pointers that only make sense in-process. The artifact store
+// persists schedules as (NodeSpec, EdgeSpec) lists and revives them with
+// Restore.
+type NodeSpec struct {
+	// Op locates the node's op in the revived function.
+	Op *ir.Op
+	// Home is the block whose path the op belongs to (the common dominator
+	// for merged ops, so it can differ from the op's physical block).
+	Home      ir.BlockID
+	Term      bool
+	Spec      bool
+	Height    int
+	ExitCount int
+	Weight    float64
+}
+
+// EdgeSpec is one serialized dependence edge between node indices.
+type EdgeSpec struct {
+	From, To int
+	Latency  int
+	Kind     EdgeKind
+}
+
+// Restore rebuilds a Graph from serialized parts. Node indices follow the
+// order of nodes; edges are installed in list order, so successor order —
+// which downstream consumers iterate — matches the graph that was saved.
+// Restore validates indices and returns an error on malformed input (a
+// corrupt store entry must read as a miss, never crash or build a graph
+// that panics later).
+func Restore(fn *ir.Function, r *region.Region, nodes []NodeSpec, edges []EdgeSpec, renamed, copies, merged int) (*Graph, error) {
+	g := &Graph{
+		Fn:         fn,
+		Region:     r,
+		byOp:       make(map[*ir.Op]*Node, len(nodes)),
+		NumRenamed: renamed,
+		NumCopies:  copies,
+		NumMerged:  merged,
+	}
+	for i, spec := range nodes {
+		if spec.Op == nil {
+			return nil, fmt.Errorf("ddg: restore: node %d has no op", i)
+		}
+		n := &Node{
+			Index:     i,
+			Op:        spec.Op,
+			Home:      spec.Home,
+			Term:      spec.Term,
+			Spec:      spec.Spec,
+			Height:    spec.Height,
+			ExitCount: spec.ExitCount,
+			Weight:    spec.Weight,
+		}
+		g.Nodes = append(g.Nodes, n)
+		g.byOp[spec.Op] = n
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+			return nil, fmt.Errorf("ddg: restore: edge %d->%d out of range (%d nodes)", e.From, e.To, len(g.Nodes))
+		}
+		from, to := g.Nodes[e.From], g.Nodes[e.To]
+		from.Succs = append(from.Succs, Edge{To: to, Latency: e.Latency, Kind: e.Kind})
+		to.Preds = append(to.Preds, InEdge{From: from, Latency: e.Latency, Kind: e.Kind})
+	}
+	return g, nil
+}

@@ -65,8 +65,12 @@ func (o Options) workers() int {
 type Metrics struct {
 	// Compiles counts cold compiles actually executed.
 	Compiles atomic.Int64
-	// CacheHits counts compiles served from the result cache.
+	// CacheHits counts compiles served from the result cache (any tier:
+	// memory, disk, or an in-flight duplicate).
 	CacheHits atomic.Int64
+	// StoreHits counts the subset of CacheHits served from the persistent
+	// artifact store (the disk tier) rather than memory.
+	StoreHits atomic.Int64
 	// Panics counts compiles that panicked and were converted to errors.
 	Panics atomic.Int64
 	// Errors counts compiles that returned an error (including panics).
@@ -154,7 +158,8 @@ func CompileFunction(ctx context.Context, fn *ir.Function, prof *profile.Data, c
 }
 
 // compileOne compiles one function on clones of (orig, prof), going through
-// the cache when one is configured.
+// the tiered cache (memory, then disk, then compile) when one is
+// configured. Concurrent identical requests coalesce onto one compile.
 func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Options) (*eval.FunctionResult, bool, error) {
 	var key compcache.Key
 	if opts.Cache != nil {
@@ -163,43 +168,46 @@ func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Optio
 			fp += "/verified"
 		}
 		key = compcache.KeyOf(irtext.Print(orig), prof.Canonical(), fp)
-		if e, ok := opts.Cache.Get(key); ok {
-			if opts.Metrics != nil {
-				opts.Metrics.CacheHits.Add(1)
-			}
-			return e.Result, true, nil
-		}
 	}
-	fr, err := compileIsolated(orig.Clone(), prof.Clone(), c, opts.Metrics)
+	fr, src, err := opts.Cache.GetOrCompute(key, func() (*eval.FunctionResult, error) {
+		fr, err := compileIsolated(orig.Clone(), prof.Clone(), c, opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Verify {
+			t0 := time.Now()
+			ds := eval.VerifyResult(orig, fr, c)
+			fr.Trace.Observe(telemetry.PhaseVerify, time.Since(t0), fr.OpsAfter)
+			if verify.HasErrors(ds) {
+				if opts.Metrics != nil {
+					opts.Metrics.VerifyFailures.Add(1)
+				}
+				if opts.Telemetry != nil {
+					observeResult(opts.Telemetry, fr)
+				}
+				// A rejected compile is an error, so GetOrCompute never
+				// caches it in any tier.
+				return nil, &verify.Failure{Fn: orig.Name, Diagnostics: ds}
+			}
+		}
+		if opts.Telemetry != nil {
+			observeResult(opts.Telemetry, fr)
+		}
+		return fr, nil
+	})
 	if err != nil {
 		if opts.Metrics != nil {
 			opts.Metrics.Errors.Add(1)
 		}
 		return nil, false, err
 	}
-	if opts.Verify {
-		t0 := time.Now()
-		ds := eval.VerifyResult(orig, fr, c)
-		fr.Trace.Observe(telemetry.PhaseVerify, time.Since(t0), fr.OpsAfter)
-		if verify.HasErrors(ds) {
-			if opts.Metrics != nil {
-				opts.Metrics.Errors.Add(1)
-				opts.Metrics.VerifyFailures.Add(1)
-			}
-			if opts.Telemetry != nil {
-				observeResult(opts.Telemetry, fr)
-			}
-			// Never cache a rejected compile.
-			return nil, false, &verify.Failure{Fn: orig.Name, Diagnostics: ds}
+	if opts.Metrics != nil && src != compcache.SourceCompile {
+		opts.Metrics.CacheHits.Add(1)
+		if src == compcache.SourceL2 {
+			opts.Metrics.StoreHits.Add(1)
 		}
 	}
-	if opts.Cache != nil {
-		opts.Cache.Put(key, compcache.NewEntry(fr))
-	}
-	if opts.Telemetry != nil {
-		observeResult(opts.Telemetry, fr)
-	}
-	return fr, false, nil
+	return fr, src != compcache.SourceCompile, nil
 }
 
 // observeResult publishes one cold compile's telemetry: per-phase latency
@@ -257,6 +265,7 @@ func observeResult(reg *telemetry.Registry, fr *eval.FunctionResult) {
 func (m *Metrics) Register(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_pipeline_compiles_total", "Cold function compiles executed.", m.Compiles.Load)
 	reg.CounterFunc(prefix+"_pipeline_cache_hits_total", "Pipeline compiles served from cache.", m.CacheHits.Load)
+	reg.CounterFunc(prefix+"_pipeline_store_hits_total", "Pipeline compiles served from the persistent artifact store.", m.StoreHits.Load)
 	reg.CounterFunc(prefix+"_pipeline_panics_total", "Compiles that panicked (isolated to errors).", m.Panics.Load)
 	reg.CounterFunc(prefix+"_pipeline_errors_total", "Compiles that returned errors.", m.Errors.Load)
 	reg.GaugeFunc(prefix+"_pipeline_in_flight", "Compiles currently executing.", m.InFlight.Load)

@@ -1,0 +1,311 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"treegion/internal/ddg"
+	"treegion/internal/eval"
+	"treegion/internal/hyper"
+	"treegion/internal/ir"
+	"treegion/internal/irtext"
+	"treegion/internal/machine"
+	"treegion/internal/profile"
+	"treegion/internal/region"
+	"treegion/internal/sched"
+	"treegion/internal/telemetry"
+	"treegion/internal/verify"
+)
+
+// schemaVersion is bumped whenever the payload layout changes. An entry
+// with a different schema reads as a miss (another binary's entries are not
+// corruption), so mixed-version processes can share one store directory.
+const schemaVersion = 1
+
+// payload is the on-disk form of one FunctionResult. The in-memory result
+// is a web of pointers (ops shared between blocks, regions and DDG nodes;
+// dependence edges form a cyclic Succs/Preds mesh), which gob cannot
+// express — so the codec flattens it: the function travels as canonical
+// textual IR, regions as (blocks, parents) lists, and each schedule's DDG
+// as node/edge records addressing ops positionally. Decode rebuilds the
+// exact object graph against the re-parsed function.
+type payload struct {
+	Schema int
+
+	FnText string
+
+	HasProf   bool
+	ProfBlock map[ir.BlockID]float64
+	ProfEdge  map[profile.Edge]float64
+
+	Regions []regionRec
+	Scheds  []schedRec
+
+	Time, Copies        float64
+	OpsBefore, OpsAfter int
+
+	NumRenamed, NumCopies, NumMerged, NumSpeculated int
+
+	Sched sched.Stats
+	Hyper hyper.Stats
+
+	HasTrace bool
+	Trace    telemetry.TraceSnapshot
+
+	Diagnostics []verify.Diagnostic
+}
+
+// regionRec serializes one region as its preorder block list plus the
+// parallel parent list (region.Rebuild's input).
+type regionRec struct {
+	Kind      region.Kind
+	Blocks    []ir.BlockID
+	Parents   []ir.BlockID
+	FromTrace bool
+}
+
+// opRef addresses an op positionally: block ID and index within the
+// block's op list. Positions survive the irtext round trip (Print emits
+// blocks in ID order and ops in block order), unlike op IDs, which Parse
+// renumbers.
+type opRef struct {
+	Block ir.BlockID
+	Index int
+}
+
+// nodeRec serializes one DDG node.
+type nodeRec struct {
+	Op        opRef
+	Home      ir.BlockID
+	Term      bool
+	Spec      bool
+	Height    int
+	ExitCount int
+	Weight    float64
+}
+
+// edgeRec serializes one dependence edge between node indices.
+type edgeRec struct {
+	From, To int
+	Latency  int
+	Kind     ddg.EdgeKind
+}
+
+// schedRec serializes one schedule together with its DDG.
+type schedRec struct {
+	Region int // index into payload.Regions
+	Model  machine.Model
+	Nodes  []nodeRec
+	Edges  []edgeRec
+
+	NumRenamed, NumCopies, NumMerged int
+
+	Cycle  []int
+	Length int
+}
+
+// encode flattens fr into the gob payload.
+func encode(fr *eval.FunctionResult) ([]byte, error) {
+	if fr == nil || fr.Fn == nil {
+		return nil, fmt.Errorf("store: nil result")
+	}
+	p := payload{
+		Schema:        schemaVersion,
+		FnText:        irtext.Print(fr.Fn),
+		Time:          fr.Time,
+		Copies:        fr.Copies,
+		OpsBefore:     fr.OpsBefore,
+		OpsAfter:      fr.OpsAfter,
+		NumRenamed:    fr.NumRenamed,
+		NumCopies:     fr.NumCopies,
+		NumMerged:     fr.NumMerged,
+		NumSpeculated: fr.NumSpeculated,
+		Sched:         fr.Sched,
+		Hyper:         fr.Hyper,
+		Diagnostics:   fr.Diagnostics,
+	}
+	if fr.Prof != nil {
+		p.HasProf = true
+		p.ProfBlock = fr.Prof.Block
+		p.ProfEdge = fr.Prof.Edge
+	}
+	if fr.Trace != nil {
+		p.HasTrace = true
+		p.Trace = fr.Trace.Snapshot()
+	}
+
+	// Positional op index over the function as it prints.
+	refOf := make(map[*ir.Op]opRef)
+	for _, b := range fr.Fn.Blocks {
+		for i, op := range b.Ops {
+			refOf[op] = opRef{Block: b.ID, Index: i}
+		}
+	}
+	regionIdx := make(map[*region.Region]int)
+	for i, r := range fr.Regions {
+		regionIdx[r] = i
+		p.Regions = append(p.Regions, regionRec{
+			Kind:      r.Kind,
+			Blocks:    r.Blocks,
+			Parents:   r.Parents(),
+			FromTrace: r.FromTrace,
+		})
+	}
+	for _, s := range fr.Schedules {
+		if s.Graph == nil || s.Graph.Region == nil {
+			return nil, fmt.Errorf("store: schedule without graph")
+		}
+		ri, ok := regionIdx[s.Graph.Region]
+		if !ok {
+			return nil, fmt.Errorf("store: schedule region not among result regions")
+		}
+		rec := schedRec{
+			Region:     ri,
+			Model:      s.Model,
+			NumRenamed: s.Graph.NumRenamed,
+			NumCopies:  s.Graph.NumCopies,
+			NumMerged:  s.Graph.NumMerged,
+			Cycle:      s.Cycle,
+			Length:     s.Length,
+		}
+		for _, n := range s.Graph.Nodes {
+			ref, ok := refOf[n.Op]
+			if !ok {
+				return nil, fmt.Errorf("store: node op not found in function body")
+			}
+			rec.Nodes = append(rec.Nodes, nodeRec{
+				Op:        ref,
+				Home:      n.Home,
+				Term:      n.Term,
+				Spec:      n.Spec,
+				Height:    n.Height,
+				ExitCount: n.ExitCount,
+				Weight:    n.Weight,
+			})
+		}
+		for _, n := range s.Graph.Nodes {
+			for _, e := range n.Succs {
+				rec.Edges = append(rec.Edges, edgeRec{
+					From: n.Index, To: e.To.Index, Latency: e.Latency, Kind: e.Kind,
+				})
+			}
+		}
+		p.Scheds = append(p.Scheds, rec)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, fmt.Errorf("store: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// errSchemaSkew marks an entry written under a different payload schema: a
+// clean miss, not corruption.
+var errSchemaSkew = fmt.Errorf("store: schema skew")
+
+// decode revives a FunctionResult from the gob payload. Every index is
+// validated before use: a corrupt entry must surface as an error (which the
+// store turns into a miss), never as a panic in some later consumer.
+func decode(data []byte) (*eval.FunctionResult, error) {
+	var p payload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("store: decode: %w", err)
+	}
+	if p.Schema != schemaVersion {
+		return nil, errSchemaSkew
+	}
+	fn, err := irtext.Parse(p.FnText)
+	if err != nil {
+		return nil, fmt.Errorf("store: decode function: %w", err)
+	}
+	fr := &eval.FunctionResult{
+		Fn:            fn,
+		Time:          p.Time,
+		Copies:        p.Copies,
+		OpsBefore:     p.OpsBefore,
+		OpsAfter:      p.OpsAfter,
+		NumRenamed:    p.NumRenamed,
+		NumCopies:     p.NumCopies,
+		NumMerged:     p.NumMerged,
+		NumSpeculated: p.NumSpeculated,
+		Sched:         p.Sched,
+		Hyper:         p.Hyper,
+		Diagnostics:   p.Diagnostics,
+	}
+	if p.HasProf {
+		prof := profile.New()
+		for b, w := range p.ProfBlock {
+			prof.Block[b] = w
+		}
+		for e, w := range p.ProfEdge {
+			prof.Edge[e] = w
+		}
+		fr.Prof = prof
+	}
+	if p.HasTrace {
+		fr.Trace = p.Trace.Restore()
+	}
+	for _, rec := range p.Regions {
+		r, err := region.Rebuild(fn, rec.Kind, rec.Blocks, rec.Parents, rec.FromTrace)
+		if err != nil {
+			return nil, err
+		}
+		fr.Regions = append(fr.Regions, r)
+	}
+	for _, rec := range p.Scheds {
+		if rec.Region < 0 || rec.Region >= len(fr.Regions) {
+			return nil, fmt.Errorf("store: schedule region %d out of range", rec.Region)
+		}
+		if err := rec.Model.Validate(); err != nil {
+			return nil, err
+		}
+		nodes := make([]ddg.NodeSpec, len(rec.Nodes))
+		for i, n := range rec.Nodes {
+			if n.Op.Block < 0 || int(n.Op.Block) >= len(fn.Blocks) {
+				return nil, fmt.Errorf("store: node op block bb%d out of range", n.Op.Block)
+			}
+			b := fn.Block(n.Op.Block)
+			if n.Op.Index < 0 || n.Op.Index >= len(b.Ops) {
+				return nil, fmt.Errorf("store: node op index %d out of range in bb%d", n.Op.Index, n.Op.Block)
+			}
+			nodes[i] = ddg.NodeSpec{
+				Op:        b.Ops[n.Op.Index],
+				Home:      n.Home,
+				Term:      n.Term,
+				Spec:      n.Spec,
+				Height:    n.Height,
+				ExitCount: n.ExitCount,
+				Weight:    n.Weight,
+			}
+		}
+		edges := make([]ddg.EdgeSpec, len(rec.Edges))
+		for i, e := range rec.Edges {
+			edges[i] = ddg.EdgeSpec{From: e.From, To: e.To, Latency: e.Latency, Kind: e.Kind}
+		}
+		g, err := ddg.Restore(fn, fr.Regions[rec.Region], nodes, edges,
+			rec.NumRenamed, rec.NumCopies, rec.NumMerged)
+		if err != nil {
+			return nil, err
+		}
+		if len(rec.Cycle) != len(nodes) {
+			return nil, fmt.Errorf("store: %d cycles for %d nodes", len(rec.Cycle), len(nodes))
+		}
+		for _, c := range rec.Cycle {
+			if c < 0 || c >= rec.Length {
+				return nil, fmt.Errorf("store: issue cycle %d outside schedule length %d", c, rec.Length)
+			}
+		}
+		if rec.Length < 0 || (len(nodes) == 0 && rec.Length != 0) {
+			return nil, fmt.Errorf("store: empty schedule with length %d", rec.Length)
+		}
+		fr.Schedules = append(fr.Schedules, &sched.Schedule{
+			Graph:  g,
+			Model:  rec.Model,
+			Cycle:  rec.Cycle,
+			Length: rec.Length,
+		})
+	}
+	return fr, nil
+}

@@ -176,6 +176,21 @@ func (t *CompileTrace) Snapshot() TraceSnapshot {
 	return s
 }
 
+// Restore materializes a live trace carrying the snapshot's counts. The
+// artifact store persists traces as snapshots; a result served from disk
+// gets its original compile trace back, so trace tables and phase metrics
+// of warm results match their cold compile.
+func (s TraceSnapshot) Restore() *CompileTrace {
+	t := NewTrace(s.Function)
+	for p := Phase(0); p < NumPhases; p++ {
+		st := &t.phase[p]
+		st.nanos.Store(s.Phase[p].Nanos)
+		st.calls.Store(s.Phase[p].Calls)
+		st.ops.Store(s.Phase[p].Ops)
+	}
+	return t
+}
+
 // Total sums every phase.
 func (s TraceSnapshot) Total() PhaseSnapshot {
 	var tot PhaseSnapshot

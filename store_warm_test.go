@@ -1,0 +1,186 @@
+package treegion
+
+// Acceptance tests for the persistent artifact store: a suite compiled
+// against a store directory once must compile ZERO functions when a fresh
+// process (fresh memory cache, fresh store handle, same directory)
+// compiles it again — every lookup is a disk hit, proven by the pipeline
+// telemetry counters — and the restored results must be numerically
+// identical to the cold ones.
+
+import (
+	"context"
+	"testing"
+
+	"treegion/internal/eval"
+)
+
+func TestWarmStoreSuiteCompileSkipsScheduler(t *testing.T) {
+	dir := t.TempDir()
+	progs, err := GenerateSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var profs []Profiles
+	total := 0
+	for _, p := range progs {
+		pr, err := ProfileProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profs = append(profs, pr)
+		total += len(p.Funcs)
+	}
+
+	// runOnce models one process: its own memory cache and store handle,
+	// sharing only the store directory.
+	runOnce := func() (*CompileMetrics, []float64) {
+		st, err := OpenArtifactStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		cache := NewCompileCache(0)
+		cache.SetL2(st)
+		m := &CompileMetrics{}
+		var times []float64
+		for i := range progs {
+			res, err := Compile(context.Background(), progs[i], profs[i], DefaultConfig(),
+				WithCache(cache), WithMetrics(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			times = append(times, res.Time)
+		}
+		return m, times
+	}
+
+	m1, t1 := runOnce()
+	if got := m1.Compiles.Load(); got == 0 {
+		t.Fatal("cold run compiled nothing")
+	}
+	if got := m1.StoreHits.Load(); got != 0 {
+		t.Fatalf("cold run took %d store hits from an empty store", got)
+	}
+
+	m2, t2 := runOnce()
+	if got := m2.Compiles.Load(); got != 0 {
+		t.Fatalf("warm run invoked the scheduler %d times, want 0 (all %d functions should come from disk)", got, total)
+	}
+	if hits := m2.StoreHits.Load(); hits == 0 {
+		t.Fatal("warm run reported no store hits")
+	}
+	if hits, cached := m2.StoreHits.Load(), m2.CacheHits.Load(); hits > cached {
+		t.Fatalf("store hits %d exceed total cache hits %d", hits, cached)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("%s: warm time %v != cold time %v", progs[i].Name, t2[i], t1[i])
+		}
+	}
+}
+
+// TestWarmStoreServesVerifiedKeysDistinctly: entries cached by an
+// unverified run must not satisfy a verifying run (the verify bit is part
+// of the content address), and vice versa.
+func TestWarmStoreVerifyKeysDistinct(t *testing.T) {
+	dir := t.TempDir()
+	prog, err := GenerateBenchmark("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(verify bool) *CompileMetrics {
+		st, err := OpenArtifactStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		cache := NewCompileCache(0)
+		cache.SetL2(st)
+		m := &CompileMetrics{}
+		opts := []CompileOption{WithCache(cache), WithMetrics(m)}
+		if verify {
+			opts = append(opts, WithVerify())
+		}
+		if _, err := Compile(context.Background(), prog, profs, DefaultConfig(), opts...); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	cold := run(false)
+	if cold.Compiles.Load() == 0 {
+		t.Fatal("cold run compiled nothing")
+	}
+	// A verifying run must NOT be served by the unverified entries.
+	verified := run(true)
+	if verified.Compiles.Load() == 0 {
+		t.Fatal("verified run was served entirely from unverified store entries")
+	}
+	// But a second verifying run is all disk hits under the verified keys.
+	warm := run(true)
+	if got := warm.Compiles.Load(); got != 0 {
+		t.Fatalf("second verified run compiled %d functions, want 0", got)
+	}
+	if warm.StoreHits.Load() == 0 {
+		t.Fatal("second verified run took no store hits")
+	}
+}
+
+// TestWarmStoreRestoredResultsDriveExperiments: results revived from disk
+// must be structurally complete — the experiment analyses walk regions,
+// schedules and DDG nodes of every FunctionResult, so a shallow restore
+// would panic or produce different aggregates.
+func TestWarmStoreRestoredResultsDriveExperiments(t *testing.T) {
+	dir := t.TempDir()
+	prog, err := GenerateBenchmark("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*ProgramResult, *CompileMetrics) {
+		st, err := OpenArtifactStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		cache := NewCompileCache(0)
+		cache.SetL2(st)
+		m := &CompileMetrics{}
+		res, err := Compile(context.Background(), prog, profs, DefaultConfig(),
+			WithCache(cache), WithMetrics(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, m
+	}
+	cold, _ := run()
+	warm, m := run()
+	if m.Compiles.Load() != 0 {
+		t.Fatalf("warm run compiled %d functions", m.Compiles.Load())
+	}
+	if warm.Time != cold.Time || warm.CodeExpansion != cold.CodeExpansion {
+		t.Fatalf("aggregates differ: time %v/%v expansion %v/%v",
+			warm.Time, cold.Time, warm.CodeExpansion, cold.CodeExpansion)
+	}
+	if warm.RegionStats.Count != cold.RegionStats.Count ||
+		warm.RegionStats.AvgBlocks != cold.RegionStats.AvgBlocks {
+		t.Fatal("region statistics differ after disk round trip")
+	}
+	// UtilizationOf walks every schedule's regions, DDG and profile — the
+	// deepest structural consumer the experiment layer has.
+	cfg := DefaultConfig()
+	for i, fr := range warm.Funcs {
+		cu := eval.UtilizationOf(cold.Funcs[i], cold.Funcs[i].Prof, cfg.Machine)
+		wu := eval.UtilizationOf(fr, fr.Prof, cfg.Machine)
+		if cu != wu {
+			t.Fatalf("function %s utilization %v != %v", fr.Fn.Name, wu, cu)
+		}
+	}
+}

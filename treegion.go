@@ -35,6 +35,7 @@ import (
 	"treegion/internal/progen"
 	"treegion/internal/region"
 	"treegion/internal/sched"
+	"treegion/internal/store"
 	"treegion/internal/telemetry"
 	"treegion/internal/verify"
 	"treegion/internal/viz"
@@ -93,6 +94,11 @@ type (
 	CompileCache = compcache.Cache
 	// CacheStats is a snapshot of a CompileCache's counters.
 	CacheStats = compcache.Stats
+	// ArtifactStore is the disk-backed content-addressed artifact store:
+	// the persistent L2 tier behind a CompileCache (see SetL2).
+	ArtifactStore = store.Store
+	// StoreStats is a snapshot of an ArtifactStore's counters.
+	StoreStats = store.Stats
 	// Diagnostic is one static-verifier finding: a stable rule ID, a
 	// severity, and a function/block/op location.
 	Diagnostic = verify.Diagnostic
@@ -260,6 +266,15 @@ func CompileFunctionWith(ctx context.Context, fn *Function, prof *ProfileData, c
 // the given byte budget (<= 0 selects a default of 512 MiB).
 func NewCompileCache(budgetBytes int64) *CompileCache {
 	return compcache.New(budgetBytes)
+}
+
+// OpenArtifactStore opens (creating if needed) the disk-backed artifact
+// store rooted at dir, holding it to budgetBytes of entries (<= 0 means
+// the 4 GiB default). Layer it under a memory cache with
+// cache.SetL2(store) so pipeline lookups go memory → disk → compile, and
+// warm store directories survive process restarts.
+func OpenArtifactStore(dir string, budgetBytes int64) (*ArtifactStore, error) {
+	return store.Open(dir, budgetBytes)
 }
 
 // CompileFunction compiles one function (mutating it; pass a clone to keep
