@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench check ci
+.PHONY: all build vet lint test race bench bench-compare check ci
 
 all: build
 
@@ -26,19 +26,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Serial vs parallel vs cached vs verified vs warm-store suite compile
-# (the service-mode headline), with allocation counts. The raw `go test
-# -json` stream is captured in BENCH_4.json for machine comparison against
-# earlier runs; the WarmStore variant measures restart-path decode-from-disk
-# throughput against the persistent artifact store.
+# Suite compiles (serial/parallel/cached/verified/warm-store) plus the
+# per-phase micro-benchmarks of the compiler core (liveness, DDG build,
+# list scheduling), with allocation counts. The raw `go test -json` stream
+# is captured in BENCH_5.json for machine comparison against earlier runs
+# (BENCH_4.json holds the pre-overhaul baseline).
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkCompileSuite' -benchmem -benchtime 3x -json . | tee BENCH_4.json
+	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_5.json
+
+# bench-compare diffs two bench captures. benchstat is used when installed
+# (fed plain text extracted from the JSON captures); otherwise the bundled
+# dependency-free cmd/benchdiff prints the old/new/delta table. Override the
+# endpoints with BENCH_OLD= / BENCH_NEW=.
+BENCH_OLD ?= BENCH_4.json
+BENCH_NEW ?= BENCH_5.json
+bench-compare:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) run ./cmd/benchdiff -extract $(BENCH_OLD) > /tmp/benchdiff_old.txt; \
+		$(GO) run ./cmd/benchdiff -extract $(BENCH_NEW) > /tmp/benchdiff_new.txt; \
+		benchstat /tmp/benchdiff_old.txt /tmp/benchdiff_new.txt; \
+	else \
+		$(GO) run ./cmd/benchdiff $(BENCH_OLD) $(BENCH_NEW); \
+	fi
 
 # check is the fast gate: lint + build + full tests, plus the race detector
-# over the new concurrency-heavy subsystems (artifact store, job queue,
-# singleflight cache, daemon endpoints).
+# over the concurrency-heavy subsystems (artifact store, job queue,
+# singleflight cache, daemon endpoints) and one racing pass over the hot-path
+# micro-benchmarks (the scheduler's sync.Pool scratch is shared across
+# pipeline workers, so the bench bodies must be race-clean too).
 check: lint build test
 	$(GO) test -race ./internal/store/ ./internal/jobs/ ./internal/compcache/ ./cmd/treegiond/
+	$(GO) test -race -run NONE -bench 'BenchmarkColdCompile' -benchtime 1x .
 
 # lint runs first and fails the gate on any finding.
 ci: lint build test race

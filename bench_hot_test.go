@@ -1,0 +1,116 @@
+package treegion
+
+// Micro-benchmarks for the three rebuilt hot phases of the compiler core —
+// bitset liveness, slab DDG construction, and heap-based list scheduling —
+// each driven cold over every function of the 8-benchmark suite. They
+// isolate one phase per iteration, so a regression in (say) the scheduler's
+// ready queue shows up here before it moves the whole-pipeline
+// BenchmarkCompileSuiteSerial number. `make bench` captures them in
+// BENCH_5.json; `make check` runs them once under the race detector.
+
+import (
+	"testing"
+
+	"treegion/internal/cfg"
+	"treegion/internal/core"
+	"treegion/internal/ddg"
+	"treegion/internal/ir"
+	"treegion/internal/machine"
+	"treegion/internal/region"
+	"treegion/internal/sched"
+)
+
+// hotFunc is one suite function prepared up to the phase under test.
+type hotFunc struct {
+	fn      *ir.Function
+	regions []*region.Region
+	lv      *cfg.Liveness
+}
+
+// BenchmarkColdCompileLiveness measures the bitset dataflow phase exactly as
+// the compile path runs it: CFG construction plus iterate-to-fixpoint
+// liveness for every function of the suite.
+func BenchmarkColdCompileLiveness(b *testing.B) {
+	s := sharedSuite(b)
+	var fns []*ir.Function
+	for _, p := range s.Programs {
+		for _, fn := range p.Funcs {
+			fns = append(fns, fn.Clone())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fns {
+			lv := cfg.ComputeLiveness(cfg.New(f))
+			if len(lv.LiveIn) == 0 {
+				b.Fatal("empty liveness")
+			}
+		}
+	}
+}
+
+// BenchmarkColdCompileDDG measures slab DDG construction — dominator
+// parallelism off, renaming on, the headline configuration — over every
+// region of the suite. Renaming mutates the function, so each iteration
+// rebuilds its inputs outside the timed region.
+func BenchmarkColdCompileDDG(b *testing.B) {
+	s := sharedSuite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var prep []hotFunc
+		for _, p := range s.Programs {
+			for _, fn := range p.Funcs {
+				f := fn.Clone()
+				g := cfg.New(f)
+				rs := core.Form(f, g)
+				lv := cfg.ComputeLiveness(cfg.New(f))
+				prep = append(prep, hotFunc{fn: f, regions: rs, lv: lv})
+			}
+		}
+		b.StartTimer()
+		for _, h := range prep {
+			for _, r := range h.regions {
+				if _, err := ddg.Build(h.fn, r, ddg.Options{Rename: true, Liveness: h.lv}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkColdCompileSched measures the heap-based list scheduler alone:
+// DDGs are built once, then every iteration re-schedules all of them on the
+// 4-issue machine with the dependence-height heuristic. Scheduling never
+// mutates the graph, so the prepared inputs are reusable.
+func BenchmarkColdCompileSched(b *testing.B) {
+	s := sharedSuite(b)
+	var graphs []*ddg.Graph
+	for _, p := range s.Programs {
+		for _, fn := range p.Funcs {
+			f := fn.Clone()
+			g := cfg.New(f)
+			lv := cfg.ComputeLiveness(cfg.New(f))
+			for _, r := range core.Form(f, g) {
+				dg, err := ddg.Build(f, r, ddg.Options{Rename: true, Liveness: lv})
+				if err != nil {
+					b.Fatal(err)
+				}
+				graphs = append(graphs, dg)
+			}
+		}
+	}
+	prio := core.DepHeight.Keys
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			sc := sched.ListSchedule(g, machine.FourU, prio)
+			if sc.Length == 0 && len(g.Nodes) > 0 {
+				b.Fatal("empty schedule")
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Command benchdiff compares two benchmark captures produced by
+// `go test -json -bench ...` (the BENCH_*.json files `make bench` writes).
+// It is the dependency-free fallback behind `make bench-compare`: when
+// benchstat is on PATH the Makefile prefers it (feeding it text extracted
+// with -extract), and otherwise this tool prints an old/new/delta table for
+// every benchmark present in either capture.
+//
+//	benchdiff OLD.json NEW.json     # comparison table
+//	benchdiff -extract CAP.json     # plain benchmark lines, benchstat format
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's parsed measurements.
+type result struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// event is the subset of the `go test -json` stream benchdiff reads.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLines extracts the raw benchmark result lines from a capture file.
+// Lines arriving split across events (gotest emits the name and the numbers
+// as separate output events for running benchmarks) are joined.
+func benchLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	carry := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise in the capture
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		chunk := ev.Output
+		if !strings.HasSuffix(chunk, "\n") {
+			carry += chunk
+			continue
+		}
+		line := strings.TrimRight(carry+chunk, "\n")
+		carry = ""
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "Benchmark") && strings.Contains(trimmed, "ns/op") {
+			lines = append(lines, trimmed)
+		}
+	}
+	return lines, sc.Err()
+}
+
+// parse turns benchmark result lines into named results. A line reads
+//
+//	BenchmarkName-8  3  248532221 ns/op  241959616 B/op  365493 allocs/op ...
+func parse(lines []string) map[string]result {
+	out := make(map[string]result)
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip -GOMAXPROCS suffix
+			}
+		}
+		var r result
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "B/op":
+				r.bytesPerOp = v
+				r.hasMem = true
+			case "allocs/op":
+				r.allocsPerOp = v
+				r.hasMem = true
+			}
+		}
+		if r.nsPerOp > 0 {
+			out[name] = r
+		}
+	}
+	return out
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func main() {
+	extract := flag.String("extract", "", "print the capture's benchmark lines in benchstat's plain format and exit")
+	flag.Parse()
+
+	if *extract != "" {
+		lines, err := benchLines(*extract)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json | benchdiff -extract CAP.json")
+		os.Exit(2)
+	}
+	oldLines, err := benchLines(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	newLines, err := benchLines(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", flag.Arg(1), err)
+		os.Exit(1)
+	}
+	olds, news := parse(oldLines), parse(newLines)
+
+	names := make([]string, 0, len(news))
+	seen := make(map[string]bool)
+	for n := range olds {
+		seen[n] = true
+		names = append(names, n)
+	}
+	for n := range news {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-36s %14s %14s %9s %14s %14s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "time", "old allocs/op", "new allocs/op", "allocs")
+	for _, n := range names {
+		o, haveOld := olds[n]
+		nw, haveNew := news[n]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-36s %14s %14.0f %9s %14s %14.0f %9s\n", n, "-", nw.nsPerOp, "new", "-", nw.allocsPerOp, "new")
+		case !haveNew:
+			fmt.Printf("%-36s %14.0f %14s %9s %14.0f %14s %9s\n", n, o.nsPerOp, "-", "gone", o.allocsPerOp, "-", "gone")
+		default:
+			fmt.Printf("%-36s %14.0f %14.0f %9s %14.0f %14.0f %9s\n",
+				n, o.nsPerOp, nw.nsPerOp, delta(o.nsPerOp, nw.nsPerOp),
+				o.allocsPerOp, nw.allocsPerOp, delta(o.allocsPerOp, nw.allocsPerOp))
+		}
+	}
+}

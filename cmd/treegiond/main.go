@@ -48,6 +48,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"treegion/internal/telemetry"
 )
 
 func main() {
@@ -60,7 +62,11 @@ func main() {
 	jobQueue := flag.Int("job-queue", 64, "async job queue capacity (submissions beyond it get 429)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job execution timeout (0 = none)")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (empty = disabled)")
+	phaseAllocs := flag.Bool("phase-allocs", false,
+		"sample per-phase heap allocations (treegion_compile_phase_allocs_total; adds MemStats reads per phase)")
 	flag.Parse()
+
+	telemetry.SetAllocTracking(*phaseAllocs)
 
 	s, err := newServer(serverConfig{
 		workers:     *workers,

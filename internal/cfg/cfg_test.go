@@ -185,8 +185,8 @@ func TestLivenessDiamond(t *testing.T) {
 		t.Error("r1 must be live-out of both arms")
 	}
 	// Nothing is live out of the exit block.
-	if len(lv.LiveOut[3]) != 0 {
-		t.Errorf("live-out of exit = %v, want empty", lv.LiveOut[3])
+	if !lv.LiveOut[3].Empty() {
+		t.Errorf("live-out of exit has %d regs, want empty", lv.LiveOut[3].Count())
 	}
 	// The predicate is consumed in bb0 and dead beyond it.
 	p := ir.Pred(0)

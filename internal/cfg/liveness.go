@@ -1,120 +1,131 @@
 package cfg
 
-import "treegion/internal/ir"
+import (
+	"math/bits"
 
-// RegSet is a set of virtual registers.
-type RegSet map[ir.Reg]struct{}
+	"treegion/internal/ir"
+)
 
-// NewRegSet returns a set holding the given registers.
-func NewRegSet(rs ...ir.Reg) RegSet {
-	s := make(RegSet, len(rs))
-	for _, r := range rs {
-		s.Add(r)
-	}
-	return s
-}
-
-// Add inserts r (ignores NoReg).
-func (s RegSet) Add(r ir.Reg) {
-	if r.IsValid() {
-		s[r] = struct{}{}
-	}
+// BitSet is a word-packed register set over a function's dense register
+// universe (ir.RegIndex). All BitSets of one Liveness share a single uint64
+// slab, so computing liveness for a function costs a handful of allocations
+// regardless of block count. Registers minted after the snapshot (scheduler
+// renaming) fall outside the index and report not-present, matching the
+// map-based semantics the renamer relies on.
+type BitSet struct {
+	idx   *ir.RegIndex
+	words []uint64
 }
 
 // Has reports membership.
-func (s RegSet) Has(r ir.Reg) bool {
-	_, ok := s[r]
-	return ok
+func (s BitSet) Has(r ir.Reg) bool {
+	k := s.idx.Of(r)
+	return k >= 0 && s.words[k>>6]&(1<<(uint(k)&63)) != 0
 }
 
-// AddAll inserts every register of o and reports whether s grew.
-func (s RegSet) AddAll(o RegSet) bool {
-	grew := false
-	for r := range o {
-		if _, ok := s[r]; !ok {
-			s[r] = struct{}{}
-			grew = true
+// Count returns the number of registers in the set.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s BitSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
 		}
 	}
-	return grew
-}
-
-// Clone returns an independent copy.
-func (s RegSet) Clone() RegSet {
-	c := make(RegSet, len(s))
-	for r := range s {
-		c[r] = struct{}{}
-	}
-	return c
+	return true
 }
 
 // Liveness holds per-block live-in/live-out register sets, from the standard
 // backward iterative dataflow. The treegion scheduler consults live-in sets
 // of off-path blocks to decide when speculation requires renaming.
 type Liveness struct {
-	LiveIn  []RegSet // indexed by BlockID
-	LiveOut []RegSet
+	Regs    ir.RegIndex
+	LiveIn  []BitSet // indexed by BlockID
+	LiveOut []BitSet
 }
 
-// ComputeLiveness runs the dataflow over g until fixpoint.
+// ComputeLiveness runs the dataflow over g until fixpoint. Sets are packed
+// bitsets over the function's register universe at call time; the transfer
+// function is in = use ∪ (out \ def), with guarded definitions not killing
+// (a predicated-off op leaves the pre-existing value flowing through).
 func ComputeLiveness(g *Graph) *Liveness {
-	n := len(g.Fn.Blocks)
-	use := make([]RegSet, n)
-	def := make([]RegSet, n)
-	for _, b := range g.Fn.Blocks {
-		u, d := NewRegSet(), NewRegSet()
+	fn := g.Fn
+	lv := &Liveness{Regs: fn.RegIndexTable()}
+	idx := &lv.Regs
+	n := len(fn.Blocks)
+	nw := (idx.Len() + 63) / 64
+	slab := make([]uint64, 4*n*nw)
+	word := func(base, b int) []uint64 { return slab[base+b*nw : base+(b+1)*nw] }
+	useBase, defBase, inBase, outBase := 0, n*nw, 2*n*nw, 3*n*nw
+
+	set := func(w []uint64, k int) {
+		if k >= 0 {
+			w[k>>6] |= 1 << (uint(k) & 63)
+		}
+	}
+	has := func(w []uint64, k int) bool {
+		return k >= 0 && w[k>>6]&(1<<(uint(k)&63)) != 0
+	}
+
+	for _, b := range fn.Blocks {
+		u, d := word(useBase, int(b.ID)), word(defBase, int(b.ID))
 		for _, op := range b.Ops {
-			if op.Guarded() && !d.Has(op.Guard) {
-				u.Add(op.Guard)
+			if op.Guarded() && !has(d, idx.Of(op.Guard)) {
+				set(u, idx.Of(op.Guard))
 			}
 			for _, s := range op.Srcs {
-				if !d.Has(s) {
-					u.Add(s)
+				if k := idx.Of(s); k >= 0 && !has(d, k) {
+					set(u, k)
 				}
 			}
 			// A guarded definition may not execute, so it does not kill:
 			// the pre-existing value can still flow through the block.
 			if !op.Guarded() {
 				for _, dst := range op.Dests {
-					d.Add(dst)
+					set(d, idx.Of(dst))
 				}
 			}
 		}
-		use[b.ID], def[b.ID] = u, d
 	}
-	lv := &Liveness{
-		LiveIn:  make([]RegSet, n),
-		LiveOut: make([]RegSet, n),
-	}
-	for i := 0; i < n; i++ {
-		lv.LiveIn[i] = NewRegSet()
-		lv.LiveOut[i] = NewRegSet()
-	}
+
 	changed := true
 	for changed {
 		changed = false
 		// Iterate in reverse RPO for fast convergence of a backward problem.
 		for i := len(g.RPO) - 1; i >= 0; i-- {
-			b := g.RPO[i]
-			out := lv.LiveOut[b]
+			b := int(g.RPO[i])
+			out := word(outBase, b)
 			for _, s := range g.Succs[b] {
-				if out.AddAll(lv.LiveIn[s]) {
-					changed = true
-				}
-			}
-			in := lv.LiveIn[b]
-			if in.AddAll(use[b]) {
-				changed = true
-			}
-			for r := range out {
-				if !def[b].Has(r) {
-					if !in.Has(r) {
-						in.Add(r)
+				sin := word(inBase, int(s))
+				for w := range out {
+					if nv := out[w] | sin[w]; nv != out[w] {
+						out[w] = nv
 						changed = true
 					}
 				}
 			}
+			in, u, d := word(inBase, b), word(useBase, b), word(defBase, b)
+			for w := range in {
+				if nv := in[w] | u[w] | (out[w] &^ d[w]); nv != in[w] {
+					in[w] = nv
+					changed = true
+				}
+			}
 		}
+	}
+
+	lv.LiveIn = make([]BitSet, n)
+	lv.LiveOut = make([]BitSet, n)
+	for b := 0; b < n; b++ {
+		lv.LiveIn[b] = BitSet{idx: idx, words: word(inBase, b)}
+		lv.LiveOut[b] = BitSet{idx: idx, words: word(outBase, b)}
 	}
 	return lv
 }

@@ -6,117 +6,173 @@ import (
 )
 
 // dataEdges walks the region tree and adds register and memory dependence
-// edges. Maps of reaching definitions, readers-since-definition, and memory
-// state are scoped to the current root-to-leaf path with an undo log, so
-// sibling paths never see each other's definitions — only one of them
-// executes, and cross-path write conflicts were already resolved by
-// renaming (or are non-speculatable ops guarded by disjoint predicates).
+// edges. Reaching definitions, readers-since-definition, and memory state
+// are scoped to the current root-to-leaf path with an undo log, so sibling
+// paths never see each other's definitions — only one of them executes, and
+// cross-path write conflicts were already resolved by renaming (or are
+// non-speculatable ops guarded by disjoint predicates).
+//
+// The state lives in per-register stacks over the function's dense register
+// index: the reaching definitions of r are defs[r][defBase[r]:]. A killing
+// definition raises the base (hiding everything below), a joining one just
+// pushes, and the undo log records the previous base/length pair so block
+// exit restores the parent path's view by truncation — no maps, no closure
+// captures, and stack capacity is reused across the whole walk.
 func (b *builder) dataEdges() {
-	w := &walker{b: b}
+	regs := b.g.Fn.RegIndexTable()
+	w := &walker{
+		b:          b,
+		regs:       &regs,
+		defs:       make([][]*Node, regs.Len()),
+		defBase:    make([]int32, regs.Len()),
+		readers:    make([][]*Node, regs.Len()),
+		readerBase: make([]int32, regs.Len()),
+	}
 	w.walk(b.g.Region.Root)
 }
 
+// walker undo-record kinds.
+const (
+	undoSetDef uint8 = iota // a,b = def base,len; c,d = reader base,len
+	undoAddDef              // a = def len
+	undoReader              // a = reader len
+	undoStore               // a,b = loads base,len; store = previous lastStore
+	undoLoad                // a = loads len
+)
+
+type undoRec struct {
+	kind       uint8
+	reg        int32
+	a, b, c, d int32
+	store      *Node
+}
+
 type walker struct {
-	b *builder
-	// lastDef holds the *reaching definitions* of each register: normally a
-	// single node, but a guarded (if-converted) definition does not kill,
-	// so it joins the previous definitions instead of replacing them and
-	// consumers depend on all of them.
-	lastDef   map[ir.Reg][]*Node
-	readers   map[ir.Reg][]*Node
+	b    *builder
+	regs *ir.RegIndex
+
+	defs       [][]*Node // per dense reg: definition stack
+	defBase    []int32   // start of the *reaching* definitions within defs
+	readers    [][]*Node // per dense reg: readers since the reaching defs
+	readerBase []int32
+
 	lastStore *Node
 	loads     []*Node // loads since the last store
-	undo      []func()
+	loadsBase int32
+
+	undo []undoRec
 }
 
 func (w *walker) walk(bid ir.BlockID) {
-	if w.lastDef == nil {
-		w.lastDef = make(map[ir.Reg][]*Node)
-		w.readers = make(map[ir.Reg][]*Node)
-	}
 	mark := len(w.undo)
-	for _, op := range w.b.effectiveOps(bid) {
-		w.visit(w.b.g.byOp[op])
+	for _, n := range w.b.blockNodes(bid) {
+		w.visit(n)
 	}
 	for _, c := range w.b.g.Region.Children(bid) {
 		w.walk(c)
 	}
 	// Roll back this block's effects before the caller visits a sibling.
 	for len(w.undo) > mark {
-		w.undo[len(w.undo)-1]()
+		u := w.undo[len(w.undo)-1]
 		w.undo = w.undo[:len(w.undo)-1]
+		switch u.kind {
+		case undoSetDef:
+			w.defBase[u.reg] = u.a
+			w.defs[u.reg] = w.defs[u.reg][:u.b]
+			w.readerBase[u.reg] = u.c
+			w.readers[u.reg] = w.readers[u.reg][:u.d]
+		case undoAddDef:
+			w.defs[u.reg] = w.defs[u.reg][:u.a]
+		case undoReader:
+			w.readers[u.reg] = w.readers[u.reg][:u.a]
+		case undoStore:
+			w.loadsBase = u.a
+			w.loads = w.loads[:u.b]
+			w.lastStore = u.store
+		case undoLoad:
+			w.loads = w.loads[:u.a]
+		}
 	}
 }
 
 // setDef records an unguarded (killing) definition.
-func (w *walker) setDef(r ir.Reg, n *Node) {
-	prevDefs := w.lastDef[r]
-	prevReaders := w.readers[r]
-	w.undo = append(w.undo, func() {
-		w.lastDef[r] = prevDefs
-		w.readers[r] = prevReaders
+func (w *walker) setDef(r int32, n *Node) {
+	w.undo = append(w.undo, undoRec{
+		kind: undoSetDef, reg: r,
+		a: w.defBase[r], b: int32(len(w.defs[r])),
+		c: w.readerBase[r], d: int32(len(w.readers[r])),
 	})
-	w.lastDef[r] = []*Node{n}
-	w.readers[r] = nil
+	w.defBase[r] = int32(len(w.defs[r]))
+	w.defs[r] = append(w.defs[r], n)
+	w.readerBase[r] = int32(len(w.readers[r]))
 }
 
 // addDef records a guarded (non-killing) definition: previous definitions
 // still reach, and their readers stay visible.
-func (w *walker) addDef(r ir.Reg, n *Node) {
-	prevDefs := w.lastDef[r]
-	w.undo = append(w.undo, func() { w.lastDef[r] = prevDefs })
-	w.lastDef[r] = append(prevDefs[:len(prevDefs):len(prevDefs)], n)
+func (w *walker) addDef(r int32, n *Node) {
+	w.undo = append(w.undo, undoRec{kind: undoAddDef, reg: r, a: int32(len(w.defs[r]))})
+	w.defs[r] = append(w.defs[r], n)
 }
 
-func (w *walker) addReader(r ir.Reg, n *Node) {
-	prev := w.readers[r]
-	w.undo = append(w.undo, func() { w.readers[r] = prev })
-	w.readers[r] = append(prev[:len(prev):len(prev)], n)
+func (w *walker) addReader(r int32, n *Node) {
+	w.undo = append(w.undo, undoRec{kind: undoReader, reg: r, a: int32(len(w.readers[r]))})
+	w.readers[r] = append(w.readers[r], n)
 }
 
 func (w *walker) setStore(n *Node) {
-	prevStore, prevLoads := w.lastStore, w.loads
-	w.undo = append(w.undo, func() { w.lastStore, w.loads = prevStore, prevLoads })
+	w.undo = append(w.undo, undoRec{
+		kind: undoStore,
+		a:    w.loadsBase, b: int32(len(w.loads)),
+		store: w.lastStore,
+	})
 	w.lastStore = n
-	w.loads = nil
+	w.loadsBase = int32(len(w.loads))
 }
 
 func (w *walker) addLoad(n *Node) {
-	prev := w.loads
-	w.undo = append(w.undo, func() { w.loads = prev })
-	w.loads = append(prev[:len(prev):len(prev)], n)
+	w.undo = append(w.undo, undoRec{kind: undoLoad, a: int32(len(w.loads))})
+	w.loads = append(w.loads, n)
+}
+
+// visitSrc adds flow dependences from the reaching definitions of s and
+// books n as a reader of s.
+func (w *walker) visitSrc(s ir.Reg, n *Node) {
+	if !s.IsValid() {
+		return
+	}
+	r := int32(w.regs.Of(s))
+	if r < 0 {
+		return
+	}
+	for _, def := range w.defs[r][w.defBase[r]:] {
+		w.b.addEdge(def, n, machine.Latency(def.Op.Opcode), EdgeData)
+	}
+	w.addReader(r, n)
 }
 
 func (w *walker) visit(n *Node) {
 	op := n.Op
 	// Flow dependences and reader bookkeeping; the guard predicate is a
 	// source like any other.
-	srcs := op.Srcs
-	if op.Guarded() {
-		srcs = append(append([]ir.Reg(nil), srcs...), op.Guard)
+	for _, s := range op.Srcs {
+		w.visitSrc(s, n)
 	}
-	for _, s := range srcs {
-		if !s.IsValid() {
-			continue
-		}
-		for _, def := range w.lastDef[s] {
-			addEdge(def, n, machine.Latency(def.Op.Opcode), EdgeData)
-		}
-		w.addReader(s, n)
+	if op.Guarded() {
+		w.visitSrc(op.Guard, n)
 	}
 	// Memory ordering: serialized, with PlayDoh same-cycle allowance.
 	switch op.Opcode {
 	case ir.Ld:
 		if w.lastStore != nil {
-			addEdge(w.lastStore, n, 0, EdgeMem)
+			w.b.addEdge(w.lastStore, n, 0, EdgeMem)
 		}
 		w.addLoad(n)
 	case ir.St, ir.Call:
 		if w.lastStore != nil {
-			addEdge(w.lastStore, n, 0, EdgeMem)
+			w.b.addEdge(w.lastStore, n, 0, EdgeMem)
 		}
-		for _, ld := range w.loads {
-			addEdge(ld, n, 0, EdgeMem)
+		for _, ld := range w.loads[w.loadsBase:] {
+			w.b.addEdge(ld, n, 0, EdgeMem)
 		}
 		w.setStore(n)
 	}
@@ -125,21 +181,29 @@ func (w *walker) visit(n *Node) {
 		if !d.IsValid() {
 			continue
 		}
-		for _, rd := range w.readers[d] {
-			addEdge(rd, n, 0, EdgeData)
+		r := int32(w.regs.Of(d))
+		if r < 0 {
+			continue
 		}
-		for _, def := range w.lastDef[d] {
-			addEdge(def, n, 1, EdgeData)
+		for _, rd := range w.readers[r][w.readerBase[r]:] {
+			w.b.addEdge(rd, n, 0, EdgeData)
+		}
+		for _, def := range w.defs[r][w.defBase[r]:] {
+			w.b.addEdge(def, n, 1, EdgeData)
 		}
 	}
 	for _, d := range op.Dests {
 		if !d.IsValid() {
 			continue
 		}
+		r := int32(w.regs.Of(d))
+		if r < 0 {
+			continue
+		}
 		if op.Guarded() {
-			w.addDef(d, n)
+			w.addDef(r, n)
 		} else {
-			w.setDef(d, n)
+			w.setDef(r, n)
 		}
 	}
 }
@@ -155,15 +219,7 @@ func (w *walker) visit(n *Node) {
 func (b *builder) controlEdges() {
 	r := b.g.Region
 	for _, bid := range r.Blocks {
-		var body, terms []*Node
-		for _, op := range b.effectiveOps(bid) {
-			n := b.g.byOp[op]
-			if n.Term {
-				terms = append(terms, n)
-			} else {
-				body = append(body, n)
-			}
-		}
+		body, terms := b.bodyNodes(bid), b.termNodes(bid)
 		// Non-speculatable ops issue no later than their block's
 		// terminators (a store executes before control can leave). A block
 		// with no terminators of its own falls through to a single child,
@@ -176,12 +232,12 @@ func (b *builder) controlEdges() {
 		for _, n := range body {
 			if !n.Spec {
 				for _, t := range downTerms {
-					addEdge(n, t, 0, EdgeControl)
+					b.addEdge(n, t, 0, EdgeControl)
 				}
 			}
 		}
 		for i := 0; i+1 < len(terms); i++ {
-			addEdge(terms[i], terms[i+1], 0, EdgeControl)
+			b.addEdge(terms[i], terms[i+1], 0, EdgeControl)
 		}
 		// Control resolution: entering this block is decided by the branch
 		// that targets it (for an arm entry, later arms of the parent never
@@ -190,13 +246,13 @@ func (b *builder) controlEdges() {
 		// cannot speculate issue strictly after it.
 		if res := b.resolver(bid); res != nil {
 			for _, t := range terms {
-				addEdge(res, t, 0, EdgeControl)
+				b.addEdge(res, t, 0, EdgeControl)
 			}
 			for _, n := range body {
 				if n.Spec {
 					continue // speculation: free to hoist
 				}
-				addEdge(res, n, 1, EdgeControl)
+				b.addEdge(res, n, 1, EdgeControl)
 			}
 		}
 	}
@@ -216,12 +272,8 @@ func (b *builder) resolver(bid ir.BlockID) *Node {
 			return nil
 		}
 		var last *Node
-		for _, op := range b.effectiveOps(parent) {
-			n := b.g.byOp[op]
-			if !n.Term {
-				continue
-			}
-			if op.IsBranch() && op.Target == cur {
+		for _, n := range b.termNodes(parent) {
+			if n.Op.IsBranch() && n.Op.Target == cur {
 				return n // arm entry
 			}
 			last = n
@@ -238,60 +290,40 @@ func (b *builder) resolver(bid ir.BlockID) *Node {
 // the value.
 func (b *builder) liveExitEdges() {
 	r := b.g.Region
-	fn := b.g.Fn
 	lv := b.opts.Liveness
 	if lv == nil {
 		// Without liveness (renaming disabled and no analysis supplied) we
 		// fall back to the conservative rule: everything precedes its own
 		// block's terminators.
 		for _, bid := range r.Blocks {
-			var body, terms []*Node
-			for _, op := range b.effectiveOps(bid) {
-				n := b.g.byOp[op]
-				if n.Term {
-					terms = append(terms, n)
-				} else {
-					body = append(body, n)
-				}
-			}
-			for _, n := range body {
-				for _, t := range terms {
-					addEdge(n, t, 0, EdgeLive)
+			for _, n := range b.bodyNodes(bid) {
+				for _, t := range b.termNodes(bid) {
+					b.addEdge(n, t, 0, EdgeLive)
 				}
 			}
 		}
 		return
 	}
-	// Exit branches per block.
-	type exitBr struct {
-		n      *Node
-		target ir.BlockID
-	}
-	exits := make(map[ir.BlockID][]exitBr)
 	for _, bid := range r.Blocks {
-		for _, op := range fn.Block(bid).Ops {
-			if !op.IsBranch() {
-				continue
-			}
-			if n := b.g.byOp[op]; n != nil {
-				if !(r.Contains(op.Target) && r.Parent(op.Target) == bid) {
-					exits[bid] = append(exits[bid], exitBr{n, op.Target})
-				}
-			}
-		}
-	}
-	for _, bid := range r.Blocks {
-		sub := r.Subtree(bid)
-		for _, op := range b.effectiveOps(bid) {
-			n := b.g.byOp[op]
-			if n.Term || len(op.Dests) == 0 {
+		b.subtreeBuf = b.appendSubtree(b.subtreeBuf[:0], bid)
+		sub := b.subtreeBuf
+		for _, n := range b.bodyNodes(bid) {
+			op := n.Op
+			if len(op.Dests) == 0 {
 				continue
 			}
 			for _, d := range sub {
-				for _, e := range exits[d] {
+				for _, t := range b.termNodes(d) {
+					br := t.Op
+					if !br.IsBranch() {
+						continue
+					}
+					if r.Contains(br.Target) && r.Parent(br.Target) == d {
+						continue // tree edge, not an exit
+					}
 					for _, dst := range op.Dests {
-						if dst.IsValid() && lv.LiveIn[e.target].Has(dst) {
-							addEdge(n, e.n, 0, EdgeLive)
+						if dst.IsValid() && lv.LiveIn[br.Target].Has(dst) {
+							b.addEdge(n, t, 0, EdgeLive)
 							break
 						}
 					}
@@ -313,32 +345,8 @@ func (b *builder) nearestDescendantTerms(bid ir.BlockID) []*Node {
 			return nil
 		}
 		cur = ch[0]
-		var terms []*Node
-		for _, op := range b.effectiveOps(cur) {
-			if n := b.g.byOp[op]; n.Term {
-				terms = append(terms, n)
-			}
-		}
-		if len(terms) > 0 {
+		if terms := b.termNodes(cur); len(terms) > 0 {
 			return terms
 		}
 	}
-}
-
-// nearestBranchTerms climbs from bid's parent to the closest ancestor block
-// that has terminator nodes and returns them (nil at the root).
-func (b *builder) nearestBranchTerms(bid ir.BlockID) []*Node {
-	r := b.g.Region
-	for cur := r.Parent(bid); cur != ir.NoBlock; cur = r.Parent(cur) {
-		var terms []*Node
-		for _, op := range b.effectiveOps(cur) {
-			if n := b.g.byOp[op]; n.Term {
-				terms = append(terms, n)
-			}
-		}
-		if len(terms) > 0 {
-			return terms
-		}
-	}
-	return nil
 }

@@ -20,7 +20,6 @@ func (b *builder) mergeDominatorParallel() {
 	r := b.g.Region
 	fn := b.g.Fn
 	b.moved = make(map[ir.BlockID][]*ir.Op)
-	b.pinned = make(map[*ir.Op]bool)
 
 	// Group candidate ops by original identity.
 	groups := make(map[int][]opAt)
@@ -68,10 +67,10 @@ func (b *builder) mergeDominatorParallel() {
 			if m.op == rep.op {
 				continue
 			}
-			b.gone[m.op] = true
+			b.gone[m.op.ID] = true
 			b.g.NumMerged++
 		}
-		b.home[rep.op] = lca
+		b.home[rep.op.ID] = lca
 		if rep.block != lca {
 			b.moved[lca] = append(b.moved[lca], rep.op)
 		}
@@ -80,7 +79,7 @@ func (b *builder) mergeDominatorParallel() {
 		// path that bypasses the dominator.
 		for _, d := range rep.op.Dests {
 			if b.conflictsOffPath(lca, d) {
-				b.pinned[rep.op] = true
+				b.setPinned(rep.op)
 				break
 			}
 		}
@@ -162,7 +161,7 @@ func (b *builder) sourcesReach(lca ir.BlockID, set []opAt) bool {
 				limit = m.pos
 			}
 			for _, op := range ops[:limit] {
-				if b.gone[op] {
+				if b.isGone(op) {
 					continue
 				}
 				for _, d := range op.Dests {
@@ -224,7 +223,7 @@ func (b *builder) destConflicts(lca ir.BlockID, pre []ir.BlockID, op *ir.Op) boo
 	}
 	for _, x := range pre {
 		for _, o := range fn.Block(x).Ops {
-			if b.gone[o] || o == op {
+			if b.isGone(o) || o == op {
 				continue
 			}
 			for _, s := range o.Srcs {

@@ -23,6 +23,13 @@
 // Speculatable ops get no control edges at all: the list scheduler is free
 // to hoist them to the top of the region, which is exactly the paper's
 // speculation mechanism.
+//
+// The graph is slab-allocated: all Nodes live in one array, all edges in two
+// (successor and predecessor sides), and per-op lookups go through dense
+// op-ID tables instead of pointer-keyed maps. Edges are accumulated as flat
+// (from, to) records during the build and installed in one counting-sort
+// pass that preserves insertion order, which downstream consumers (verifier,
+// store serialization) iterate and therefore must be deterministic.
 package ddg
 
 import (
@@ -114,7 +121,9 @@ type Graph struct {
 	Region *region.Region
 	Nodes  []*Node
 
-	byOp map[*ir.Op]*Node
+	// byID maps op.ID → node index + 1 (0 = no node). Op IDs are dense per
+	// function, so this replaces the old map[*ir.Op]*Node.
+	byID []int32
 
 	// Transformation statistics.
 	NumRenamed int // ops whose destination was renamed
@@ -122,8 +131,70 @@ type Graph struct {
 	NumMerged  int // duplicate ops eliminated by dominator parallelism
 }
 
-// NodeOf returns the node for op, or nil (eliminated or foreign op).
-func (g *Graph) NodeOf(op *ir.Op) *Node { return g.byOp[op] }
+// NodeOf returns the node for op, or nil (eliminated or foreign op). The
+// identity check guards against an op from a different function whose dense
+// ID happens to collide.
+func (g *Graph) NodeOf(op *ir.Op) *Node {
+	if op == nil || op.ID < 0 || op.ID >= len(g.byID) {
+		return nil
+	}
+	k := g.byID[op.ID]
+	if k == 0 {
+		return nil
+	}
+	if n := g.Nodes[k-1]; n.Op == op {
+		return n
+	}
+	return nil
+}
+
+// indexNodes (re)builds the dense op-ID lookup from g.Nodes.
+func (g *Graph) indexNodes() {
+	bound := g.Fn.OpIDBound()
+	g.byID = make([]int32, bound)
+	for i, n := range g.Nodes {
+		if n.Op.ID >= 0 && n.Op.ID < bound {
+			g.byID[n.Op.ID] = int32(i + 1)
+		}
+	}
+}
+
+// edgeRec is one pending dependence edge, by node index. Edges are recorded
+// flat during the build and installed into slab-backed adjacency lists by
+// installEdges.
+type edgeRec struct {
+	from, to int32
+	lat      int32
+	kind     EdgeKind
+}
+
+// installEdges materializes recs into per-node Succs/Preds slices carved
+// from two backing slabs. A counting pass sizes each node's lists, then a
+// stable fill preserves record order within every list — the same order the
+// old per-edge appends produced.
+func installEdges(nodes []*Node, recs []edgeRec) {
+	n := len(nodes)
+	outCnt := make([]int32, n)
+	inCnt := make([]int32, n)
+	for _, e := range recs {
+		outCnt[e.from]++
+		inCnt[e.to]++
+	}
+	succSlab := make([]Edge, len(recs))
+	predSlab := make([]InEdge, len(recs))
+	so, po := 0, 0
+	for i, nd := range nodes {
+		nd.Succs = succSlab[so : so : so+int(outCnt[i])]
+		nd.Preds = predSlab[po : po : po+int(inCnt[i])]
+		so += int(outCnt[i])
+		po += int(inCnt[i])
+	}
+	for _, e := range recs {
+		f, t := nodes[e.from], nodes[e.to]
+		f.Succs = append(f.Succs, Edge{To: t, Latency: int(e.lat), Kind: e.kind})
+		t.Preds = append(t.Preds, InEdge{From: f, Latency: int(e.lat), Kind: e.kind})
+	}
+}
 
 // Options configures Build.
 type Options struct {
@@ -151,12 +222,17 @@ func DefaultOptions(lv *cfg.Liveness, prof *profile.Data) Options {
 // ops. Each region must therefore be built at most once per compiled
 // function instance.
 func Build(fn *ir.Function, r *region.Region, opts Options) (*Graph, error) {
-	g := &Graph{
-		Fn:     fn,
-		Region: r,
-		byOp:   make(map[*ir.Op]*Node),
+	g := &Graph{Fn: fn, Region: r}
+	bound := fn.OpIDBound()
+	b := &builder{
+		g:    g,
+		opts: opts,
+		home: make([]ir.BlockID, bound),
+		gone: make([]bool, bound),
 	}
-	b := &builder{g: g, opts: opts, home: make(map[*ir.Op]ir.BlockID), gone: make(map[*ir.Op]bool)}
+	for i := range b.home {
+		b.home[i] = ir.NoBlock
+	}
 	if opts.DominatorParallelism {
 		if opts.Liveness == nil {
 			return nil, fmt.Errorf("ddg: dominator parallelism requires liveness")
@@ -167,86 +243,213 @@ func Build(fn *ir.Function, r *region.Region, opts Options) (*Graph, error) {
 		if opts.Liveness == nil {
 			return nil, fmt.Errorf("ddg: renaming requires liveness")
 		}
+		b.buildDefBits()
 		b.rename()
 	} else if opts.Liveness != nil {
 		// Restricted speculation (IMPACT-style superblock scheduling): with
 		// no compile-time renaming, an op whose destination is live on some
 		// other path must not be hoisted above the diverging branch — pin it.
+		b.buildDefBits()
 		b.pinConflicting()
 	}
+	b.buildEffective()
 	b.makeNodes()
 	b.dataEdges()
 	b.controlEdges()
+	installEdges(g.Nodes, b.recs)
+	g.indexNodes()
 	b.attributes()
 	return g, nil
+}
+
+// blkRange locates one block's nodes inside Graph.Nodes: body ops occupy
+// [start, term), terminators [term, end). Nodes are created per block in
+// effective order, so every block's nodes are contiguous.
+type blkRange struct {
+	start, term, end int32
 }
 
 type builder struct {
 	g    *Graph
 	opts Options
-	// home overrides the physical block of dominator-merged representatives.
-	home map[*ir.Op]ir.BlockID
-	// gone marks duplicate ops eliminated by dominator parallelism.
-	gone map[*ir.Op]bool
-	// pinned marks merged representatives that must not speculate above
-	// their dominator (their destination conflicts higher up).
-	pinned map[*ir.Op]bool
+	// Dense per-op tables indexed by op.ID, sized to the bound at builder
+	// creation. Ops minted later (renaming copies) are never gone, moved or
+	// pinned, so the bounds-checked accessors report false for them.
+	home   []ir.BlockID // override block of dominator-merged reps; NoBlock = unmoved
+	gone   []bool       // duplicate ops eliminated by dominator parallelism
+	pinned []bool       // ops that must not speculate above their block
 	// moved lists merged representatives homed at each dominator block.
 	moved map[ir.BlockID][]*ir.Op
+
+	// Post-transform caches, built by buildEffective/makeNodes.
+	effSlab []*ir.Op   // effective op sequences, all blocks back to back
+	effOf   []blkRange // effective-op range per BlockID (into effSlab)
+	nodeOf  []blkRange // node range per BlockID (into g.Nodes)
+
+	// recs accumulates edges for installEdges.
+	recs []edgeRec
+
+	// Per-block def bitsets over regs (snapshot after dominator merging),
+	// used by conflictsOffPath during rename/pinning. Built by buildDefBits;
+	// nil during dominator merging, whose incremental gone-marking would
+	// invalidate a prebuilt table (there conflictsOffPath scans ops instead).
+	regs    ir.RegIndex
+	defBits []uint64
+	defNW   int
+
+	// Reusable scratch.
+	succBuf    []ir.BlockID
+	subtreeBuf []ir.BlockID
 }
 
-// effectiveOps returns the op sequence the scheduler sees for block b:
-// the block's surviving non-branch ops, then merged representatives homed
-// here, then the block's branch/Ret ops.
-func (b *builder) effectiveOps(bid ir.BlockID) []*ir.Op {
+func (b *builder) isGone(op *ir.Op) bool {
+	return op.ID < len(b.gone) && b.gone[op.ID]
+}
+
+func (b *builder) isPinned(op *ir.Op) bool {
+	return b.pinned != nil && op.ID < len(b.pinned) && b.pinned[op.ID]
+}
+
+func (b *builder) setPinned(op *ir.Op) {
+	if b.pinned == nil {
+		b.pinned = make([]bool, len(b.gone))
+	}
+	if op.ID < len(b.pinned) {
+		b.pinned[op.ID] = true
+	}
+}
+
+// homeOf returns the override home of a dominator-merged representative.
+func (b *builder) homeOf(op *ir.Op) (ir.BlockID, bool) {
+	if op.ID < len(b.home) && b.home[op.ID] != ir.NoBlock {
+		return b.home[op.ID], true
+	}
+	return ir.NoBlock, false
+}
+
+// appendEffective writes block bid's effective op sequence — the scheduler's
+// view: surviving non-branch ops physically here, then merged
+// representatives homed here, then the block's branch/Ret ops — onto dst,
+// returning the extended slice and the body length (ops before the first
+// terminator).
+func (b *builder) appendEffective(dst []*ir.Op, bid ir.BlockID) ([]*ir.Op, int) {
 	blk := b.g.Fn.Block(bid)
-	var body, terms []*ir.Op
+	base := len(dst)
 	for _, op := range blk.Ops {
-		if b.gone[op] {
+		if b.isGone(op) {
 			continue
 		}
-		if home, moved := b.home[op]; moved && home != bid {
+		if home, moved := b.homeOf(op); moved && home != bid {
 			continue
 		}
 		if op.IsBranch() || op.Opcode == ir.Ret {
-			terms = append(terms, op)
-		} else {
-			body = append(body, op)
+			continue
+		}
+		dst = append(dst, op)
+	}
+	dst = append(dst, b.moved[bid]...)
+	body := len(dst) - base
+	for _, op := range blk.Ops {
+		if b.isGone(op) {
+			continue
+		}
+		if home, moved := b.homeOf(op); moved && home != bid {
+			continue
+		}
+		if op.IsBranch() || op.Opcode == ir.Ret {
+			dst = append(dst, op)
 		}
 	}
-	for _, op := range b.moved[bid] {
-		body = append(body, op)
+	return dst, body
+}
+
+// buildEffective caches every member block's effective op sequence in one
+// backing slab. It runs after all transforms (merging, renaming) so the
+// sequences are final.
+func (b *builder) buildEffective() {
+	r := b.g.Region
+	b.effOf = make([]blkRange, len(b.g.Fn.Blocks))
+	total := 0
+	for _, bid := range r.Blocks {
+		total += len(b.g.Fn.Block(bid).Ops) + len(b.moved[bid])
 	}
-	return append(body, terms...)
+	b.effSlab = make([]*ir.Op, 0, total)
+	for _, bid := range r.Blocks {
+		start := len(b.effSlab)
+		var body int
+		b.effSlab, body = b.appendEffective(b.effSlab, bid)
+		b.effOf[bid] = blkRange{
+			start: int32(start),
+			term:  int32(start + body),
+			end:   int32(len(b.effSlab)),
+		}
+	}
+}
+
+// effectiveOps returns the cached effective op sequence for block bid.
+func (b *builder) effectiveOps(bid ir.BlockID) []*ir.Op {
+	r := b.effOf[bid]
+	return b.effSlab[r.start:r.end]
+}
+
+// bodyNodes and termNodes return block bid's non-terminator and terminator
+// nodes; valid after makeNodes.
+func (b *builder) bodyNodes(bid ir.BlockID) []*Node {
+	r := b.nodeOf[bid]
+	return b.g.Nodes[r.start:r.term]
+}
+
+func (b *builder) termNodes(bid ir.BlockID) []*Node {
+	r := b.nodeOf[bid]
+	return b.g.Nodes[r.term:r.end]
+}
+
+func (b *builder) blockNodes(bid ir.BlockID) []*Node {
+	r := b.nodeOf[bid]
+	return b.g.Nodes[r.start:r.end]
 }
 
 // makeNodes creates a node per surviving op, in region preorder, physical
 // order within blocks. This order is topological for every edge kind the
-// builder creates, which the attribute pass relies on.
+// builder creates, which the attribute pass relies on. All nodes live in one
+// slab; per-block ranges are recorded for the edge passes.
 func (b *builder) makeNodes() {
-	for _, bid := range b.g.Region.Blocks {
-		for _, op := range b.effectiveOps(bid) {
-			n := &Node{
-				Index: len(b.g.Nodes),
-				Op:    op,
-				Home:  bid,
-				Term:  op.IsBranch() || op.Opcode == ir.Ret,
-				Spec:  op.Opcode.Speculatable() && !b.pinned[op],
-			}
-			b.g.Nodes = append(b.g.Nodes, n)
-			b.g.byOp[op] = n
+	g := b.g
+	slab := make([]Node, len(b.effSlab))
+	g.Nodes = make([]*Node, 0, len(slab))
+	b.nodeOf = make([]blkRange, len(g.Fn.Blocks))
+	for _, bid := range g.Region.Blocks {
+		er := b.effOf[bid]
+		nr := blkRange{
+			start: int32(len(g.Nodes)),
+			term:  int32(len(g.Nodes)) + (er.term - er.start),
+			end:   int32(len(g.Nodes)) + (er.end - er.start),
 		}
+		for _, op := range b.effSlab[er.start:er.end] {
+			n := &slab[len(g.Nodes)]
+			n.Index = len(g.Nodes)
+			n.Op = op
+			n.Home = bid
+			n.Term = op.IsBranch() || op.Opcode == ir.Ret
+			n.Spec = op.Opcode.Speculatable() && !b.isPinned(op)
+			g.Nodes = append(g.Nodes, n)
+		}
+		b.nodeOf[bid] = nr
 	}
 }
 
-// addEdge links from→to unless it would self-loop; duplicate edges are
+// addEdge records from→to unless it would self-loop; duplicate edges are
 // harmless (the scheduler takes the max).
-func addEdge(from, to *Node, lat int, kind EdgeKind) {
+func (b *builder) addEdge(from, to *Node, lat int, kind EdgeKind) {
 	if from == nil || to == nil || from == to {
 		return
 	}
-	from.Succs = append(from.Succs, Edge{To: to, Latency: lat, Kind: kind})
-	to.Preds = append(to.Preds, InEdge{From: from, Latency: lat, Kind: kind})
+	b.recs = append(b.recs, edgeRec{
+		from: int32(from.Index),
+		to:   int32(to.Index),
+		lat:  int32(lat),
+		kind: kind,
+	})
 }
 
 // attributes computes height, exit count and weight for every node.
@@ -270,4 +473,14 @@ func (b *builder) attributes() {
 			n.Weight = b.opts.Profile.BlockWeight(n.Home)
 		}
 	}
+}
+
+// appendSubtree appends bid and all in-region descendants, preorder, to dst.
+func (b *builder) appendSubtree(dst []ir.BlockID, bid ir.BlockID) []ir.BlockID {
+	base := len(dst)
+	dst = append(dst, bid)
+	for i := base; i < len(dst); i++ {
+		dst = append(dst, b.g.Region.Children(dst[i])...)
+	}
+	return dst
 }

@@ -17,21 +17,18 @@ func (b *builder) rename() {
 		blk := fn.Block(bid)
 		for i := 0; i < len(blk.Ops); i++ {
 			op := blk.Ops[i]
-			if b.gone[op] || !op.Opcode.Speculatable() || len(op.Dests) == 0 {
+			if b.isGone(op) || !op.Opcode.Speculatable() || len(op.Dests) == 0 {
 				continue
 			}
-			if _, merged := b.home[op]; merged {
+			if _, merged := b.homeOf(op); merged {
 				continue // merged representatives are pinned, never renamed
 			}
 			if op.Guarded() {
 				// A guarded definition cannot be renamed: the restoring
 				// copy would have to be predicated too. Pin it instead.
-				if b.pinned == nil {
-					b.pinned = make(map[*ir.Op]bool)
-				}
 				for _, d := range op.Dests {
 					if d.IsValid() && b.conflictsOffPath(bid, d) {
-						b.pinned[op] = true
+						b.setPinned(op)
 						break
 					}
 				}
@@ -65,21 +62,43 @@ func (b *builder) rename() {
 // renaming: every speculatable op whose destination conflicts off-path is
 // pinned below its controlling branch instead of being renamed.
 func (b *builder) pinConflicting() {
-	if b.pinned == nil {
-		b.pinned = make(map[*ir.Op]bool)
-	}
 	for _, bid := range b.g.Region.Blocks {
 		for _, op := range b.g.Fn.Block(bid).Ops {
-			if b.gone[op] || !op.Opcode.Speculatable() || len(op.Dests) == 0 {
+			if b.isGone(op) || !op.Opcode.Speculatable() || len(op.Dests) == 0 {
 				continue
 			}
-			if _, merged := b.home[op]; merged {
+			if _, merged := b.homeOf(op); merged {
 				continue
 			}
 			for _, d := range op.Dests {
 				if d.IsValid() && b.conflictsOffPath(bid, d) {
-					b.pinned[op] = true
+					b.setPinned(op)
 					break
+				}
+			}
+		}
+	}
+}
+
+// buildDefBits snapshots, per block, the set of registers a surviving op
+// defines, as bitsets over the function's current register universe. It runs
+// after dominator merging (the gone set is final) and before renaming.
+// Renaming keeps the table valid for the original registers it is queried
+// with: a renamed op's old destination is re-defined in the same block by
+// the inserted Copy, and fresh registers are never looked up.
+func (b *builder) buildDefBits() {
+	b.regs = b.g.Fn.RegIndexTable()
+	b.defNW = (b.regs.Len() + 63) / 64
+	b.defBits = make([]uint64, len(b.g.Fn.Blocks)*b.defNW)
+	for _, blk := range b.g.Fn.Blocks {
+		w := b.defBits[int(blk.ID)*b.defNW : (int(blk.ID)+1)*b.defNW]
+		for _, op := range blk.Ops {
+			if b.isGone(op) {
+				continue
+			}
+			for _, d := range op.Dests {
+				if k := b.regs.Of(d); k >= 0 {
+					w[k>>6] |= 1 << (uint(k) & 63)
 				}
 			}
 		}
@@ -100,7 +119,8 @@ func (b *builder) conflictsOffPath(bid ir.BlockID, d ir.Reg) bool {
 		if parent == ir.NoBlock {
 			return false
 		}
-		for _, s := range fn.Block(parent).Succs() {
+		b.succBuf = fn.Block(parent).AppendSuccs(b.succBuf[:0])
+		for _, s := range b.succBuf {
 			if s == cur && r.Contains(s) && r.Parent(s) == parent {
 				continue // the on-path edge
 			}
@@ -110,7 +130,8 @@ func (b *builder) conflictsOffPath(bid ir.BlockID, d ir.Reg) bool {
 			if r.Contains(s) && r.Parent(s) == parent {
 				// Sibling subtree: a second definition of d there would race
 				// with ours once both speculate above the divergence.
-				for _, x := range r.Subtree(s) {
+				b.subtreeBuf = b.appendSubtree(b.subtreeBuf[:0], s)
+				for _, x := range b.subtreeBuf {
 					if b.blockDefines(x, d) {
 						return true
 					}
@@ -121,10 +142,19 @@ func (b *builder) conflictsOffPath(bid ir.BlockID, d ir.Reg) bool {
 	}
 }
 
-// blockDefines reports whether a surviving op of block x writes d.
+// blockDefines reports whether a surviving op of block x writes d. During
+// renaming the prebuilt per-block bitsets answer in O(1); during dominator
+// merging (whose incremental eliminations would invalidate a snapshot) it
+// scans the ops.
 func (b *builder) blockDefines(x ir.BlockID, d ir.Reg) bool {
+	if b.defBits != nil {
+		if k := b.regs.Of(d); k >= 0 {
+			w := b.defBits[int(x)*b.defNW : (int(x)+1)*b.defNW]
+			return w[k>>6]&(1<<(uint(k)&63)) != 0
+		}
+	}
 	for _, op := range b.g.Fn.Block(x).Ops {
-		if b.gone[op] {
+		if b.isGone(op) {
 			continue
 		}
 		for _, dd := range op.Dests {
@@ -143,7 +173,7 @@ func (b *builder) rewriteUses(bid ir.BlockID, from int, old, fresh ir.Reg) {
 	fn := b.g.Fn
 	blk := fn.Block(bid)
 	for _, op := range blk.Ops[from:] {
-		if b.gone[op] {
+		if b.isGone(op) {
 			continue
 		}
 		for si, s := range op.Srcs {

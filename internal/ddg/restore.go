@@ -41,35 +41,35 @@ func Restore(fn *ir.Function, r *region.Region, nodes []NodeSpec, edges []EdgeSp
 	g := &Graph{
 		Fn:         fn,
 		Region:     r,
-		byOp:       make(map[*ir.Op]*Node, len(nodes)),
 		NumRenamed: renamed,
 		NumCopies:  copies,
 		NumMerged:  merged,
 	}
+	slab := make([]Node, len(nodes))
+	g.Nodes = make([]*Node, 0, len(nodes))
 	for i, spec := range nodes {
 		if spec.Op == nil {
 			return nil, fmt.Errorf("ddg: restore: node %d has no op", i)
 		}
-		n := &Node{
-			Index:     i,
-			Op:        spec.Op,
-			Home:      spec.Home,
-			Term:      spec.Term,
-			Spec:      spec.Spec,
-			Height:    spec.Height,
-			ExitCount: spec.ExitCount,
-			Weight:    spec.Weight,
-		}
+		n := &slab[i]
+		n.Index = i
+		n.Op = spec.Op
+		n.Home = spec.Home
+		n.Term = spec.Term
+		n.Spec = spec.Spec
+		n.Height = spec.Height
+		n.ExitCount = spec.ExitCount
+		n.Weight = spec.Weight
 		g.Nodes = append(g.Nodes, n)
-		g.byOp[spec.Op] = n
 	}
-	for _, e := range edges {
+	recs := make([]edgeRec, len(edges))
+	for i, e := range edges {
 		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
 			return nil, fmt.Errorf("ddg: restore: edge %d->%d out of range (%d nodes)", e.From, e.To, len(g.Nodes))
 		}
-		from, to := g.Nodes[e.From], g.Nodes[e.To]
-		from.Succs = append(from.Succs, Edge{To: to, Latency: e.Latency, Kind: e.Kind})
-		to.Preds = append(to.Preds, InEdge{From: from, Latency: e.Latency, Kind: e.Kind})
+		recs[i] = edgeRec{from: int32(e.From), to: int32(e.To), lat: int32(e.Latency), kind: e.Kind}
 	}
+	installEdges(g.Nodes, recs)
+	g.indexNodes()
 	return g, nil
 }

@@ -143,7 +143,9 @@ func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionRe
 	res := &FunctionResult{Fn: fn, Prof: prof, OpsBefore: fn.NumOps(), Trace: tr}
 	if c.IfConvert {
 		t0 := time.Now()
+		a0 := telemetry.AllocMark()
 		res.Hyper = hyper.IfConvert(fn, prof, c.Hyper)
+		tr.ObserveAllocs(telemetry.PhaseIfConvert, a0)
 		tr.Observe(telemetry.PhaseIfConvert, time.Since(t0), fn.NumOps())
 		if err := fn.Validate(); err != nil {
 			return nil, fmt.Errorf("eval: %s: invalid after if-conversion: %w", fn.Name, err)
@@ -153,6 +155,7 @@ func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionRe
 	// the treeform phase is the formation time net of it, so the trace's
 	// phase totals add up without double counting.
 	t0 := time.Now()
+	a0 := telemetry.AllocMark()
 	g := cfg.New(fn)
 	switch c.Kind {
 	case BasicBlocks:
@@ -177,16 +180,20 @@ func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionRe
 		return nil, fmt.Errorf("eval: unknown region kind %d", c.Kind)
 	}
 	res.OpsAfter = fn.NumOps()
+	tr.ObserveAllocs(telemetry.PhaseTreeform, a0)
 	tr.Observe(telemetry.PhaseTreeform,
 		time.Since(t0)-time.Duration(tr.PhaseNanos(telemetry.PhaseTailDup)), res.OpsAfter)
 	if err := region.CheckPartition(fn, res.Regions); err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", fn.Name, err)
 	}
 	t0 = time.Now()
+	a0 = telemetry.AllocMark()
 	lv := cfg.ComputeLiveness(cfg.New(fn))
+	tr.ObserveAllocs(telemetry.PhaseLiveness, a0)
 	tr.Observe(telemetry.PhaseLiveness, time.Since(t0), res.OpsAfter)
 	for _, r := range res.Regions {
 		t0 = time.Now()
+		a0 = telemetry.AllocMark()
 		dg, err := ddg.Build(fn, r, ddg.Options{
 			Rename:               c.Rename,
 			DominatorParallelism: c.DominatorParallelism,
@@ -196,13 +203,16 @@ func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionRe
 		if err != nil {
 			return nil, err
 		}
+		tr.ObserveAllocs(telemetry.PhaseDDG, a0)
 		tr.Observe(telemetry.PhaseDDG, time.Since(t0), len(dg.Nodes))
 		s := sched.ListScheduleTraced(dg, c.Machine, c.Heuristic.Keys, tr)
 		if err := s.Verify(); err != nil {
 			return nil, fmt.Errorf("eval: %s: %w", fn.Name, err)
 		}
 		t0 = time.Now()
+		a0 = telemetry.AllocMark()
 		rt := MeasureRegion(s, prof, lv)
+		tr.ObserveAllocs(telemetry.PhaseMeasure, a0)
 		tr.Observe(telemetry.PhaseMeasure, time.Since(t0), len(dg.Nodes))
 		res.Time += rt.Time
 		res.Copies += rt.TimeWithCopies

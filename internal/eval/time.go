@@ -28,13 +28,13 @@ type RegionTime struct {
 	TimeWithCopies float64
 }
 
-// blockView caches per-block cycle data of one schedule.
+// blockView caches per-block cycle data of one schedule. Views are stored
+// densely, indexed by BlockID; branch cycles come straight from the
+// schedule via Graph.NodeOf, so no per-block maps are built.
 type blockView struct {
 	nonspec       int // max cycle over non-spec, non-copy, non-term nodes
 	nonspecCopies int // ... including copies
 	terms         int // max cycle over terminator nodes
-	// armCycle[op] is each branch op's own cycle.
-	armCycle map[*ir.Op]int
 	// specDefs are the speculatable value-producing nodes homed here,
 	// needed for per-exit liveness checks.
 	specDefs []specDef
@@ -51,19 +51,26 @@ type specDef struct {
 // travel through non-speculatable copies, which are accounted separately).
 func MeasureRegion(s *sched.Schedule, prof *profile.Data, lv *cfg.Liveness) RegionTime {
 	r := s.Graph.Region
-	views := make(map[ir.BlockID]*blockView, len(r.Blocks))
+	views := make([]blockView, len(r.Fn.Blocks))
 	for _, b := range r.Blocks {
-		views[b] = &blockView{nonspec: -1, nonspecCopies: -1, terms: -1, armCycle: map[*ir.Op]int{}}
+		views[b] = blockView{nonspec: -1, nonspecCopies: -1, terms: -1}
+	}
+	// A terminator's own cycle is read off the schedule on demand: NodeOf
+	// is a dense-array lookup, so no armCycle map is needed.
+	cycleOf := func(op *ir.Op) (int, bool) {
+		if nd := s.Graph.NodeOf(op); nd != nil {
+			return s.Cycle[nd.Index], true
+		}
+		return 0, false
 	}
 	for _, n := range s.Graph.Nodes {
-		v := views[n.Home]
+		v := &views[n.Home]
 		c := s.Cycle[n.Index]
 		switch {
 		case n.Term:
 			if c > v.terms {
 				v.terms = c
 			}
-			v.armCycle[n.Op] = c
 		case !n.Spec:
 			if c > v.nonspecCopies {
 				v.nonspecCopies = c
@@ -79,6 +86,7 @@ func MeasureRegion(s *sched.Schedule, prof *profile.Data, lv *cfg.Liveness) Regi
 	}
 
 	// pathMax walks root..B accumulating the cycles the path waits for.
+	var pathBuf []ir.BlockID
 	pathMax := func(b ir.BlockID, exitBr *ir.Op, target ir.BlockID, withCopies bool) int {
 		max := -1
 		bump := func(c int) {
@@ -86,9 +94,10 @@ func MeasureRegion(s *sched.Schedule, prof *profile.Data, lv *cfg.Liveness) Regi
 				max = c
 			}
 		}
-		path := r.PathTo(b)
+		pathBuf = r.AppendPathTo(pathBuf[:0], b)
+		path := pathBuf
 		for i, x := range path {
-			v := views[x]
+			v := &views[x]
 			if withCopies {
 				bump(v.nonspecCopies)
 			} else {
@@ -117,7 +126,7 @@ func MeasureRegion(s *sched.Schedule, prof *profile.Data, lv *cfg.Liveness) Regi
 				via := -1
 				for _, op := range r.Fn.Block(x).Ops {
 					if op.IsBranch() && op.Target == next {
-						if c, ok := v.armCycle[op]; ok {
+						if c, ok := cycleOf(op); ok {
 							via = c
 						}
 					}
@@ -128,7 +137,7 @@ func MeasureRegion(s *sched.Schedule, prof *profile.Data, lv *cfg.Liveness) Regi
 				bump(via)
 			case exitBr != nil:
 				// The path ends at this exit branch.
-				if c, ok := v.armCycle[exitBr]; ok {
+				if c, ok := cycleOf(exitBr); ok {
 					bump(c)
 				}
 			default:

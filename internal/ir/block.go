@@ -42,6 +42,20 @@ func (b *Block) Succs() []BlockID {
 	return out
 }
 
+// AppendSuccs appends the successors to buf in arm order and returns it,
+// letting hot callers reuse one scratch slice instead of allocating per call.
+func (b *Block) AppendSuccs(buf []BlockID) []BlockID {
+	for _, op := range b.Ops {
+		if op.IsBranch() {
+			buf = append(buf, op.Target)
+		}
+	}
+	if b.FallThrough != NoBlock {
+		buf = append(buf, b.FallThrough)
+	}
+	return buf
+}
+
 // NumSuccs returns the successor count without allocating.
 func (b *Block) NumSuccs() int {
 	n := 0

@@ -93,6 +93,12 @@ func (f *Function) DuplicateBlock(src *Block) *Block {
 
 // Clone returns a deep copy of f. Block and op IDs are preserved, so a
 // clone serves as a pre-transformation snapshot for semantic comparison.
+//
+// The copy is slab-allocated: all blocks, ops, and operand registers live in
+// three backing arrays instead of one allocation per op. Nothing ever
+// appends to a cloned op's Dests/Srcs (transforms assign elements in place
+// or replace the slice wholesale), so sharing one register backing array is
+// safe.
 func (f *Function) Clone() *Function {
 	c := &Function{
 		Name:      f.Name,
@@ -101,12 +107,38 @@ func (f *Function) Clone() *Function {
 		nextReg:   f.nextReg,
 		nextBlock: f.nextBlock,
 	}
+	nops, nregs := 0, 0
+	for _, b := range f.Blocks {
+		nops += len(b.Ops)
+		for _, op := range b.Ops {
+			nregs += len(op.Dests) + len(op.Srcs)
+		}
+	}
+	blockSlab := make([]Block, len(f.Blocks))
+	opSlab := make([]Op, nops)
+	regSlab := make([]Reg, nregs)
 	c.Blocks = make([]*Block, len(f.Blocks))
+	opPtrs := make([]*Op, nops)
+	oi, ri := 0, 0
 	for i, b := range f.Blocks {
-		nb := &Block{ID: b.ID, Orig: b.Orig, FallThrough: b.FallThrough}
-		nb.Ops = make([]*Op, len(b.Ops))
-		for j, op := range b.Ops {
-			nb.Ops[j] = op.Clone(op.ID)
+		nb := &blockSlab[i]
+		nb.ID, nb.Orig, nb.FallThrough = b.ID, b.Orig, b.FallThrough
+		nb.Ops = opPtrs[oi : oi : oi+len(b.Ops)]
+		for _, op := range b.Ops {
+			no := &opSlab[oi]
+			*no = *op
+			no.Dests, no.Srcs = nil, nil
+			if n := len(op.Dests); n > 0 {
+				no.Dests = regSlab[ri : ri+n : ri+n]
+				ri += copy(no.Dests, op.Dests)
+			}
+			if n := len(op.Srcs); n > 0 {
+				no.Srcs = regSlab[ri : ri+n : ri+n]
+				ri += copy(no.Srcs, op.Srcs)
+			}
+			opPtrs[oi] = no
+			nb.Ops = append(nb.Ops, no)
+			oi++
 		}
 		c.Blocks[i] = nb
 	}

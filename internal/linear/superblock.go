@@ -1,7 +1,7 @@
 package linear
 
 import (
-	"sort"
+	"slices"
 
 	"treegion/internal/ir"
 	"treegion/internal/profile"
@@ -47,12 +47,15 @@ func Superblocks(fn *ir.Function, prof *profile.Data, cfgc SuperblockConfig) []*
 			seeds = append(seeds, b.ID)
 		}
 	}
-	sort.Slice(seeds, func(i, j int) bool {
-		wi, wj := prof.BlockWeight(seeds[i]), prof.BlockWeight(seeds[j])
-		if wi != wj {
-			return wi > wj
+	slices.SortFunc(seeds, func(a, b ir.BlockID) int {
+		wa, wb := prof.BlockWeight(a), prof.BlockWeight(b)
+		switch {
+		case wa > wb:
+			return -1
+		case wa < wb:
+			return 1
 		}
-		return seeds[i] < seeds[j]
+		return int(a) - int(b)
 	})
 
 	preds := computePreds(fn)

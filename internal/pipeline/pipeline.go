@@ -215,6 +215,8 @@ func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Optio
 // why-treegions-win discussion, and region-shape histograms.
 func observeResult(reg *telemetry.Registry, fr *eval.FunctionResult) {
 	reg.Counter("treegion_compile_functions_total", "Functions cold-compiled through the pipeline.").Inc()
+	reg.Counter("treegion_compile_ops_total",
+		"Ops compiled (post-formation) across all cold compiles; divide by wall time for ops/sec.").Add(int64(fr.OpsAfter))
 	for _, d := range fr.Diagnostics {
 		reg.LabeledCounter("treegion_verify_diagnostics_total",
 			telemetry.Labels{"rule": d.Rule, "severity": d.Severity.String()},
@@ -231,6 +233,10 @@ func observeResult(reg *telemetry.Registry, fr *eval.FunctionResult) {
 			"Wall time per compile phase per function.", telemetry.DefBuckets).Observe(ps.Duration().Seconds())
 		reg.LabeledCounter("treegion_compile_phase_ops_total", lbl,
 			"Ops processed per compile phase.").Add(ps.Ops)
+		if ps.Allocs > 0 {
+			reg.LabeledCounter("treegion_compile_phase_allocs_total", lbl,
+				"Heap allocations per compile phase (sampled only under -phase-allocs).").Add(ps.Allocs)
+		}
 	}
 	ss := fr.Sched
 	reg.Counter("treegion_sched_speculated_ops_total",

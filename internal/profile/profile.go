@@ -7,6 +7,7 @@ package profile
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -136,11 +137,11 @@ func (d *Data) Canonical() string {
 	for e := range d.Edge {
 		edges = append(edges, e)
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].From != edges[j].From {
-			return edges[i].From < edges[j].From
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
 		}
-		return edges[i].To < edges[j].To
+		return int(a.To) - int(b.To)
 	})
 	var sb strings.Builder
 	for _, b := range blocks {

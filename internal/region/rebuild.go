@@ -33,10 +33,10 @@ func Rebuild(fn *ir.Function, kind Kind, blocks, parents []ir.BlockID, fromTrace
 		if !inRange(b) {
 			return nil, fmt.Errorf("region: rebuild: bb%d out of range", b)
 		}
-		if r.member[b] {
+		if r.Contains(b) {
 			return nil, fmt.Errorf("region: rebuild: bb%d listed twice", b)
 		}
-		if !r.member[p] {
+		if !r.Contains(p) {
 			return nil, fmt.Errorf("region: rebuild: parent bb%d of bb%d precedes it in no preorder", p, b)
 		}
 		r.Add(b, p)

@@ -56,54 +56,115 @@ type Region struct {
 	// counts only these.
 	FromTrace bool
 
-	parent map[ir.BlockID]ir.BlockID
-	member map[ir.BlockID]bool
+	// parent and member are dense, indexed by BlockID, and grown on demand:
+	// tail duplication appends blocks to the function mid-formation and then
+	// Adds them. parent[b] is ir.NoBlock for the root and for non-members.
+	parent []ir.BlockID
+	member []bool
+	// children caches per-block child lists (successor order) in one backing
+	// slab; it is built lazily by Children and dropped by Add, which is the
+	// only membership mutation. CFG edge rewrites during formation
+	// (TailDuplicate's ReplaceSucc) are always followed by an Add before the
+	// next query, so Add-invalidation keeps the cache coherent.
+	children  [][]ir.BlockID
+	childSlab []ir.BlockID
 }
 
 // New starts a region containing just the root.
 func New(fn *ir.Function, kind Kind, root ir.BlockID) *Region {
 	r := &Region{
-		Fn:     fn,
-		Kind:   kind,
-		Root:   root,
-		parent: make(map[ir.BlockID]ir.BlockID),
-		member: make(map[ir.BlockID]bool),
+		Fn:   fn,
+		Kind: kind,
+		Root: root,
 	}
+	r.ensure(root)
 	r.Blocks = append(r.Blocks, root)
 	r.parent[root] = ir.NoBlock
 	r.member[root] = true
 	return r
 }
 
+// ensure grows the dense tables to cover block b.
+func (r *Region) ensure(b ir.BlockID) {
+	need := int(b) + 1
+	if n := len(r.Fn.Blocks); n > need {
+		need = n
+	}
+	for len(r.parent) < need {
+		r.parent = append(r.parent, ir.NoBlock)
+		r.member = append(r.member, false)
+	}
+}
+
 // Add places b into the region as a child of parent, which must already be
 // a member (and must actually be a CFG predecessor of b; Validate checks).
 func (r *Region) Add(b, parent ir.BlockID) {
+	r.ensure(b)
 	if r.member[b] {
 		panic(fmt.Sprintf("region: bb%d added twice", b))
 	}
-	if !r.member[parent] {
+	if int(parent) < 0 || int(parent) >= len(r.member) || !r.member[parent] {
 		panic(fmt.Sprintf("region: parent bb%d of bb%d not a member", parent, b))
 	}
 	r.Blocks = append(r.Blocks, b)
 	r.parent[b] = parent
 	r.member[b] = true
+	r.children = nil
+	r.childSlab = nil
 }
 
 // Contains reports membership.
-func (r *Region) Contains(b ir.BlockID) bool { return r.member[b] }
+func (r *Region) Contains(b ir.BlockID) bool {
+	return int(b) >= 0 && int(b) < len(r.member) && r.member[b]
+}
 
-// Parent returns b's tree parent (ir.NoBlock for the root).
-func (r *Region) Parent(b ir.BlockID) ir.BlockID { return r.parent[b] }
+// Parent returns b's tree parent (ir.NoBlock for the root and non-members).
+func (r *Region) Parent(b ir.BlockID) ir.BlockID {
+	if int(b) < 0 || int(b) >= len(r.parent) {
+		return ir.NoBlock
+	}
+	return r.parent[b]
+}
 
-// Children returns b's in-region children in successor order.
+// Children returns b's in-region children in successor order. The result
+// aliases an internal cache; callers must not modify it.
 func (r *Region) Children(b ir.BlockID) []ir.BlockID {
-	var out []ir.BlockID
-	for _, s := range r.Fn.Block(b).Succs() {
-		if r.member[s] && r.parent[s] == b {
-			out = append(out, s)
+	if r.children == nil {
+		r.buildChildren()
+	}
+	if int(b) >= len(r.children) {
+		return nil
+	}
+	return r.children[b]
+}
+
+// buildChildren fills the child-list cache: every non-root member is the
+// unique tree child of its parent, so the lists pack into one slab of
+// len(Blocks)-1 entries, filled in each parent's successor order.
+func (r *Region) buildChildren() {
+	n := len(r.parent)
+	counts := make([]int32, n)
+	for _, b := range r.Blocks {
+		if b != r.Root {
+			counts[r.parent[b]]++
 		}
 	}
-	return out
+	r.childSlab = make([]ir.BlockID, len(r.Blocks)-1)
+	r.children = make([][]ir.BlockID, n)
+	off := 0
+	var succs []ir.BlockID
+	for _, b := range r.Blocks {
+		c := int(counts[b])
+		lst := r.childSlab[off : off : off+c]
+		succs = r.Fn.Block(b).AppendSuccs(succs[:0])
+		for _, s := range succs {
+			if r.Contains(s) && r.parent[s] == b {
+				lst = append(lst, s)
+			}
+		}
+		r.children[b] = lst
+		off += c
+	}
 }
 
 // IsLeaf reports whether b has no in-region children.
@@ -125,15 +186,20 @@ func (r *Region) PathCount() int { return len(r.Leaves()) }
 
 // PathTo returns the block path root..b.
 func (r *Region) PathTo(b ir.BlockID) []ir.BlockID {
-	var rev []ir.BlockID
+	return r.AppendPathTo(nil, b)
+}
+
+// AppendPathTo appends the block path root..b to dst and returns it,
+// letting hot callers reuse one buffer across paths.
+func (r *Region) AppendPathTo(dst []ir.BlockID, b ir.BlockID) []ir.BlockID {
+	start := len(dst)
 	for cur := b; cur != ir.NoBlock; cur = r.parent[cur] {
-		rev = append(rev, cur)
+		dst = append(dst, cur)
 	}
-	out := make([]ir.BlockID, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return out
+	return dst
 }
 
 // Ancestors returns the strict ancestors of b, nearest first.
@@ -191,32 +257,31 @@ func (r *Region) Exits() []Exit {
 }
 
 func (r *Region) isTreeEdge(from, to ir.BlockID) bool {
-	return r.member[to] && r.parent[to] == from
+	return r.Contains(to) && r.parent[to] == from
 }
 
 // ExitsBelow returns, for every member block b, the number of region exits
-// from b's subtree — the paper's "exit count" of ops homed in b.
-func (r *Region) ExitsBelow() map[ir.BlockID]int {
-	own := make(map[ir.BlockID]int, len(r.Blocks))
+// from b's subtree — the paper's "exit count" of ops homed in b. The result
+// is indexed by BlockID; non-member entries are zero.
+func (r *Region) ExitsBelow() []int {
+	out := make([]int, len(r.Fn.Blocks))
+	var succs []ir.BlockID
 	for _, bid := range r.Blocks {
-		b := r.Fn.Block(bid)
 		n := 0
-		for _, s := range b.Succs() {
+		succs = r.Fn.Block(bid).AppendSuccs(succs[:0])
+		for _, s := range succs {
 			if !r.isTreeEdge(bid, s) {
 				n++
 			}
 		}
-		own[bid] = n
+		out[bid] = n
 	}
-	out := make(map[ir.BlockID]int, len(r.Blocks))
 	// Preorder reversed gives children before parents.
 	for i := len(r.Blocks) - 1; i >= 0; i-- {
 		b := r.Blocks[i]
-		n := own[b]
 		for _, c := range r.Children(b) {
-			n += out[c]
+			out[b] += out[c]
 		}
-		out[b] = n
 	}
 	return out
 }

@@ -8,10 +8,12 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 	"time"
 
 	"treegion/internal/ddg"
+	"treegion/internal/ir"
 	"treegion/internal/machine"
 	"treegion/internal/telemetry"
 )
@@ -37,6 +39,125 @@ type Schedule struct {
 	Length int
 }
 
+// scratch holds the scheduler's per-call working set. Instances are pooled
+// so pipeline workers reuse the buffers across regions instead of
+// reallocating them for every schedule.
+type scratch struct {
+	order    []*ddg.Node
+	keys     [][3]float64
+	rankOf   []int32
+	preds    []int32
+	earliest []int32
+	cur      []int32  // min-heap of ranks ready in the current sweep
+	next     []int32  // ranks that became ready behind the sweep position
+	future   []uint64 // min-heap of earliest<<32|rank for not-yet-eligible nodes
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (sc *scratch) reset(n int) {
+	if cap(sc.order) < n {
+		sc.order = make([]*ddg.Node, n)
+		sc.keys = make([][3]float64, n)
+		sc.rankOf = make([]int32, n)
+		sc.preds = make([]int32, n)
+		sc.earliest = make([]int32, n)
+	}
+	sc.order = sc.order[:n]
+	sc.keys = sc.keys[:n]
+	sc.rankOf = sc.rankOf[:n]
+	sc.preds = sc.preds[:n]
+	sc.earliest = sc.earliest[:n]
+	for i := 0; i < n; i++ {
+		sc.earliest[i] = 0
+	}
+	sc.cur = sc.cur[:0]
+	sc.next = sc.next[:0]
+	sc.future = sc.future[:0]
+}
+
+// Rank min-heap over int32.
+func rankPush(h *[]int32, v int32) {
+	a := append(*h, v)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p] <= a[i] {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+	*h = a
+}
+
+func rankPop(h *[]int32) int32 {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && a[l] < a[m] {
+			m = l
+		}
+		if r < last && a[r] < a[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	*h = a
+	return top
+}
+
+// (earliest, rank) min-heap packed into uint64.
+func futPush(h *[]uint64, v uint64) {
+	a := append(*h, v)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p] <= a[i] {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+	*h = a
+}
+
+func futPop(h *[]uint64) uint64 {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && a[l] < a[m] {
+			m = l
+		}
+		if r < last && a[r] < a[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	*h = a
+	return top
+}
+
 // ListSchedule builds the schedule. It never fails: the DDG is acyclic by
 // construction (node order is topological).
 func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
@@ -45,6 +166,24 @@ func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
 
 // ListScheduleTraced is ListSchedule recording the priority sort and the
 // scheduling loop as separate phases on tr (nil disables tracing).
+//
+// The ready queue is a pair of priority heaps over the static rank order,
+// engineered to reproduce the classic sweep scheduler op for op:
+//
+//   - cur holds the ranks eligible in the current sweep; popping the
+//     minimum visits ready nodes in exactly the order a linear scan of the
+//     rank array would.
+//   - A node readied by a latency-0 edge joins cur only if its rank lies
+//     ahead of the sweep position (the last rank popped); otherwise the
+//     scan has already passed it, and it goes to next — the following
+//     sweep of the same cycle, which starts when cur drains.
+//   - Nodes ready but with earliest-issue beyond the current cycle wait in
+//     future keyed by (earliest, rank); when nothing is eligible the cycle
+//     jumps straight to the heap's minimum earliest.
+//
+// Every pop therefore yields precisely the node the legacy scheduler would
+// have picked next, at the same cycle — schedules are byte-identical — but
+// each readiness event costs O(log n) instead of a rescan of the rank array.
 func ListScheduleTraced(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *telemetry.CompileTrace) *Schedule {
 	n := len(g.Nodes)
 	s := &Schedule{Graph: g, Model: m, Cycle: make([]int, n)}
@@ -52,6 +191,11 @@ func ListScheduleTraced(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *tele
 		return s
 	}
 	t0 := time.Now()
+	a0 := telemetry.AllocMark()
+
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.reset(n)
 
 	// Static priority order. Terminators always sort first: a branch gates
 	// every exit below it, predicated branches pack several to a cycle, and
@@ -59,103 +203,125 @@ func ListScheduleTraced(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *tele
 	// predicate is ready, and the heuristic orders the real ops. (The
 	// paper's example schedules likewise issue every branch at its earliest
 	// possible cycle.)
-	order := make([]*ddg.Node, n)
+	order := sc.order
 	copy(order, g.Nodes)
-	keys := make([][3]float64, n)
+	keys := sc.keys
 	for _, nd := range g.Nodes {
 		keys[nd.Index] = prio(nd)
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		ni, nj := order[i], order[j]
-		if EagerTerminators && ni.Term != nj.Term {
-			return ni.Term
+	slices.SortStableFunc(order, func(a, b *ddg.Node) int {
+		if EagerTerminators && a.Term != b.Term {
+			if a.Term {
+				return -1
+			}
+			return 1
 		}
-		a, b := keys[ni.Index], keys[nj.Index]
+		ka, kb := keys[a.Index], keys[b.Index]
 		for k := 0; k < 3; k++ {
-			if a[k] != b[k] {
-				return a[k] > b[k]
+			if ka[k] != kb[k] {
+				if ka[k] > kb[k] {
+					return -1
+				}
+				return 1
 			}
 		}
-		return ni.Index < nj.Index
+		return a.Index - b.Index
 	})
+	tr.ObserveAllocs(telemetry.PhasePrioritySort, a0)
 	tr.Observe(telemetry.PhasePrioritySort, time.Since(t0), n)
 
 	t0 = time.Now()
-	unscheduledPreds := make([]int, n)
-	earliest := make([]int, n)
-	for _, nd := range g.Nodes {
-		unscheduledPreds[nd.Index] = len(nd.Preds)
+	a0 = telemetry.AllocMark()
+	rankOf, preds, earliest := sc.rankOf, sc.preds, sc.earliest
+	for rank, nd := range order {
+		rankOf[nd.Index] = int32(rank)
 	}
-	scheduled := make([]bool, n)
+	cur, next, future := sc.cur, sc.next, sc.future
+	for _, nd := range g.Nodes {
+		preds[nd.Index] = int32(len(nd.Preds))
+		if preds[nd.Index] == 0 {
+			rankPush(&cur, rankOf[nd.Index])
+		}
+	}
+
 	remaining := n
-	cycle := 0
+	cycle := int32(0)
 	for remaining > 0 {
+		// A new cycle starts a fresh sweep: everything ready is eligible.
+		for _, r := range next {
+			rankPush(&cur, r)
+		}
+		next = next[:0]
+		for len(future) > 0 && int32(future[0]>>32) <= cycle {
+			rankPush(&cur, int32(futPop(&future)&0xffffffff))
+		}
+		if len(cur) == 0 {
+			// Nothing eligible: jump to the next cycle at which something
+			// becomes ready.
+			jump := int32(future[0] >> 32)
+			if jump <= cycle {
+				jump = cycle + 1
+			}
+			cycle = jump
+			continue
+		}
 		slots := m.IssueWidth
-		progress := false
-		// Latency-0 edges let an op and its dependent share a cycle, so a
-		// single pass can leave same-cycle-ready work behind; sweep until
-		// the cycle fills or stabilizes.
-		for again := true; again && slots > 0; {
-			again = false
-			for _, nd := range order {
-				if slots == 0 {
+		lastPopped := int32(-1)
+		for slots > 0 {
+			if len(cur) == 0 {
+				if len(next) == 0 {
 					break
 				}
-				i := nd.Index
-				if scheduled[i] || unscheduledPreds[i] > 0 || earliest[i] > cycle {
-					continue
+				// The sweep passed some nodes that became ready behind it;
+				// rescan from the top (same cycle, fresh sweep).
+				for _, r := range next {
+					rankPush(&cur, r)
 				}
-				s.Cycle[i] = cycle
-				scheduled[i] = true
-				remaining--
-				if !nd.IsCopy() {
-					// Renaming copies ride free: the paper excludes copy
-					// Ops from its speedup accounting (a copy-coalescing
-					// phase or spare move capacity is assumed), so they
-					// must not crowd real ops out of issue slots either.
-					slots--
+				next = next[:0]
+				lastPopped = -1
+				continue
+			}
+			rank := rankPop(&cur)
+			nd := order[rank]
+			i := nd.Index
+			s.Cycle[i] = int(cycle)
+			remaining--
+			if !nd.IsCopy() {
+				// Renaming copies ride free: the paper excludes copy
+				// Ops from its speedup accounting (a copy-coalescing
+				// phase or spare move capacity is assumed), so they
+				// must not crowd real ops out of issue slots either.
+				slots--
+			}
+			lastPopped = rank
+			for _, e := range nd.Succs {
+				j := e.To.Index
+				preds[j]--
+				if t := cycle + int32(e.Latency); t > earliest[j] {
+					earliest[j] = t
 				}
-				progress = true
-				for _, e := range nd.Succs {
-					j := e.To.Index
-					unscheduledPreds[j]--
-					if t := cycle + e.Latency; t > earliest[j] {
-						earliest[j] = t
+				if preds[j] == 0 {
+					switch {
+					case earliest[j] > cycle:
+						futPush(&future, uint64(earliest[j])<<32|uint64(rankOf[j]))
+					case rankOf[j] > lastPopped:
+						rankPush(&cur, rankOf[j])
+					default:
+						next = append(next, rankOf[j])
 					}
-					if e.Latency == 0 {
-						again = true
-					}
 				}
 			}
-		}
-		if remaining == 0 {
-			break
-		}
-		if !progress {
-			// Jump to the next cycle at which something can become ready.
-			next := -1
-			for _, nd := range g.Nodes {
-				i := nd.Index
-				if scheduled[i] || unscheduledPreds[i] > 0 {
-					continue
-				}
-				if next < 0 || earliest[i] < next {
-					next = earliest[i]
-				}
-			}
-			if next <= cycle {
-				next = cycle + 1
-			}
-			cycle = next
-			continue
 		}
 		cycle++
 	}
+	sc.cur, sc.next, sc.future = cur, next, future
+
 	for _, nd := range g.Nodes {
 		if c := s.Cycle[nd.Index] + 1; c > s.Length {
 			s.Length = c
 		}
 	}
+	tr.ObserveAllocs(telemetry.PhaseListSched, a0)
 	tr.Observe(telemetry.PhaseListSched, time.Since(t0), n)
 	return s
 }
@@ -163,13 +329,13 @@ func ListScheduleTraced(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *tele
 // Verify checks the schedule against every DDG edge and the machine's issue
 // width. It returns the first violation, or nil.
 func (s *Schedule) Verify() error {
-	perCycle := make(map[int]int)
+	perCycle := make([]int, s.Length)
 	for _, nd := range s.Graph.Nodes {
 		c := s.Cycle[nd.Index]
 		if c < 0 {
 			return fmt.Errorf("sched: node %d (%v) unscheduled", nd.Index, nd.Op)
 		}
-		if !nd.IsCopy() { // copies are slot-free (see ListSchedule)
+		if !nd.IsCopy() && c < len(perCycle) { // copies are slot-free (see ListSchedule)
 			perCycle[c]++
 		}
 		for _, e := range nd.Succs {
@@ -192,13 +358,14 @@ func (s *Schedule) Verify() error {
 // Renaming copies are not counted.
 func (s *Schedule) SpeculatedAbove() int {
 	r := s.Graph.Region
-	// Latest terminator cycle per block.
-	lastTerm := make(map[int]int) // blockID -> cycle
+	// Latest terminator cycle per block (-1 = no terminator).
+	lastTerm := make([]int, len(s.Graph.Fn.Blocks))
+	for i := range lastTerm {
+		lastTerm[i] = -1
+	}
 	for _, nd := range s.Graph.Nodes {
-		if nd.Term {
-			if c, ok := lastTerm[int(nd.Home)]; !ok || s.Cycle[nd.Index] > c {
-				lastTerm[int(nd.Home)] = s.Cycle[nd.Index]
-			}
+		if nd.Term && s.Cycle[nd.Index] > lastTerm[nd.Home] {
+			lastTerm[nd.Home] = s.Cycle[nd.Index]
 		}
 	}
 	count := 0
@@ -206,8 +373,8 @@ func (s *Schedule) SpeculatedAbove() int {
 		if nd.Term || nd.IsCopy() {
 			continue
 		}
-		for _, anc := range r.Ancestors(nd.Home) {
-			if tc, ok := lastTerm[int(anc)]; ok && s.Cycle[nd.Index] < tc {
+		for anc := r.Parent(nd.Home); anc != ir.NoBlock; anc = r.Parent(anc) {
+			if tc := lastTerm[anc]; tc >= 0 && s.Cycle[nd.Index] < tc {
 				count++
 				break
 			}

@@ -21,7 +21,7 @@ import (
 // schemaVersion is bumped whenever the payload layout changes. An entry
 // with a different schema reads as a miss (another binary's entries are not
 // corruption), so mixed-version processes can share one store directory.
-const schemaVersion = 1
+const schemaVersion = 2
 
 // payload is the on-disk form of one FunctionResult. The in-memory result
 // is a web of pointers (ops shared between blocks, regions and DDG nodes;

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Per-phase allocation tracking is off by default: reading runtime.MemStats
+// costs microseconds per sample, which would dominate small-region phases.
+// When enabled (treegiond -phase-allocs, or SetAllocTracking in tests and
+// benchmarks), every traced phase also records the number of heap
+// allocations it performed, and the registry exports them per phase.
+var allocTracking atomic.Bool
+
+// SetAllocTracking switches per-phase allocation sampling on or off
+// process-wide.
+func SetAllocTracking(on bool) { allocTracking.Store(on) }
+
+// AllocTracking reports whether per-phase allocation sampling is on.
+func AllocTracking() bool { return allocTracking.Load() }
+
+// AllocMark samples the process's cumulative heap-allocation count, or
+// returns 0 when tracking is off. Pair a mark taken at phase start with
+// ObserveAllocs at phase end.
+func AllocMark() uint64 {
+	if !allocTracking.Load() {
+		return 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// ObserveAllocs records the allocations of phase p since mark (a value from
+// AllocMark taken at the phase's start). A zero mark — tracking was off at
+// the start — records nothing, so toggling tracking mid-phase never counts
+// a bogus delta.
+func (t *CompileTrace) ObserveAllocs(p Phase, mark uint64) {
+	if t == nil || p >= NumPhases || mark == 0 {
+		return
+	}
+	if now := AllocMark(); now > mark {
+		t.phase[p].allocs.Add(int64(now - mark))
+	}
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import "testing"
+
+// allocSink defeats escape analysis so the tracking test really allocates.
+var allocSink [][]byte
+
+func TestAllocTrackingOffRecordsNothing(t *testing.T) {
+	SetAllocTracking(false)
+	tr := NewTrace("f")
+	if m := AllocMark(); m != 0 {
+		t.Fatalf("AllocMark with tracking off = %d, want 0", m)
+	}
+	tr.ObserveAllocs(PhaseDDG, 0)
+	if a := tr.Snapshot().Phase[PhaseDDG].Allocs; a != 0 {
+		t.Fatalf("allocs recorded while off: %d", a)
+	}
+}
+
+func TestAllocTrackingRecordsDeltas(t *testing.T) {
+	SetAllocTracking(true)
+	defer SetAllocTracking(false)
+	tr := NewTrace("f")
+	mark := AllocMark()
+	if mark == 0 {
+		t.Fatal("AllocMark returned 0 with tracking on")
+	}
+	for i := 0; i < 8; i++ {
+		allocSink = append(allocSink, make([]byte, 1<<16))
+	}
+	tr.ObserveAllocs(PhaseDDG, mark)
+	snap := tr.Snapshot()
+	if snap.Phase[PhaseDDG].Allocs == 0 {
+		t.Fatal("no allocations recorded across an allocating span")
+	}
+	// Allocs survive merge and restore but stay out of the deterministic
+	// Counts projection.
+	sum := NewTrace("p")
+	sum.Merge(tr)
+	if got := sum.Snapshot().Phase[PhaseDDG].Allocs; got != snap.Phase[PhaseDDG].Allocs {
+		t.Fatalf("merge lost allocs: %d != %d", got, snap.Phase[PhaseDDG].Allocs)
+	}
+	if got := snap.Restore().Snapshot().Phase[PhaseDDG].Allocs; got != snap.Phase[PhaseDDG].Allocs {
+		t.Fatalf("restore lost allocs: %d != %d", got, snap.Phase[PhaseDDG].Allocs)
+	}
+	if c := snap.Counts()[PhaseDDG]; c[0] != 0 || c[1] != 0 {
+		t.Fatalf("Counts picked up alloc-only activity: %v", c)
+	}
+}

@@ -84,9 +84,10 @@ func Phases() []Phase {
 // trace attached to a cached (shared) FunctionResult stays safe to read and
 // merge concurrently.
 type phaseStat struct {
-	nanos atomic.Int64
-	calls atomic.Int64
-	ops   atomic.Int64
+	nanos  atomic.Int64
+	calls  atomic.Int64
+	ops    atomic.Int64
+	allocs atomic.Int64 // heap allocations, sampled only under SetAllocTracking
 }
 
 // CompileTrace records per-phase wall time and op counts for one function
@@ -134,6 +135,7 @@ func (t *CompileTrace) Merge(o *CompileTrace) {
 		dst.nanos.Add(src.nanos.Load())
 		dst.calls.Add(src.calls.Load())
 		dst.ops.Add(src.ops.Load())
+		dst.allocs.Add(src.allocs.Load())
 	}
 }
 
@@ -145,13 +147,17 @@ type PhaseSnapshot struct {
 	Calls int64
 	// Ops counts the ops the phase covered across all calls.
 	Ops int64
+	// Allocs counts the phase's heap allocations; zero unless the compile
+	// ran under SetAllocTracking. Excluded from Counts(): sampling is
+	// optional, so allocs are not part of the deterministic columns.
+	Allocs int64
 }
 
 // Duration returns the accumulated wall time.
 func (s PhaseSnapshot) Duration() time.Duration { return time.Duration(s.Nanos) }
 
 func (s PhaseSnapshot) add(o PhaseSnapshot) PhaseSnapshot {
-	return PhaseSnapshot{Nanos: s.Nanos + o.Nanos, Calls: s.Calls + o.Calls, Ops: s.Ops + o.Ops}
+	return PhaseSnapshot{Nanos: s.Nanos + o.Nanos, Calls: s.Calls + o.Calls, Ops: s.Ops + o.Ops, Allocs: s.Allocs + o.Allocs}
 }
 
 // TraceSnapshot is a point-in-time copy of a whole trace, safe to compare
@@ -171,7 +177,7 @@ func (t *CompileTrace) Snapshot() TraceSnapshot {
 	s.Function = t.Function
 	for p := Phase(0); p < NumPhases; p++ {
 		st := &t.phase[p]
-		s.Phase[p] = PhaseSnapshot{Nanos: st.nanos.Load(), Calls: st.calls.Load(), Ops: st.ops.Load()}
+		s.Phase[p] = PhaseSnapshot{Nanos: st.nanos.Load(), Calls: st.calls.Load(), Ops: st.ops.Load(), Allocs: st.allocs.Load()}
 	}
 	return s
 }
@@ -187,6 +193,7 @@ func (s TraceSnapshot) Restore() *CompileTrace {
 		st.nanos.Store(s.Phase[p].Nanos)
 		st.calls.Store(s.Phase[p].Calls)
 		st.ops.Store(s.Phase[p].Ops)
+		st.allocs.Store(s.Phase[p].Allocs)
 	}
 	return t
 }

@@ -18,6 +18,7 @@ package verify
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -212,20 +213,19 @@ func Compiled(fn *ir.Function, regions []*region.Region, schedules []*sched.Sche
 // sortDiagnostics orders most severe first, then by rule, block, op and
 // message, so the output is deterministic in the inputs.
 func sortDiagnostics(ds []Diagnostic) {
-	sort.SliceStable(ds, func(i, j int) bool {
-		a, b := ds[i], ds[j]
+	slices.SortStableFunc(ds, func(a, b Diagnostic) int {
 		if a.Severity != b.Severity {
-			return a.Severity > b.Severity
+			return int(b.Severity) - int(a.Severity)
 		}
 		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
+			return strings.Compare(a.Rule, b.Rule)
 		}
 		if a.Block != b.Block {
-			return a.Block < b.Block
+			return int(a.Block) - int(b.Block)
 		}
 		if a.Op != b.Op {
-			return a.Op < b.Op
+			return a.Op - b.Op
 		}
-		return a.Message < b.Message
+		return strings.Compare(a.Message, b.Message)
 	})
 }

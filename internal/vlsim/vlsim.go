@@ -27,7 +27,7 @@ package vlsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"treegion/internal/ddg"
@@ -80,8 +80,8 @@ func (s *state) commit(cycle int) {
 }
 
 func (s *state) flush() {
-	sort.SliceStable(s.pending, func(i, j int) bool {
-		return s.pending[i].visibleAt < s.pending[j].visibleAt
+	slices.SortStableFunc(s.pending, func(a, b write) int {
+		return a.visibleAt - b.visibleAt
 	})
 	for _, w := range s.pending {
 		s.regs[w.reg] = w.val
@@ -215,7 +215,7 @@ walk:
 		}
 	}
 	for c := 0; c <= exit.cycle && c < s.Length; c++ {
-		sort.SliceStable(rows[c], func(i, j int) bool { return rows[c][i].Index < rows[c][j].Index })
+		slices.SortStableFunc(rows[c], func(a, b *ddg.Node) int { return a.Index - b.Index })
 		for _, n := range rows[c] {
 			if err := execNode(s, n, c, onPath, st, tr); err != nil {
 				return 0, false, err
