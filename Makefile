@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-compare check ci
+.PHONY: all build vet lint test race bench bench-compare check loadtest ci
 
 all: build
 
@@ -26,20 +26,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Suite compiles (serial/parallel/cached/verified/warm-store) plus the
-# per-phase micro-benchmarks of the compiler core (liveness, DDG build,
-# list scheduling), with allocation counts. The raw `go test -json` stream
-# is captured in BENCH_5.json for machine comparison against earlier runs
-# (BENCH_4.json holds the pre-overhaul baseline).
+# Suite compiles (serial/parallel/cached/verified/warm-store), the stress
+# preset at 8 workers, plus the per-phase micro-benchmarks of the compiler
+# core (liveness, DDG build, list scheduling), with allocation counts. The
+# raw `go test -json` stream is captured in BENCH_6.json for machine
+# comparison against earlier runs (BENCH_5.json holds the pre-fabric
+# baseline). The parallel and stress benchmarks report speedup-vs-serial;
+# on a single-core box that metric caps at ~1x by physics.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_5.json
+	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkCompileStress|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_6.json
 
 # bench-compare diffs two bench captures. benchstat is used when installed
 # (fed plain text extracted from the JSON captures); otherwise the bundled
 # dependency-free cmd/benchdiff prints the old/new/delta table. Override the
 # endpoints with BENCH_OLD= / BENCH_NEW=.
-BENCH_OLD ?= BENCH_4.json
-BENCH_NEW ?= BENCH_5.json
+BENCH_OLD ?= BENCH_5.json
+BENCH_NEW ?= BENCH_6.json
 bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		$(GO) run ./cmd/benchdiff -extract $(BENCH_OLD) > /tmp/benchdiff_old.txt; \
@@ -55,8 +57,14 @@ bench-compare:
 # micro-benchmarks (the scheduler's sync.Pool scratch is shared across
 # pipeline workers, so the bench bodies must be race-clean too).
 check: lint build test
-	$(GO) test -race ./internal/store/ ./internal/jobs/ ./internal/compcache/ ./cmd/treegiond/
+	$(GO) test -race ./internal/store/ ./internal/jobs/ ./internal/compcache/ ./internal/pipeline/ ./internal/router/ ./cmd/treegiond/
 	$(GO) test -race -run NONE -bench 'BenchmarkColdCompile' -benchtime 1x .
+
+# loadtest boots the two-replica scale-out topology (2 treegiond + the
+# shard router) and runs a short closed-loop loadgen pass against the
+# router; non-zero exit if the error rate blows the budget.
+loadtest: build
+	./scripts/loadtest.sh
 
 # lint runs first and fails the gate on any finding.
 ci: lint build test race

@@ -1,0 +1,246 @@
+// Command treegion-loadgen drives a treegiond daemon or a treegion-router
+// fleet with a closed-loop compile workload and reports latency percentiles,
+// achieved QPS and the error rate.
+//
+// Request bodies are generated from a progen preset (default the out-of-suite
+// "stress" preset): each worker cycles through the preset's functions,
+// POSTing them to /v1/compile — or, with -batch N, grouped N-at-a-time to the
+// streaming /v1/compile-batch endpoint (latency then measures time-to-last-
+// byte of the stream). The loop is closed: a worker issues its next request
+// only after the previous one completes, optionally paced to a target QPS by
+// a shared token ticker.
+//
+// Usage:
+//
+//	treegion-loadgen -url http://127.0.0.1:8030 [-qps 50] [-concurrency 8]
+//	                 [-duration 30s] [-preset stress] [-batch 0]
+//	                 [-error-budget 0.01]
+//
+// Exit status is non-zero when the observed error rate exceeds -error-budget,
+// so the loadgen doubles as a pass/fail gate in make loadtest and CI.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"treegion"
+	"treegion/internal/progen"
+)
+
+func main() {
+	baseURL := flag.String("url", "http://127.0.0.1:8030", "router or daemon base URL")
+	qps := flag.Float64("qps", 0, "target request rate (0 = unpaced closed loop)")
+	concurrency := flag.Int("concurrency", 4, "closed-loop workers")
+	duration := flag.Duration("duration", 15*time.Second, "run length")
+	presetName := flag.String("preset", "stress", "progen preset supplying the IR corpus")
+	batch := flag.Int("batch", 0, "functions per /v1/compile-batch request (0 = single /v1/compile requests)")
+	errorBudget := flag.Float64("error-budget", 0.01, "maximum tolerated error fraction; exceeding it exits non-zero")
+	flag.Parse()
+
+	bodies, err := buildBodies(*presetName, *batch)
+	if err != nil {
+		log.Fatalf("treegion-loadgen: %v", err)
+	}
+	path := "/v1/compile"
+	if *batch > 0 {
+		path = "/v1/compile-batch"
+	}
+	target := strings.TrimSuffix(*baseURL, "/") + path
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+
+	// Pacing: a token bucket fed at -qps. Workers block for a token before
+	// each request, so the loop stays closed (no unbounded queueing) while
+	// the offered rate tracks the target.
+	var tokens chan struct{}
+	if *qps > 0 {
+		tokens = make(chan struct{}, *concurrency)
+		interval := time.Duration(float64(time.Second) / *qps)
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // all workers busy; drop the token, stay closed-loop
+					}
+				}
+			}
+		}()
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: *concurrency * 2,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // seconds
+		requests  atomic.Int64
+		failures  atomic.Int64
+	)
+	started := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, 0, 1024)
+			for i := w; ; i++ {
+				if tokens != nil {
+					select {
+					case <-ctx.Done():
+						mu.Lock()
+						latencies = append(latencies, local...)
+						mu.Unlock()
+						return
+					case <-tokens:
+					}
+				} else if ctx.Err() != nil {
+					mu.Lock()
+					latencies = append(latencies, local...)
+					mu.Unlock()
+					return
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				ok := doRequest(ctx, client, target, body)
+				requests.Add(1)
+				if !ok {
+					if ctx.Err() != nil { // cut off mid-flight by the deadline, not a server error
+						requests.Add(-1)
+					} else {
+						failures.Add(1)
+					}
+				} else {
+					local = append(local, time.Since(t0).Seconds())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(started).Seconds()
+
+	n := requests.Load()
+	nf := failures.Load()
+	sort.Float64s(latencies)
+	errRate := 0.0
+	if n > 0 {
+		errRate = float64(nf) / float64(n)
+	}
+	fmt.Printf("target:       %s\n", target)
+	fmt.Printf("requests:     %d (%.1f/s achieved", n, float64(n)/elapsed)
+	if *qps > 0 {
+		fmt.Printf(", %.1f/s target", *qps)
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("errors:       %d (%.2f%%, budget %.2f%%)\n", nf, 100*errRate, 100**errorBudget)
+	fmt.Printf("latency p50:  %s\n", fmtSeconds(percentile(latencies, 0.50)))
+	fmt.Printf("latency p90:  %s\n", fmtSeconds(percentile(latencies, 0.90)))
+	fmt.Printf("latency p99:  %s\n", fmtSeconds(percentile(latencies, 0.99)))
+	fmt.Printf("latency max:  %s\n", fmtSeconds(percentile(latencies, 1.0)))
+	if errRate > *errorBudget {
+		fmt.Printf("FAIL: error rate %.2f%% exceeds budget %.2f%%\n", 100*errRate, 100**errorBudget)
+		os.Exit(1)
+	}
+}
+
+// buildBodies renders the preset's functions into ready-to-POST JSON bodies:
+// one body per function for /v1/compile, or ceil(n/batch) grouped bodies for
+// /v1/compile-batch.
+func buildBodies(presetName string, batch int) ([][]byte, error) {
+	preset, ok := progen.PresetByName(presetName)
+	if !ok {
+		return nil, fmt.Errorf("unknown preset %q", presetName)
+	}
+	prog, err := progen.Generate(preset)
+	if err != nil {
+		return nil, err
+	}
+	irs := make([]string, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		irs[i] = treegion.PrintFunction(fn)
+	}
+	var bodies [][]byte
+	if batch <= 0 {
+		for _, ir := range irs {
+			b, err := json.Marshal(map[string]any{"ir": ir, "trips": preset.ProfileTrips})
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, b)
+		}
+		return bodies, nil
+	}
+	for lo := 0; lo < len(irs); lo += batch {
+		hi := lo + batch
+		if hi > len(irs) {
+			hi = len(irs)
+		}
+		fns := make([]map[string]string, 0, hi-lo)
+		for _, ir := range irs[lo:hi] {
+			fns = append(fns, map[string]string{"ir": ir})
+		}
+		b, err := json.Marshal(map[string]any{"functions": fns, "trips": preset.ProfileTrips})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, b)
+	}
+	return bodies, nil
+}
+
+// doRequest POSTs one body and drains the response (time-to-last-byte for
+// streaming batches). It reports success: a 2xx status with a fully read
+// body.
+func doRequest(ctx context.Context, client *http.Client, target string, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return false
+	}
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

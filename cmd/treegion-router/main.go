@@ -1,0 +1,101 @@
+// Command treegion-router fronts a fleet of treegiond replicas with a
+// content-hash shard router: /v1/compile and /v1/compile-batch requests are
+// placed by rendezvous hashing over the request's compile content key, so
+// identical compiles always land on the same replica and each replica's
+// cache and artifact-store tiers own a stable slice of the keyspace.
+//
+// Usage:
+//
+//	treegion-router -replicas http://127.0.0.1:8037,http://127.0.0.1:8047 \
+//	                [-addr :8030] [-retries 2] [-retry-backoff 50ms] \
+//	                [-health-interval 2s] [-health-timeout 1s]
+//
+// The router serves its own /v1/metrics (per-replica request, error,
+// retry, in-flight and latency series in Prometheus text format) and
+// /v1/healthz (503 when no replica is healthy). Unhealthy replicas are
+// skipped at placement time and their keys spill to the next-ranked
+// replica until the prober sees them recover. Connection-level failures
+// retry on the next-ranked replica with exponential backoff; HTTP error
+// statuses are forwarded as-is.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"treegion/internal/router"
+	"treegion/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8030", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated treegiond base URLs (required)")
+	retries := flag.Int("retries", 2, "extra forwarding attempts on connection failure")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "replica health probe period")
+	healthTimeout := flag.Duration("health-timeout", time.Second, "per-probe timeout")
+	flag.Parse()
+
+	var urls []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			urls = append(urls, r)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatalf("treegion-router: -replicas is required (comma-separated treegiond base URLs)")
+	}
+
+	rt, err := router.New(router.Config{
+		Replicas:       urls,
+		Retries:        *retries,
+		RetryBackoff:   *retryBackoff,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		Registry:       telemetry.NewRegistry(),
+	})
+	if err != nil {
+		log.Fatalf("treegion-router: %v", err)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Batch streams run long; per-write deadlines inside the proxy loop
+		// bound stalls instead of a whole-response timeout.
+		WriteTimeout: 0,
+		IdleTimeout:  2 * time.Minute,
+	}
+	go func() {
+		log.Printf("treegion-router: listening on %s, %d replicas: %s",
+			*addr, len(urls), strings.Join(urls, ", "))
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("treegion-router: listener: %v", err)
+			stop()
+		}
+	}()
+
+	<-ctx.Done()
+	log.Printf("treegion-router: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("treegion-router: http shutdown: %v", err)
+	}
+	log.Printf("treegion-router: bye")
+}

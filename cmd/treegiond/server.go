@@ -110,6 +110,7 @@ const apiPrefix = "/v1"
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(apiPrefix+"/compile", s.handleCompile)
+	mux.HandleFunc(apiPrefix+"/compile-batch", s.handleCompileBatch)
 	mux.HandleFunc(apiPrefix+"/jobs", s.handleJobs)
 	mux.HandleFunc(apiPrefix+"/jobs/", s.handleJob)
 	mux.HandleFunc(apiPrefix+"/metrics", s.handleMetrics)
@@ -325,17 +326,12 @@ func decodeCompileRequest(data []byte) (*compileRequest, *apiError) {
 	return &req, nil
 }
 
-// compile is the request core shared by the synchronous handler and the
-// async job runner: parse, profile, compile through the tiered cache,
-// shape the response. ElapsedMS is left for the caller.
-func (s *server) compile(ctx context.Context, req *compileRequest) (*compileResponse, *apiError) {
-	cfg, err := s.configFrom(req)
-	if err != nil {
-		return nil, apiErr(http.StatusBadRequest, "bad_config", err)
-	}
+// parseAndProfile turns one request's IR into a parsed function and its
+// stochastic profile (the compile pipeline's two inputs).
+func (s *server) parseAndProfile(req *compileRequest) (*treegion.Function, *treegion.ProfileData, *apiError) {
 	fn, err := treegion.ParseFunction(req.IR)
 	if err != nil {
-		return nil, apiErr(http.StatusBadRequest, "bad_ir", fmt.Errorf("parse ir: %w", err))
+		return nil, nil, apiErr(http.StatusBadRequest, "bad_ir", fmt.Errorf("parse ir: %w", err))
 	}
 	seed, trips := req.Seed, req.Trips
 	if seed == 0 {
@@ -346,30 +342,63 @@ func (s *server) compile(ctx context.Context, req *compileRequest) (*compileResp
 	}
 	prof, err := treegion.ProfileFunction(fn, seed, trips)
 	if err != nil {
-		return nil, apiErr(http.StatusUnprocessableEntity, "profile_failed", fmt.Errorf("profile: %w", err))
+		return nil, nil, apiErr(http.StatusUnprocessableEntity, "profile_failed", fmt.Errorf("profile: %w", err))
 	}
+	return fn, prof, nil
+}
+
+// compileOptions assembles the pipeline options every compile on this
+// daemon shares: the worker pool bound, the tiered cache/store, metrics and
+// telemetry — plus verification when the request asks for it.
+func (s *server) compileOptions(verify bool) []treegion.CompileOption {
 	copts := []treegion.CompileOption{
 		treegion.WithWorkers(s.workers),
 		treegion.WithCache(s.cache),
 		treegion.WithMetrics(s.metrics),
 		treegion.WithTelemetry(s.reg),
 	}
-	if req.Verify {
+	if verify {
 		copts = append(copts, treegion.WithVerify())
 	}
-	fr, cached, err := treegion.CompileOne(ctx, fn, prof, cfg, copts...)
-	if err != nil {
-		var vf *treegion.VerifyFailure
-		if errors.As(err, &vf) {
-			ae := apiErr(http.StatusUnprocessableEntity, "verify_failed", vf)
-			ae.rules = vf.Rules()
-			for _, d := range vf.Diagnostics {
-				ae.diags = append(ae.diags, d.String())
-			}
-			return nil, ae
+	return copts
+}
+
+// compileError maps a pipeline error onto the structured API error space.
+func compileError(err error) *apiError {
+	var vf *treegion.VerifyFailure
+	if errors.As(err, &vf) {
+		ae := apiErr(http.StatusUnprocessableEntity, "verify_failed", vf)
+		ae.rules = vf.Rules()
+		for _, d := range vf.Diagnostics {
+			ae.diags = append(ae.diags, d.String())
 		}
-		return nil, apiErr(http.StatusUnprocessableEntity, "compile_failed", fmt.Errorf("compile: %w", err))
+		return ae
 	}
+	return apiErr(http.StatusUnprocessableEntity, "compile_failed", fmt.Errorf("compile: %w", err))
+}
+
+// compile is the request core shared by the synchronous handler and the
+// async job runner: parse, profile, compile through the tiered cache,
+// shape the response. ElapsedMS is left for the caller.
+func (s *server) compile(ctx context.Context, req *compileRequest) (*compileResponse, *apiError) {
+	cfg, err := s.configFrom(req)
+	if err != nil {
+		return nil, apiErr(http.StatusBadRequest, "bad_config", err)
+	}
+	fn, prof, aerr := s.parseAndProfile(req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	fr, cached, err := treegion.CompileOne(ctx, fn, prof, cfg, s.compileOptions(req.Verify)...)
+	if err != nil {
+		return nil, compileError(err)
+	}
+	return s.shapeResponse(req, fr, cached), nil
+}
+
+// shapeResponse renders one compiled function as the API response body
+// (shared by /v1/compile, /v1/jobs and each /v1/compile-batch line).
+func (s *server) shapeResponse(req *compileRequest, fr *treegion.FunctionResult, cached bool) *compileResponse {
 	resp := &compileResponse{
 		Function:       fr.Fn.Name,
 		Time:           fr.Time,
@@ -411,7 +440,7 @@ func (s *server) compile(ctx context.Context, req *compileRequest) (*compileResp
 			}
 		}
 	}
-	return resp, nil
+	return resp
 }
 
 // readBody drains one bounded request body.

@@ -1,6 +1,9 @@
 package treegion
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // A single shared suite keeps the experiment tests affordable.
 var expSuite *Suite
@@ -132,5 +135,51 @@ func TestAblationShape(t *testing.T) {
 	}
 	if GeoMean(rows, "td-2.0") < GeoMean(rows, "dompar-off") {
 		t.Error("dominator parallelism must not hurt")
+	}
+}
+
+// TestStressPresetSmoke proves the out-of-suite stress preset (the corpus
+// behind BenchmarkCompileStress and treegion-loadgen) generates, profiles
+// and compiles cleanly, and that the work-stealing pool at 8 workers is
+// cycle-identical to a serial compile on it. A slice of the preset keeps
+// the smoke test affordable; the full 24×7000-op program runs under make
+// bench.
+func TestStressPresetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress preset is not short")
+	}
+	prog, err := GenerateBenchmark("stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) < 20 {
+		t.Fatalf("stress preset has %d functions, want >= 20", len(prog.Funcs))
+	}
+	ops := 0
+	for _, fn := range prog.Funcs {
+		ops += fn.NumOps()
+	}
+	if avg := ops / len(prog.Funcs); avg < 3000 {
+		t.Fatalf("stress functions average %d ops, want the 10x-scale corpus", avg)
+	}
+	prog.Funcs = prog.Funcs[:4]
+	prog.Preset.NumFuncs = 4
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	ctx := context.Background()
+	serial, err := CompileProgramWith(ctx, prog, profs, cfg, CompileOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CompileProgramWith(ctx, prog, profs, cfg, CompileOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Time != parallel.Time || serial.CodeExpansion != parallel.CodeExpansion {
+		t.Fatalf("8-worker compile diverged from serial: time %v vs %v, expansion %v vs %v",
+			parallel.Time, serial.Time, parallel.CodeExpansion, serial.CodeExpansion)
 	}
 }

@@ -20,15 +20,21 @@ import (
 // captures, and stack capacity is reused across the whole walk.
 func (b *builder) dataEdges() {
 	regs := b.g.Fn.RegIndexTable()
-	w := &walker{
-		b:          b,
-		regs:       &regs,
-		defs:       make([][]*Node, regs.Len()),
-		defBase:    make([]int32, regs.Len()),
-		readers:    make([][]*Node, regs.Len()),
-		readerBase: make([]int32, regs.Len()),
+	w := &walker{b: b, regs: &regs}
+	if b.sc != nil {
+		w.defs, w.defBase, w.readers, w.readerBase = b.sc.walkerStacks(regs.Len())
+		w.undo = b.sc.undo[:0]
+		w.loads = b.sc.loads[:0]
+	} else {
+		w.defs = make([][]*Node, regs.Len())
+		w.defBase = make([]int32, regs.Len())
+		w.readers = make([][]*Node, regs.Len())
+		w.readerBase = make([]int32, regs.Len())
 	}
 	w.walk(b.g.Region.Root)
+	if b.sc != nil {
+		b.sc.releaseWalker(w)
+	}
 }
 
 // walker undo-record kinds.

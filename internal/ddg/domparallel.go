@@ -19,7 +19,11 @@ type opAt struct {
 func (b *builder) mergeDominatorParallel() {
 	r := b.g.Region
 	fn := b.g.Fn
-	b.moved = make(map[ir.BlockID][]*ir.Op)
+	if b.sc != nil {
+		b.moved = b.sc.movedMap()
+	} else {
+		b.moved = make(map[ir.BlockID][]*ir.Op)
+	}
 
 	// Group candidate ops by original identity.
 	groups := make(map[int][]opAt)

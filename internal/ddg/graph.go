@@ -171,11 +171,19 @@ type edgeRec struct {
 // installEdges materializes recs into per-node Succs/Preds slices carved
 // from two backing slabs. A counting pass sizes each node's lists, then a
 // stable fill preserves record order within every list — the same order the
-// old per-edge appends produced.
-func installEdges(nodes []*Node, recs []edgeRec) {
+// old per-edge appends produced. sc, when non-nil, supplies the counting
+// buffers; the edge slabs are always fresh (they escape into the nodes).
+func installEdges(nodes []*Node, recs []edgeRec, sc *Scratch) {
 	n := len(nodes)
-	outCnt := make([]int32, n)
-	inCnt := make([]int32, n)
+	var outCnt, inCnt []int32
+	if sc != nil {
+		sc.outCnt = growClear(sc.outCnt, n)
+		sc.inCnt = growClear(sc.inCnt, n)
+		outCnt, inCnt = sc.outCnt, sc.inCnt
+	} else {
+		outCnt = make([]int32, n)
+		inCnt = make([]int32, n)
+	}
 	for _, e := range recs {
 		outCnt[e.from]++
 		inCnt[e.to]++
@@ -222,13 +230,25 @@ func DefaultOptions(lv *cfg.Liveness, prof *profile.Data) Options {
 // ops. Each region must therefore be built at most once per compiled
 // function instance.
 func Build(fn *ir.Function, r *region.Region, opts Options) (*Graph, error) {
+	return BuildScratch(fn, r, opts, nil)
+}
+
+// BuildScratch is Build drawing every non-escaping table and buffer from a
+// caller-owned Scratch (nil allocates fresh, exactly as Build). Workers that
+// build many DDGs back to back reuse one Scratch across all of them.
+func BuildScratch(fn *ir.Function, r *region.Region, opts Options, sc *Scratch) (*Graph, error) {
 	g := &Graph{Fn: fn, Region: r}
 	bound := fn.OpIDBound()
-	b := &builder{
-		g:    g,
-		opts: opts,
-		home: make([]ir.BlockID, bound),
-		gone: make([]bool, bound),
+	b := &builder{g: g, opts: opts, sc: sc}
+	if sc != nil {
+		b.home = grow(sc.home, bound)
+		b.gone = growClear(sc.gone, bound)
+		b.recs = sc.recs[:0]
+		b.succBuf = sc.succBuf
+		b.subtreeBuf = sc.subtreeBuf
+	} else {
+		b.home = make([]ir.BlockID, bound)
+		b.gone = make([]bool, bound)
 	}
 	for i := range b.home {
 		b.home[i] = ir.NoBlock
@@ -256,9 +276,12 @@ func Build(fn *ir.Function, r *region.Region, opts Options) (*Graph, error) {
 	b.makeNodes()
 	b.dataEdges()
 	b.controlEdges()
-	installEdges(g.Nodes, b.recs)
+	installEdges(g.Nodes, b.recs, sc)
 	g.indexNodes()
 	b.attributes()
+	if sc != nil {
+		sc.release(b)
+	}
 	return g, nil
 }
 
@@ -272,6 +295,9 @@ type blkRange struct {
 type builder struct {
 	g    *Graph
 	opts Options
+	// sc, when non-nil, supplies every non-escaping table below; Build
+	// stores the (possibly regrown) buffers back on exit.
+	sc *Scratch
 	// Dense per-op tables indexed by op.ID, sized to the bound at builder
 	// creation. Ops minted later (renaming copies) are never gone, moved or
 	// pinned, so the bounds-checked accessors report false for them.
@@ -312,7 +338,11 @@ func (b *builder) isPinned(op *ir.Op) bool {
 
 func (b *builder) setPinned(op *ir.Op) {
 	if b.pinned == nil {
-		b.pinned = make([]bool, len(b.gone))
+		if b.sc != nil {
+			b.pinned = growClear(b.sc.pinned, len(b.gone))
+		} else {
+			b.pinned = make([]bool, len(b.gone))
+		}
 	}
 	if op.ID < len(b.pinned) {
 		b.pinned[op.ID] = true
@@ -368,12 +398,20 @@ func (b *builder) appendEffective(dst []*ir.Op, bid ir.BlockID) ([]*ir.Op, int) 
 // sequences are final.
 func (b *builder) buildEffective() {
 	r := b.g.Region
-	b.effOf = make([]blkRange, len(b.g.Fn.Blocks))
 	total := 0
 	for _, bid := range r.Blocks {
 		total += len(b.g.Fn.Block(bid).Ops) + len(b.moved[bid])
 	}
-	b.effSlab = make([]*ir.Op, 0, total)
+	if b.sc != nil {
+		b.effOf = growClear(b.sc.effOf, len(b.g.Fn.Blocks))
+		if cap(b.sc.effSlab) < total {
+			b.sc.effSlab = make([]*ir.Op, 0, total)
+		}
+		b.effSlab = b.sc.effSlab[:0]
+	} else {
+		b.effOf = make([]blkRange, len(b.g.Fn.Blocks))
+		b.effSlab = make([]*ir.Op, 0, total)
+	}
 	for _, bid := range r.Blocks {
 		start := len(b.effSlab)
 		var body int
@@ -415,9 +453,15 @@ func (b *builder) blockNodes(bid ir.BlockID) []*Node {
 // slab; per-block ranges are recorded for the edge passes.
 func (b *builder) makeNodes() {
 	g := b.g
+	// The Node slab and the Nodes index escape into the Graph; they are
+	// always fresh even under a Scratch.
 	slab := make([]Node, len(b.effSlab))
 	g.Nodes = make([]*Node, 0, len(slab))
-	b.nodeOf = make([]blkRange, len(g.Fn.Blocks))
+	if b.sc != nil {
+		b.nodeOf = growClear(b.sc.nodeOf, len(g.Fn.Blocks))
+	} else {
+		b.nodeOf = make([]blkRange, len(g.Fn.Blocks))
+	}
 	for _, bid := range g.Region.Blocks {
 		er := b.effOf[bid]
 		nr := blkRange{

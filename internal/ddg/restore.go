@@ -69,7 +69,7 @@ func Restore(fn *ir.Function, r *region.Region, nodes []NodeSpec, edges []EdgeSp
 		}
 		recs[i] = edgeRec{from: int32(e.From), to: int32(e.To), lat: int32(e.Latency), kind: e.Kind}
 	}
-	installEdges(g.Nodes, recs)
+	installEdges(g.Nodes, recs, nil)
 	g.indexNodes()
 	return g, nil
 }

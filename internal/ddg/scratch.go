@@ -1,0 +1,108 @@
+package ddg
+
+import "treegion/internal/ir"
+
+// Scratch holds the builder's reusable working set: every dense table and
+// buffer that does NOT escape into the returned Graph. A pipeline worker
+// that builds DDGs for a whole chunk of functions passes the same Scratch to
+// every BuildScratch call and the tables are recycled across functions
+// instead of reallocated; the buffers grow to the largest function seen and
+// stay there. The Graph-owned allocations (the Node slab, Succs/Preds edge
+// slabs, the byID index) are always fresh — results outlive the scratch.
+//
+// A Scratch must not be shared between concurrent builds.
+type Scratch struct {
+	home    []ir.BlockID
+	gone    []bool
+	pinned  []bool
+	effOf   []blkRange
+	nodeOf  []blkRange
+	effSlab []*ir.Op
+	recs    []edgeRec
+	outCnt  []int32
+	inCnt   []int32
+	defBits []uint64
+	moved   map[ir.BlockID][]*ir.Op
+
+	succBuf    []ir.BlockID
+	subtreeBuf []ir.BlockID
+
+	// dataEdges walker stacks, indexed by dense register. The walk's undo
+	// log empties them on exit; reset re-establishes that invariant
+	// defensively before handing them out again.
+	defs       [][]*Node
+	defBase    []int32
+	readers    [][]*Node
+	readerBase []int32
+	undo       []undoRec
+	loads      []*Node
+}
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+// Contents are unspecified; callers that need cleared memory clear it.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// growClear returns buf resized to n with every element zeroed.
+func growClear[T any](buf []T, n int) []T {
+	buf = grow(buf, n)
+	clear(buf)
+	return buf
+}
+
+// movedMap returns the (cleared) dominator-merge map.
+func (sc *Scratch) movedMap() map[ir.BlockID][]*ir.Op {
+	if sc.moved == nil {
+		sc.moved = make(map[ir.BlockID][]*ir.Op)
+	} else {
+		clear(sc.moved)
+	}
+	return sc.moved
+}
+
+// walkerStacks returns the per-register stacks for dataEdges, empty and
+// zero-based. Inner stack slices keep their capacity across builds.
+func (sc *Scratch) walkerStacks(n int) (defs [][]*Node, defBase []int32, readers [][]*Node, readerBase []int32) {
+	sc.defs = grow(sc.defs, n)
+	sc.readers = grow(sc.readers, n)
+	for i := range sc.defs {
+		sc.defs[i] = sc.defs[i][:0]
+		sc.readers[i] = sc.readers[i][:0]
+	}
+	sc.defBase = growClear(sc.defBase, n)
+	sc.readerBase = growClear(sc.readerBase, n)
+	return sc.defs, sc.defBase, sc.readers, sc.readerBase
+}
+
+// release stores the builder's (possibly regrown) buffers back into the
+// scratch so the capacity carries over to the next build.
+func (sc *Scratch) release(b *builder) {
+	sc.home = b.home
+	sc.gone = b.gone
+	if b.pinned != nil {
+		sc.pinned = b.pinned
+	}
+	sc.effOf = b.effOf
+	sc.nodeOf = b.nodeOf
+	sc.effSlab = b.effSlab
+	sc.recs = b.recs[:0]
+	if b.defBits != nil {
+		sc.defBits = b.defBits
+	}
+	sc.succBuf = b.succBuf
+	sc.subtreeBuf = b.subtreeBuf
+}
+
+// releaseWalker stores the dataEdges walker's stacks back into the scratch.
+func (sc *Scratch) releaseWalker(w *walker) {
+	sc.defs = w.defs
+	sc.defBase = w.defBase
+	sc.readers = w.readers
+	sc.readerBase = w.readerBase
+	sc.undo = w.undo[:0]
+	sc.loads = w.loads[:0]
+}

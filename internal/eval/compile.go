@@ -139,6 +139,14 @@ type FunctionResult struct {
 // original must survive), schedules every region, and measures the result.
 // The profile is mutated in step with tail duplication; pass a clone.
 func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionResult, error) {
+	return CompileFunctionArena(fn, prof, c, nil)
+}
+
+// CompileFunctionArena is CompileFunction compiling through a caller-owned
+// scratch arena (nil behaves exactly like CompileFunction). The batched
+// pipeline gives each worker one arena and reuses it across the worker's
+// whole chunk of functions.
+func CompileFunctionArena(fn *ir.Function, prof *profile.Data, c Config, ar *Arena) (*FunctionResult, error) {
 	tr := telemetry.NewTrace(fn.Name)
 	res := &FunctionResult{Fn: fn, Prof: prof, OpsBefore: fn.NumOps(), Trace: tr}
 	if c.IfConvert {
@@ -194,18 +202,18 @@ func CompileFunction(fn *ir.Function, prof *profile.Data, c Config) (*FunctionRe
 	for _, r := range res.Regions {
 		t0 = time.Now()
 		a0 = telemetry.AllocMark()
-		dg, err := ddg.Build(fn, r, ddg.Options{
+		dg, err := ddg.BuildScratch(fn, r, ddg.Options{
 			Rename:               c.Rename,
 			DominatorParallelism: c.DominatorParallelism,
 			Liveness:             lv,
 			Profile:              prof,
-		})
+		}, ar.ddgScratch())
 		if err != nil {
 			return nil, err
 		}
 		tr.ObserveAllocs(telemetry.PhaseDDG, a0)
 		tr.Observe(telemetry.PhaseDDG, time.Since(t0), len(dg.Nodes))
-		s := sched.ListScheduleTraced(dg, c.Machine, c.Heuristic.Keys, tr)
+		s := sched.ListScheduleScratch(dg, c.Machine, c.Heuristic.Keys, tr, ar.schedScratch())
 		if err := s.Verify(); err != nil {
 			return nil, fmt.Errorf("eval: %s: %w", fn.Name, err)
 		}

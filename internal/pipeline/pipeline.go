@@ -83,22 +83,22 @@ type Metrics struct {
 
 // compileFunc is the per-function compile entry point; tests swap it to
 // inject panics and failures.
-var compileFunc = eval.CompileFunction
+var compileFunc = eval.CompileFunctionArena
 
-// CompileProgram compiles every function of prog under c across the worker
-// pool and aggregates the results exactly as eval.CompileProgram does.
-// Function results are assembled in function order regardless of completion
-// order, so the returned ProgramResult is deterministic in the inputs. On
-// error it returns the failing function with the lowest index (also
-// deterministic). The originals in prog and profs are never mutated.
-func CompileProgram(ctx context.Context, prog *progen.Program, profs eval.Profiles, c eval.Config, opts Options) (*eval.ProgramResult, error) {
-	if len(profs) != len(prog.Funcs) {
-		return nil, fmt.Errorf("pipeline: %s: %d profiles for %d functions", prog.Name, len(profs), len(prog.Funcs))
+// compileMany drives fns through the batched work-stealing pool: each
+// worker claims chunks of K indices from the shared queue (stealing half of
+// the largest remaining range when its own runs dry) and compiles the whole
+// chunk on one private arena, so the DDG/scheduler scratch is reused across
+// every function the worker touches instead of round-tripping through the
+// global sync.Pool per region. Results and errors land at their function's
+// index; cached[i], when the slice is non-nil, records cache hits. onDone,
+// when non-nil, is called (possibly concurrently) after each index settles.
+func compileMany(ctx context.Context, fns []*ir.Function, profs []*profile.Data, c eval.Config, opts Options,
+	frs []*eval.FunctionResult, errs []error, cached []bool, onDone func(int)) {
+	n := len(fns)
+	if n == 0 {
+		return
 	}
-	n := len(prog.Funcs)
-	frs := make([]*eval.FunctionResult, n)
-	errs := make([]error, n)
-
 	workers := opts.workers()
 	if workers > n {
 		workers = n
@@ -106,44 +106,127 @@ func CompileProgram(ctx context.Context, prog *progen.Program, profs eval.Profil
 	if workers < 1 {
 		workers = 1
 	}
-
-	jobs := make(chan int)
+	q := newStealQueue(n, workers)
+	k := chunkSize(n, workers)
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
+			arena := eval.NewArena()
+			for {
+				mu.Lock()
+				chunk, ok := q.take(w, k)
+				mu.Unlock()
+				if !ok {
+					return
 				}
-				frs[i], _, errs[i] = compileOne(prog.Funcs[i], profs[i], c, opts)
+				for i := chunk.lo; i < chunk.hi; i++ {
+					if err := ctx.Err(); err != nil {
+						// Settle the claimed tail as cancelled so callers
+						// report cancellation rather than a nil result.
+						errs[i] = err
+					} else {
+						var hit bool
+						frs[i], hit, errs[i] = compileOne(fns[i], profs[i], c, opts, arena)
+						if cached != nil {
+							cached[i] = hit
+						}
+					}
+					if onDone != nil {
+						onDone(i)
+					}
+				}
 			}
-		}()
+		}(w)
 	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			// Mark the unfed tail cancelled so the first-by-index error
-			// below reports cancellation rather than a nil result.
-			for ; i < n; i++ {
-				errs[i] = ctx.Err()
-			}
-			break feed
-		}
-	}
-	close(jobs)
 	wg.Wait()
+}
 
+// CompileProgram compiles every function of prog under c across the
+// batched work-stealing worker pool and aggregates the results exactly as
+// eval.CompileProgram does. Function results are assembled in function
+// order regardless of completion order, so the returned ProgramResult is
+// deterministic in the inputs. On error it returns the failing function
+// with the lowest index (also deterministic). The originals in prog and
+// profs are never mutated.
+func CompileProgram(ctx context.Context, prog *progen.Program, profs eval.Profiles, c eval.Config, opts Options) (*eval.ProgramResult, error) {
+	if len(profs) != len(prog.Funcs) {
+		return nil, fmt.Errorf("pipeline: %s: %d profiles for %d functions", prog.Name, len(profs), len(prog.Funcs))
+	}
+	n := len(prog.Funcs)
+	frs := make([]*eval.FunctionResult, n)
+	errs := make([]error, n)
+	compileMany(ctx, prog.Funcs, profs, c, opts, frs, errs, nil, nil)
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: %s: function %s: %w", prog.Name, prog.Funcs[i].Name, err)
 		}
 	}
 	return eval.Aggregate(prog.Name, c, frs), nil
+}
+
+// CompileEach compiles fns[i] against profs[i] on the work-stealing pool
+// and calls emit exactly once per index, in index order, as results become
+// available — the streaming core of the daemon's /v1/compile-batch. A
+// per-function failure is delivered to emit as err (the run continues); an
+// error returned BY emit (e.g. the client went away) cancels the remaining
+// work and is returned after the workers drain. emit runs on the caller's
+// goroutine.
+func CompileEach(ctx context.Context, fns []*ir.Function, profs []*profile.Data, c eval.Config, opts Options,
+	emit func(i int, fr *eval.FunctionResult, cached bool, err error) error) error {
+	if len(profs) != len(fns) {
+		return fmt.Errorf("pipeline: %d profiles for %d functions", len(profs), len(fns))
+	}
+	n := len(fns)
+	if n == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	frs := make([]*eval.FunctionResult, n)
+	errs := make([]error, n)
+	cached := make([]bool, n)
+	done := make([]bool, n)
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	go func() {
+		// Wake the emit loop when the context dies with results pending.
+		<-ctx.Done()
+		cond.Broadcast()
+	}()
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		compileMany(ctx, fns, profs, c, opts, frs, errs, cached, func(i int) {
+			mu.Lock()
+			done[i] = true
+			cond.Broadcast()
+			mu.Unlock()
+		})
+	}()
+
+	var emitErr error
+	for i := 0; i < n && emitErr == nil; i++ {
+		mu.Lock()
+		for !done[i] && ctx.Err() == nil {
+			cond.Wait()
+		}
+		ready := done[i]
+		mu.Unlock()
+		if !ready {
+			emitErr = ctx.Err()
+			break
+		}
+		emitErr = emit(i, frs[i], cached[i], errs[i])
+	}
+	if emitErr != nil {
+		cancel() // stop compiling what nobody will read
+	}
+	<-finished
+	return emitErr
 }
 
 // CompileFunction compiles a single function through the cache and the
@@ -154,13 +237,14 @@ func CompileFunction(ctx context.Context, fn *ir.Function, prof *profile.Data, c
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
-	return compileOne(fn, prof, c, opts)
+	return compileOne(fn, prof, c, opts, nil)
 }
 
 // compileOne compiles one function on clones of (orig, prof), going through
 // the tiered cache (memory, then disk, then compile) when one is
 // configured. Concurrent identical requests coalesce onto one compile.
-func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Options) (*eval.FunctionResult, bool, error) {
+// arena, when non-nil, is the calling worker's private compile scratch.
+func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Options, arena *eval.Arena) (*eval.FunctionResult, bool, error) {
 	var key compcache.Key
 	if opts.Cache != nil {
 		fp := c.Fingerprint()
@@ -170,7 +254,7 @@ func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Optio
 		key = compcache.KeyOf(irtext.Print(orig), prof.Canonical(), fp)
 	}
 	fr, src, err := opts.Cache.GetOrCompute(key, func() (*eval.FunctionResult, error) {
-		fr, err := compileIsolated(orig.Clone(), prof.Clone(), c, opts.Metrics)
+		fr, err := compileIsolated(orig.Clone(), prof.Clone(), c, opts.Metrics, arena)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +365,7 @@ func (m *Metrics) Register(reg *telemetry.Registry, prefix string) {
 // compileIsolated runs one compile with panic isolation: a panic inside
 // region formation or scheduling becomes an error result for this function
 // instead of killing the process.
-func compileIsolated(fn *ir.Function, prof *profile.Data, c eval.Config, m *Metrics) (fr *eval.FunctionResult, err error) {
+func compileIsolated(fn *ir.Function, prof *profile.Data, c eval.Config, m *Metrics, arena *eval.Arena) (fr *eval.FunctionResult, err error) {
 	if m != nil {
 		m.InFlight.Add(1)
 		defer m.InFlight.Add(-1)
@@ -297,5 +381,5 @@ func compileIsolated(fn *ir.Function, prof *profile.Data, c eval.Config, m *Metr
 			fr, err = nil, fmt.Errorf("compile panicked: %v\n%s", r, buf)
 		}
 	}()
-	return compileFunc(fn, prof, c)
+	return compileFunc(fn, prof, c, arena)
 }

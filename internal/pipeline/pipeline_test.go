@@ -133,11 +133,11 @@ func TestPanicIsolation(t *testing.T) {
 	orig := compileFunc
 	defer func() { compileFunc = orig }()
 	victim := prog.Funcs[1].Name
-	compileFunc = func(fn *ir.Function, prof *profile.Data, c eval.Config) (*eval.FunctionResult, error) {
+	compileFunc = func(fn *ir.Function, prof *profile.Data, c eval.Config, ar *eval.Arena) (*eval.FunctionResult, error) {
 		if fn.Name == victim {
 			panic("injected scheduler bug")
 		}
-		return orig(fn, prof, c)
+		return orig(fn, prof, c, ar)
 	}
 	var m Metrics
 	_, err := CompileProgram(context.Background(), prog, profs, eval.DefaultConfig(), Options{Workers: 4, Metrics: &m})
@@ -161,7 +161,7 @@ func TestFirstErrorByIndex(t *testing.T) {
 	prog, profs := testProgram(t)
 	orig := compileFunc
 	defer func() { compileFunc = orig }()
-	compileFunc = func(fn *ir.Function, prof *profile.Data, c eval.Config) (*eval.FunctionResult, error) {
+	compileFunc = func(fn *ir.Function, prof *profile.Data, c eval.Config, ar *eval.Arena) (*eval.FunctionResult, error) {
 		return nil, fmt.Errorf("boom %s", fn.Name)
 	}
 	for trial := 0; trial < 4; trial++ {

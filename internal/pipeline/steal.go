@@ -1,0 +1,87 @@
+package pipeline
+
+// The batched work-stealing queue behind CompileProgram and CompileEach.
+//
+// The function indices [0, n) are partitioned contiguously across workers.
+// A worker claims chunks of K indices from the front of its own range —
+// one queue operation per K functions, not per function — and compiles the
+// whole chunk on its private arena. When its range runs dry it steals the
+// upper half of the largest remaining range. Because work items are just
+// indices into a results array, output order (and therefore trace merging
+// and aggregation) is deterministic no matter how the ranges migrate.
+//
+// A single mutex guards the ranges: workers touch it once per chunk (or per
+// steal), so even at high worker counts contention is a rounding error next
+// to a function compile.
+
+// span is a half-open range of pending function indices.
+type span struct{ lo, hi int }
+
+func (s span) len() int { return s.hi - s.lo }
+
+// stealQueue holds one pending span per worker.
+type stealQueue struct {
+	spans []span
+}
+
+// newStealQueue partitions [0, n) contiguously across workers.
+func newStealQueue(n, workers int) *stealQueue {
+	q := &stealQueue{spans: make([]span, workers)}
+	per, rem := n/workers, n%workers
+	lo := 0
+	for w := range q.spans {
+		sz := per
+		if w < rem {
+			sz++
+		}
+		q.spans[w] = span{lo, lo + sz}
+		lo += sz
+	}
+	return q
+}
+
+// take claims up to k indices from worker w's own range, stealing the upper
+// half of the largest other range first when w's is empty. The second
+// return is false when no work remains anywhere.
+//
+// take must be called under the pool's mutex.
+func (q *stealQueue) take(w, k int) (span, bool) {
+	s := &q.spans[w]
+	if s.lo >= s.hi {
+		victim, best := -1, 0
+		for i := range q.spans {
+			if i == w {
+				continue
+			}
+			if n := q.spans[i].len(); n > best {
+				best, victim = n, i
+			}
+		}
+		if victim < 0 || best == 0 {
+			return span{}, false
+		}
+		v := &q.spans[victim]
+		// The thief takes the upper ceil-half so a single-item victim hands
+		// over its item instead of an empty span.
+		mid := v.lo + v.len()/2
+		*s = span{mid, v.hi}
+		v.hi = mid
+	}
+	chunk := span{s.lo, min(s.lo+k, s.hi)}
+	s.lo = chunk.hi
+	return chunk, true
+}
+
+// chunkSize picks the dispatch batch K: small enough that every worker gets
+// several chunks (so stealing can rebalance a skewed tail), large enough
+// that queue traffic and arena warm-up amortize across many functions.
+func chunkSize(n, workers int) int {
+	k := n / (workers * 4)
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return k
+}

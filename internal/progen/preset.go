@@ -209,8 +209,37 @@ func Presets() []Preset {
 	}
 }
 
-// PresetByName returns the preset with the given name, or false.
+// Stress returns the scale-out stress preset: an order of magnitude more
+// ops per function than the largest suite benchmark and three times as
+// many functions, built to saturate the batched work-stealing pipeline and
+// the shard router under load. It is deliberately NOT part of Presets():
+// the eight-benchmark suite is pinned by goldens and the paper's tables,
+// while stress exists only for benchmarks and load generation (reachable
+// through PresetByName("stress")). ProfileTrips is kept low — profiling a
+// 7000-op function 12 times already dwarfs a suite benchmark's work.
+func Stress() Preset {
+	return Preset{
+		Name: "stress", Seed: 901,
+		NumFuncs: 24, OpsPerFunc: 7000,
+		BlockOpsMin: 4, BlockOpsMax: 10,
+		StructWeights: [numKinds]float64{KindStraight: 2, KindIf: 2.5, KindIfElse: 2, KindSwitch: 1, KindLoop: 1.2, KindChain: 0.5},
+		MaxDepth:      5,
+		Bias:          0.88, BiasedFrac: 0.6,
+		SwitchArmsMin: 4, SwitchArmsMax: 12, ZeroArmFrac: 0.5, EmptyArmFrac: 0.45,
+		LoopIterMean: 10,
+		ChainLenMin:  3, ChainLenMax: 7, ChainEscapeProb: 0.02,
+		ChainFrac: 0.72,
+		LoadFrac:  0.22, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.1,
+		EmitPbr: true, ProfileTrips: 12,
+	}
+}
+
+// PresetByName returns the preset with the given name, or false. "stress"
+// resolves to the out-of-suite Stress preset.
 func PresetByName(name string) (Preset, bool) {
+	if name == "stress" {
+		return Stress(), true
+	}
 	for _, p := range Presets() {
 		if p.Name == name {
 			return p, true

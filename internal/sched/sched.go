@@ -39,10 +39,12 @@ type Schedule struct {
 	Length int
 }
 
-// scratch holds the scheduler's per-call working set. Instances are pooled
-// so pipeline workers reuse the buffers across regions instead of
-// reallocating them for every schedule.
-type scratch struct {
+// Scratch holds the scheduler's per-call working set. A caller that owns a
+// Scratch (the batched pipeline gives each worker one) reuses the buffers
+// across every region it schedules via ListScheduleScratch; callers without
+// one go through a shared sync.Pool instead, so the buffers are still
+// recycled, just with cross-worker round trips.
+type Scratch struct {
 	order    []*ddg.Node
 	keys     [][3]float64
 	rankOf   []int32
@@ -53,9 +55,9 @@ type scratch struct {
 	future   []uint64 // min-heap of earliest<<32|rank for not-yet-eligible nodes
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
-func (sc *scratch) reset(n int) {
+func (sc *Scratch) reset(n int) {
 	if cap(sc.order) < n {
 		sc.order = make([]*ddg.Node, n)
 		sc.keys = make([][3]float64, n)
@@ -185,6 +187,19 @@ func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
 // have picked next, at the same cycle — schedules are byte-identical — but
 // each readiness event costs O(log n) instead of a rescan of the rank array.
 func ListScheduleTraced(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *telemetry.CompileTrace) *Schedule {
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	return ListScheduleScratch(g, m, prio, tr, sc)
+}
+
+// ListScheduleScratch is ListScheduleTraced scheduling into a caller-owned
+// Scratch. A worker that schedules many regions back to back (the batched
+// pipeline) passes the same Scratch every time and never touches the shared
+// pool. nil falls back to the pooled path.
+func ListScheduleScratch(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *telemetry.CompileTrace, sc *Scratch) *Schedule {
+	if sc == nil {
+		return ListScheduleTraced(g, m, prio, tr)
+	}
 	n := len(g.Nodes)
 	s := &Schedule{Graph: g, Model: m, Cycle: make([]int, n)}
 	if n == 0 {
@@ -193,8 +208,6 @@ func ListScheduleTraced(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *tele
 	t0 := time.Now()
 	a0 := telemetry.AllocMark()
 
-	sc := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(sc)
 	sc.reset(n)
 
 	// Static priority order. Terminators always sort first: a branch gates

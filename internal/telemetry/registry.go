@@ -200,10 +200,16 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) {
 
 // GaugeFunc registers a gauge read from fn at render time.
 func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.LabeledGaugeFunc(name, nil, help, fn)
+}
+
+// LabeledGaugeFunc registers a gauge series with labels, read from fn at
+// render time (e.g. the router's per-replica in-flight counts).
+func (r *Registry) LabeledGaugeFunc(name string, labels Labels, help string, fn func() int64) {
 	if r == nil {
 		return
 	}
-	r.register(name, nil, &metric{help: help, kind: kindGauge, fn: fn})
+	r.register(name, labels, &metric{help: help, kind: kindGauge, fn: fn})
 }
 
 // Histogram registers (or returns) a histogram series with the given

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Boots the two-replica scale-out topology — two treegiond daemons and the
+# shard router in front of them — then runs a short closed-loop
+# treegion-loadgen pass through the router. Exits non-zero if any component
+# fails to come up or the loadgen's error rate exceeds its budget.
+#
+# Tunables (environment):
+#   PORT_A/PORT_B/PORT_R  listen ports         (default 18137/18147/18130)
+#   DURATION              loadgen run length   (default 10s)
+#   QPS                   loadgen target rate  (default 20)
+#   CONCURRENCY           loadgen workers      (default 4)
+#   PRESET                loadgen IR corpus    (default compress; "stress"
+#                                              for the full-size corpus)
+set -eu
+
+PORT_A=${PORT_A:-18137}
+PORT_B=${PORT_B:-18147}
+PORT_R=${PORT_R:-18130}
+DURATION=${DURATION:-10s}
+QPS=${QPS:-20}
+CONCURRENCY=${CONCURRENCY:-4}
+PRESET=${PRESET:-compress}
+GO=${GO:-go}
+
+WORKDIR=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "loadtest: building binaries"
+$GO build -o "$WORKDIR/treegiond" ./cmd/treegiond
+$GO build -o "$WORKDIR/treegion-router" ./cmd/treegion-router
+$GO build -o "$WORKDIR/treegion-loadgen" ./cmd/treegion-loadgen
+
+echo "loadtest: starting replicas on :$PORT_A and :$PORT_B"
+"$WORKDIR/treegiond" -addr "127.0.0.1:$PORT_A" >"$WORKDIR/daemon-a.log" 2>&1 &
+PIDS="$PIDS $!"
+"$WORKDIR/treegiond" -addr "127.0.0.1:$PORT_B" >"$WORKDIR/daemon-b.log" 2>&1 &
+PIDS="$PIDS $!"
+
+echo "loadtest: starting router on :$PORT_R"
+"$WORKDIR/treegion-router" -addr "127.0.0.1:$PORT_R" \
+    -replicas "http://127.0.0.1:$PORT_A,http://127.0.0.1:$PORT_B" \
+    -health-interval 500ms >"$WORKDIR/router.log" 2>&1 &
+PIDS="$PIDS $!"
+
+# Wait for the router to see at least one healthy replica.
+i=0
+until curl -sf "http://127.0.0.1:$PORT_R/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "loadtest: router never became healthy" >&2
+        cat "$WORKDIR"/*.log >&2 || true
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "loadtest: fleet is up"
+
+"$WORKDIR/treegion-loadgen" -url "http://127.0.0.1:$PORT_R" \
+    -qps "$QPS" -concurrency "$CONCURRENCY" -duration "$DURATION" \
+    -preset "$PRESET"
+status=$?
+
+echo "loadtest: router shard counters:"
+curl -s "http://127.0.0.1:$PORT_R/v1/metrics" | grep '^treegion_router_requests_total' || true
+exit $status

@@ -241,6 +241,21 @@ func CompileOne(ctx context.Context, fn *Function, prof *ProfileData, c Config, 
 	return pipeline.CompileFunction(ctx, fn, prof, c, o)
 }
 
+// CompileEach compiles fns[i] against profs[i] (on clones — the originals
+// are never mutated) across the batched work-stealing pool and calls emit
+// exactly once per index, in index order, as results become available. A
+// per-function failure is delivered to emit as err and the run continues;
+// an error returned by emit cancels the remaining work and is returned.
+// This is the streaming core behind the daemon's /v1/compile-batch.
+func CompileEach(ctx context.Context, fns []*Function, profs []*ProfileData, c Config,
+	emit func(i int, fr *FunctionResult, cached bool, err error) error, opts ...CompileOption) error {
+	var o pipeline.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return pipeline.CompileEach(ctx, fns, profs, c, o, emit)
+}
+
 // CompileProgram compiles prog under c with default pipeline options.
 //
 // Deprecated: use Compile.
