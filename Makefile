@@ -26,22 +26,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Suite compiles (serial/parallel/cached/verified/warm-store), the stress
-# preset at 8 workers, plus the per-phase micro-benchmarks of the compiler
-# core (liveness, DDG build, list scheduling), with allocation counts. The
-# raw `go test -json` stream is captured in BENCH_6.json for machine
-# comparison against earlier runs (BENCH_5.json holds the pre-fabric
-# baseline). The parallel and stress benchmarks report speedup-vs-serial;
-# on a single-core box that metric caps at ~1x by physics.
+# Suite compiles (serial/parallel/cached/verified/warm-store/verified-warm),
+# the stress preset at 8 workers, plus the per-phase micro-benchmarks of the
+# compiler core (liveness, DDG build, list scheduling), with allocation
+# counts. The raw `go test -json` stream is captured in BENCH_7.json for
+# machine comparison against earlier runs (BENCH_6.json holds the pre-tgart2
+# gob-codec baseline). The parallel and stress benchmarks report
+# speedup-vs-serial; on a single-core box that metric caps at ~1x by physics.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkCompileStress|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_6.json
+	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkCompileStress|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_7.json
 
 # bench-compare diffs two bench captures. benchstat is used when installed
 # (fed plain text extracted from the JSON captures); otherwise the bundled
 # dependency-free cmd/benchdiff prints the old/new/delta table. Override the
 # endpoints with BENCH_OLD= / BENCH_NEW=.
-BENCH_OLD ?= BENCH_5.json
-BENCH_NEW ?= BENCH_6.json
+BENCH_OLD ?= BENCH_6.json
+BENCH_NEW ?= BENCH_7.json
 bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		$(GO) run ./cmd/benchdiff -extract $(BENCH_OLD) > /tmp/benchdiff_old.txt; \
@@ -52,12 +52,15 @@ bench-compare:
 	fi
 
 # check is the fast gate: lint + build + full tests, plus the race detector
-# over the concurrency-heavy subsystems (artifact store, job queue,
-# singleflight cache, daemon endpoints) and one racing pass over the hot-path
-# micro-benchmarks (the scheduler's sync.Pool scratch is shared across
-# pipeline workers, so the bench bodies must be race-clean too).
+# over the concurrency-heavy subsystems (artifact store with its tgart2
+# codec tests, job queue, singleflight cache, daemon endpoints) and one
+# racing pass over the hot-path micro-benchmarks (the scheduler's sync.Pool
+# scratch is shared across pipeline workers, so the bench bodies must be
+# race-clean too). The store runs with -short so the codec round-trip
+# matrix races a reduced preset slice; the full matrix runs in `test`.
 check: lint build test
-	$(GO) test -race ./internal/store/ ./internal/jobs/ ./internal/compcache/ ./internal/pipeline/ ./internal/router/ ./cmd/treegiond/
+	$(GO) test -race -short ./internal/store/
+	$(GO) test -race ./internal/jobs/ ./internal/compcache/ ./internal/pipeline/ ./internal/router/ ./cmd/treegiond/
 	$(GO) test -race -run NONE -bench 'BenchmarkColdCompile' -benchtime 1x .
 
 # loadtest boots the two-replica scale-out topology (2 treegiond + the

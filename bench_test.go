@@ -233,7 +233,7 @@ func BenchmarkCompileTreegion(b *testing.B) {
 	cfg := DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := CompileProgram(prog, profs, cfg); err != nil {
+		if _, err := Compile(context.Background(), prog, profs, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -241,11 +241,11 @@ func BenchmarkCompileTreegion(b *testing.B) {
 
 // compileSuite compiles all eight benchmarks under the paper's headline
 // configuration with the given pipeline options.
-func compileSuite(b *testing.B, s *Suite, opts CompileOptions) {
+func compileSuite(b *testing.B, s *Suite, opts ...CompileOption) {
 	b.Helper()
 	cfg := DefaultConfig()
 	for i := range s.Programs {
-		if _, err := CompileProgramWith(context.Background(), s.Programs[i], s.Profiles[i], cfg, opts); err != nil {
+		if _, err := Compile(context.Background(), s.Programs[i], s.Profiles[i], cfg, opts...); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -258,7 +258,7 @@ func BenchmarkCompileSuiteSerial(b *testing.B) {
 	s := sharedSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		compileSuite(b, s, CompileOptions{Workers: 1})
+		compileSuite(b, s, WithWorkers(1))
 	}
 }
 
@@ -277,7 +277,7 @@ func serialSuiteSeconds(b *testing.B, s *Suite) float64 {
 		const passes = 3
 		start := time.Now()
 		for i := 0; i < passes; i++ {
-			compileSuite(b, s, CompileOptions{Workers: 1})
+			compileSuite(b, s, WithWorkers(1))
 		}
 		serialRefSecs = time.Since(start).Seconds() / passes
 	})
@@ -301,7 +301,7 @@ func BenchmarkCompileSuiteParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				compileSuite(b, s, CompileOptions{Workers: workers})
+				compileSuite(b, s, WithWorkers(workers))
 			}
 			b.StopTimer()
 			perOp := b.Elapsed().Seconds() / float64(b.N)
@@ -329,7 +329,7 @@ func BenchmarkCompileStress(b *testing.B) {
 	}
 	cfg := DefaultConfig()
 	compileStress := func(workers int) {
-		if _, err := CompileProgramWith(context.Background(), stressProg, stressProfs, cfg, CompileOptions{Workers: workers}); err != nil {
+		if _, err := Compile(context.Background(), stressProg, stressProfs, cfg, WithWorkers(workers)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -362,7 +362,7 @@ func BenchmarkCompileSuiteVerified(b *testing.B) {
 	s := sharedSuite(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		compileSuite(b, s, CompileOptions{Verify: true})
+		compileSuite(b, s, WithVerify())
 	}
 }
 
@@ -374,7 +374,7 @@ func BenchmarkCompileSuiteParallelCached(b *testing.B) {
 	cache := NewCompileCache(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		compileSuite(b, s, CompileOptions{Cache: cache})
+		compileSuite(b, s, WithCache(cache))
 	}
 	b.StopTimer()
 	st := cache.Stats()
@@ -399,7 +399,7 @@ func BenchmarkCompileSuiteWarmStore(b *testing.B) {
 	// Populate the store once, outside the timed region.
 	warmCache := NewCompileCache(0)
 	warmCache.SetL2(seed)
-	compileSuite(b, s, CompileOptions{Cache: warmCache})
+	compileSuite(b, s, WithCache(warmCache))
 	if err := seed.Close(); err != nil {
 		b.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func BenchmarkCompileSuiteWarmStore(b *testing.B) {
 		cache := NewCompileCache(0) // cold memory tier every iteration
 		cache.SetL2(st)
 		b.StartTimer()
-		compileSuite(b, s, CompileOptions{Cache: cache, Metrics: &m})
+		compileSuite(b, s, WithCache(cache), WithMetrics(&m))
 		b.StopTimer()
 		if err := st.Close(); err != nil {
 			b.Fatal(err)
@@ -427,4 +427,53 @@ func BenchmarkCompileSuiteWarmStore(b *testing.B) {
 		b.Fatalf("warm-store pass invoked the scheduler %d times, want 0", got)
 	}
 	b.ReportMetric(float64(m.StoreHits.Load())/float64(b.N), "store-hits/op")
+}
+
+// BenchmarkCompileSuiteVerifiedWarm is BenchmarkCompileSuiteWarmStore with
+// the static verifier on: the store holds both the artifacts and the
+// persisted verdicts, so a warm verifying pass decodes each artifact, finds
+// its verdict by the same content key, and runs neither the scheduler nor
+// the verifier. The cost over the plain warm benchmark is one verdict
+// lookup per function — it must stay within a few percent.
+func BenchmarkCompileSuiteVerifiedWarm(b *testing.B) {
+	s := sharedSuite(b)
+	dir := b.TempDir()
+	seed, err := OpenArtifactStore(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate artifacts AND verdicts once, outside the timed region.
+	warmCache := NewCompileCache(0)
+	warmCache.SetL2(seed)
+	compileSuite(b, s, WithCache(warmCache), WithVerify())
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	var m CompileMetrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := OpenArtifactStore(dir, 0) // fresh handle = fresh process
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := NewCompileCache(0) // cold memory tier every iteration
+		cache.SetL2(st)
+		b.StartTimer()
+		compileSuite(b, s, WithCache(cache), WithMetrics(&m), WithVerify())
+		b.StopTimer()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if got := m.Compiles.Load(); got != 0 {
+		b.Fatalf("verified warm pass invoked the scheduler %d times, want 0", got)
+	}
+	if got := m.VerifyRuns.Load(); got != 0 {
+		b.Fatalf("verified warm pass ran the verifier %d times, want 0 (verdicts are persisted)", got)
+	}
+	b.ReportMetric(float64(m.VerdictHits.Load())/float64(b.N), "verdict-hits/op")
 }

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"treegion/internal/api"
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
@@ -335,8 +337,9 @@ func TestDebugRoutes(t *testing.T) {
 }
 
 // TestCompileVerify covers the "verify" request field: a verified compile
-// succeeds with verified=true, and verified results are cached under their
-// own key, separate from plain compiles of the same function.
+// succeeds with verified=true, reusing the artifact a plain compile of the
+// same function already cached (one key for both; only the verdict is
+// verify-specific).
 func TestCompileVerify(t *testing.T) {
 	_, ts := testServer(t)
 	plain, err := json.Marshal(map[string]any{"ir": fig1(t)})
@@ -358,8 +361,8 @@ func TestCompileVerify(t *testing.T) {
 	if !cr.Verified {
 		t.Error("verified compile did not report verified")
 	}
-	if cr.Cached {
-		t.Error("verified compile served from the unverified cache entry")
+	if !cr.Cached {
+		t.Error("verified compile recompiled instead of reusing the plain artifact")
 	}
 	if len(cr.Diagnostics) != 0 {
 		t.Errorf("unexpected diagnostics: %v", cr.Diagnostics)
@@ -369,5 +372,62 @@ func TestCompileVerify(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK || !cr2.Cached || !cr2.Verified {
 		t.Errorf("repeated verified compile: status %d, cached %v, verified %v",
 			resp2.StatusCode, cr2.Cached, cr2.Verified)
+	}
+}
+
+// TestStoreStats: GET /v1/store/stats reports the artifact store's counters
+// and schema version on a store-backed daemon, and {"enabled": false} on a
+// memory-only one.
+func TestStoreStats(t *testing.T) {
+	getStats := func(ts *httptest.Server) api.StoreStats {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/store/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200", resp.StatusCode)
+		}
+		var st api.StoreStats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	_, memOnly := testServer(t)
+	if st := getStats(memOnly); st.Enabled || st.Puts != 0 {
+		t.Fatalf("memory-only daemon reported store stats %+v, want disabled zeros", st)
+	}
+
+	_, ts := storeServer(t, t.TempDir(), 1, 8)
+	body, err := json.Marshal(map[string]any{"ir": fig1(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postCompile(t, ts, string(body)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d, want 200", resp.StatusCode)
+	}
+	st := getStats(ts)
+	if !st.Enabled {
+		t.Fatal("store-backed daemon reported enabled=false")
+	}
+	if st.SchemaVersion == 0 {
+		t.Error("schema_version = 0, want the current tgart2 schema")
+	}
+	if st.Puts == 0 || st.Entries == 0 || st.Bytes == 0 {
+		t.Errorf("after one cold compile: %+v, want puts/entries/bytes > 0", st)
+	}
+	if st.Budget <= 0 {
+		t.Errorf("budget_bytes = %d, want > 0", st.Budget)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/store/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := decodeError(t, resp); resp.StatusCode != http.StatusMethodNotAllowed || er.Error.Code != "method_not_allowed" {
+		t.Fatalf("POST: status %d code %q, want 405 method_not_allowed", resp.StatusCode, er.Error.Code)
 	}
 }

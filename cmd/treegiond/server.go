@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"treegion"
+	"treegion/internal/api"
 	"treegion/internal/jobs"
 )
 
@@ -114,6 +115,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc(apiPrefix+"/jobs", s.handleJobs)
 	mux.HandleFunc(apiPrefix+"/jobs/", s.handleJob)
 	mux.HandleFunc(apiPrefix+"/metrics", s.handleMetrics)
+	mux.HandleFunc(apiPrefix+"/store/stats", s.handleStoreStats)
 	mux.HandleFunc(apiPrefix+"/healthz", s.handleHealthz)
 	mux.HandleFunc("/compile", s.legacyRedirect(apiPrefix+"/compile", http.StatusPermanentRedirect))
 	mux.HandleFunc("/metrics", s.legacyRedirect(apiPrefix+"/metrics", http.StatusMovedPermanently))
@@ -218,16 +220,10 @@ type compileResponse struct {
 }
 
 // errorResponse is the structured error body every non-2xx reply carries:
-// {"error": {"code": "...", "message": "..."}}. verify_failed errors also
-// carry the distinct violated rule IDs and the rendered diagnostics.
-type errorResponse struct {
-	Error struct {
-		Code        string   `json:"code"`
-		Message     string   `json:"message"`
-		Rules       []string `json:"rules,omitempty"`
-		Diagnostics []string `json:"diagnostics,omitempty"`
-	} `json:"error"`
-}
+// {"error": {"code": "...", "message": "..."}}. The shape is defined once
+// in internal/api and shared with the router, so the two binaries cannot
+// drift apart.
+type errorResponse = api.Error
 
 func (s *server) configFrom(req *compileRequest) (treegion.Config, error) {
 	var zero treegion.Config
@@ -611,14 +607,51 @@ func (s *server) fail(w http.ResponseWriter, status int, code string, err error)
 func (s *server) writeError(w http.ResponseWriter, e *apiError) {
 	s.reg.Counter("treegiond_http_request_errors_total",
 		"Requests answered with an error status.").Inc()
-	var body errorResponse
-	body.Error.Code = e.code
-	body.Error.Message = e.msg
-	body.Error.Rules = e.rules
-	body.Error.Diagnostics = e.diags
+	api.WriteError(w, e.status, api.ErrorDetail{
+		Code:        e.code,
+		Message:     e.msg,
+		Rules:       e.rules,
+		Diagnostics: e.diags,
+	})
+}
+
+// handleStoreStats reports the persistent artifact store's counters — the
+// tiered cache's disk layer — including how many lookups were rejected for
+// carrying a different payload schema (schema_skew: tgart1 or any foreign
+// tgart2 revision reads as a plain miss). Without -store-dir the body is
+// {"enabled": false, ...zeros}.
+func (s *server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("treegiond_http_store_stats_requests_total", "GET /v1/store/stats requests.").Inc()
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "method_not_allowed", fmt.Errorf("GET required"))
+		return
+	}
+	var resp api.StoreStats
+	if s.store != nil {
+		st := s.store.Stats()
+		resp = api.StoreStats{
+			Enabled:       true,
+			SchemaVersion: s.store.SchemaVersion(),
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Puts:          st.Puts,
+			Evictions:     st.Evictions,
+			Corrupt:       st.Corrupt,
+			SchemaSkew:    st.SchemaSkew,
+			WriteErrors:   st.WriteErrors,
+			EncodeErrors:  st.EncodeErrors,
+			Entries:       st.Entries,
+			Bytes:         st.Bytes,
+			Budget:        st.Budget,
+			VerdictHits:   st.VerdictHits,
+			VerdictMisses: st.VerdictMisses,
+			VerdictPuts:   st.VerdictPuts,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(e.status)
-	json.NewEncoder(w).Encode(body)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
 }
 
 // handleMetrics renders the whole registry — cache, pipeline, HTTP and

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := treegion.CompileProgram(prog, profs, treegion.BaselineConfig())
+	base, err := treegion.Compile(context.Background(), prog, profs, treegion.BaselineConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 			cfg := treegion.Config{
 				Kind: treegion.Treegion, Heuristic: h, Machine: m, Rename: true,
 			}
-			res, err := treegion.CompileProgram(prog, profs, cfg)
+			res, err := treegion.Compile(context.Background(), prog, profs, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

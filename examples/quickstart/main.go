@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,13 +28,13 @@ func main() {
 
 	// 3. Compile with the paper's headline configuration...
 	cfg := treegion.DefaultConfig() // treegions, global weight, 4-issue
-	res, err := treegion.CompileProgram(prog, profs, cfg)
+	res, err := treegion.Compile(context.Background(), prog, profs, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// ...and with the baseline (basic blocks on the 1-issue machine).
-	base, err := treegion.CompileProgram(prog, profs, treegion.BaselineConfig())
+	base, err := treegion.Compile(context.Background(), prog, profs, treegion.BaselineConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := treegion.CompileProgram(prog, profs, treegion.BaselineConfig())
+	base, err := treegion.Compile(context.Background(), prog, profs, treegion.BaselineConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 		Kind: treegion.Superblock, Heuristic: treegion.GlobalWeight,
 		Machine: treegion.EightU, Rename: false,
 	}
-	res, err := treegion.CompileProgram(prog, profs, sb)
+	res, err := treegion.Compile(context.Background(), prog, profs, sb)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 			Machine: treegion.EightU, Rename: true, DominatorParallelism: true,
 			TD: treegion.TDConfig{ExpansionLimit: limit, PathLimit: 20, MergeLimit: 4},
 		}
-		res, err := treegion.CompileProgram(prog, profs, cfg)
+		res, err := treegion.Compile(context.Background(), prog, profs, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

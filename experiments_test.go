@@ -170,11 +170,11 @@ func TestStressPresetSmoke(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	ctx := context.Background()
-	serial, err := CompileProgramWith(ctx, prog, profs, cfg, CompileOptions{Workers: 1})
+	serial, err := Compile(ctx, prog, profs, cfg, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := CompileProgramWith(ctx, prog, profs, cfg, CompileOptions{Workers: 8})
+	parallel, err := Compile(ctx, prog, profs, cfg, WithWorkers(8))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"treegion/internal/eval"
 	"treegion/internal/telemetry"
+	"treegion/internal/verify"
 )
 
 // Key is the content address of one (function IR, profile, config)
@@ -36,6 +37,21 @@ func KeyOf(irText, profCanonical, cfgFingerprint string) Key {
 	h.Write([]byte(irText))
 	h.Write([]byte{0})
 	h.Write([]byte(profCanonical))
+	h.Write([]byte{0})
+	h.Write([]byte(cfgFingerprint))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// KeyOfBytes is KeyOf over byte slices — same hash for the same content,
+// but the hot compile path can feed it slices of one pooled buffer instead
+// of materializing strings per lookup.
+func KeyOfBytes(irText, profCanonical []byte, cfgFingerprint string) Key {
+	h := sha256.New()
+	h.Write(irText)
+	h.Write([]byte{0})
+	h.Write(profCanonical)
 	h.Write([]byte{0})
 	h.Write([]byte(cfgFingerprint))
 	var k Key
@@ -92,6 +108,9 @@ type Stats struct {
 	// InflightDedups counts concurrent identical compiles that were
 	// coalesced onto another caller's in-flight compile.
 	InflightDedups int64
+	// VerdictHits/VerdictMisses count verification-verdict lookups served
+	// from cache (either tier) vs. requiring a verifier run.
+	VerdictHits, VerdictMisses int64
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -115,6 +134,15 @@ type L2 interface {
 	Put(Key, *eval.FunctionResult) error
 }
 
+// VerdictStore persists verification verdicts keyed by artifact hash —
+// internal/store's disk layer in practice. A verdict is valid exactly as
+// long as the artifact under the same key is, so the two share one content
+// address.
+type VerdictStore interface {
+	GetVerdict(Key) (*verify.Verdict, bool)
+	PutVerdict(Key, *verify.Verdict) error
+}
+
 // Cache is a sharded LRU cache under a byte budget. The zero value is not
 // usable; call New. A nil *Cache is a valid "no caching" sentinel: Get
 // always misses (without counting) and Put is a no-op.
@@ -128,6 +156,18 @@ type Cache struct {
 	// l2 is the optional second level (disk store). Set before concurrent
 	// use via SetL2.
 	l2 L2
+
+	// verdicts is the optional persistent verdict tier under verdictMem.
+	// Set before concurrent use via SetVerdictStore.
+	verdicts VerdictStore
+
+	// verdictMem memoizes verdicts in memory so a warm verified lookup in
+	// the same process doesn't touch disk. Verdicts are tiny; the map is
+	// cleared wholesale at a soft cap instead of tracking LRU order.
+	verdictMu  sync.RWMutex
+	verdictMem map[Key]*verify.Verdict
+
+	verdictHits, verdictMisses atomic.Int64
 
 	// flightMu guards inflight: one compile per key at a time, with
 	// late-arriving identical requests waiting on the leader's flight
@@ -166,7 +206,11 @@ func New(budgetBytes int64) *Cache {
 	if budgetBytes <= 0 {
 		budgetBytes = DefaultBudget
 	}
-	c := &Cache{shardBudget: budgetBytes / numShards, inflight: make(map[Key]*flight)}
+	c := &Cache{
+		shardBudget: budgetBytes / numShards,
+		inflight:    make(map[Key]*flight),
+		verdictMem:  make(map[Key]*verify.Verdict),
+	}
 	if c.shardBudget < 1 {
 		c.shardBudget = 1
 	}
@@ -244,11 +288,74 @@ func (c *Cache) Put(k Key, e *Entry) {
 
 // SetL2 layers a second-level store (the disk-backed artifact store) under
 // the memory cache. Call once at setup, before the cache is shared across
-// goroutines.
+// goroutines. An L2 that also persists verdicts (internal/store does) is
+// wired as the verdict tier too, unless one was set explicitly.
 func (c *Cache) SetL2(l2 L2) {
-	if c != nil {
-		c.l2 = l2
+	if c == nil {
+		return
 	}
+	c.l2 = l2
+	if vs, ok := l2.(VerdictStore); ok && c.verdicts == nil {
+		c.verdicts = vs
+	}
+}
+
+// SetVerdictStore layers a persistent verdict tier under the in-memory
+// verdict map. Call once at setup, before the cache is shared.
+func (c *Cache) SetVerdictStore(vs VerdictStore) {
+	if c != nil {
+		c.verdicts = vs
+	}
+}
+
+// verdictMemCap is the soft cap on memoized verdicts; far above any suite
+// size, it only bounds a pathological workload.
+const verdictMemCap = 1 << 16
+
+// Verdict returns the cached verification verdict for the artifact keyed
+// by k: memory first, then the persistent tier (promoting a hit into
+// memory). A miss means the caller must run the verifier and PutVerdict.
+func (c *Cache) Verdict(k Key) (*verify.Verdict, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.verdictMu.RLock()
+	v, ok := c.verdictMem[k]
+	c.verdictMu.RUnlock()
+	if ok {
+		c.verdictHits.Add(1)
+		return v, true
+	}
+	if c.verdicts != nil {
+		if v, ok := c.verdicts.GetVerdict(k); ok {
+			c.memoizeVerdict(k, v)
+			c.verdictHits.Add(1)
+			return v, true
+		}
+	}
+	c.verdictMisses.Add(1)
+	return nil, false
+}
+
+// PutVerdict records the verdict at both tiers. Like artifact writes, a
+// failed persistent write never fails the compile it serves.
+func (c *Cache) PutVerdict(k Key, v *verify.Verdict) {
+	if c == nil || v == nil {
+		return
+	}
+	c.memoizeVerdict(k, v)
+	if c.verdicts != nil {
+		_ = c.verdicts.PutVerdict(k, v)
+	}
+}
+
+func (c *Cache) memoizeVerdict(k Key, v *verify.Verdict) {
+	c.verdictMu.Lock()
+	if len(c.verdictMem) >= verdictMemCap {
+		c.verdictMem = make(map[Key]*verify.Verdict)
+	}
+	c.verdictMem[k] = v
+	c.verdictMu.Unlock()
 }
 
 // Source identifies where GetOrCompute served a result from.
@@ -368,6 +475,10 @@ func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
 	})
 	reg.CounterFunc(prefix+"_compcache_inflight_dedup_total",
 		"Concurrent identical compiles coalesced onto one in-flight compile.", c.dedups.Load)
+	reg.CounterFunc(prefix+"_cache_verdict_hits_total",
+		"Verification verdicts served from cache.", c.verdictHits.Load)
+	reg.CounterFunc(prefix+"_cache_verdict_misses_total",
+		"Verdict lookups that required a verifier run.", c.verdictMisses.Load)
 }
 
 // Stats snapshots the counters.
@@ -383,5 +494,7 @@ func (c *Cache) Stats() Stats {
 		Bytes:          c.bytes.Load(),
 		Budget:         c.shardBudget * numShards,
 		InflightDedups: c.dedups.Load(),
+		VerdictHits:    c.verdictHits.Load(),
+		VerdictMisses:  c.verdictMisses.Load(),
 	}
 }

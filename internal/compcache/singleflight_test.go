@@ -82,17 +82,18 @@ func TestConcurrentIdenticalCompilesCoalesce(t *testing.T) {
 	}
 }
 
-// TestVerifyKeyedFlightsAreDistinct proves that verified and unverified
-// compiles of the same function never coalesce: their keys differ (the
-// pipeline appends "/verified" to the config fingerprint), so each runs
-// its own compute.
-func TestVerifyKeyedFlightsAreDistinct(t *testing.T) {
+// TestDistinctKeyedFlightsAreDistinct proves that compiles under different
+// keys never coalesce: each distinct key runs its own compute, only
+// identical keys share a flight. (Verified and plain compiles of one
+// function share a single key — and therefore a single flight — since the
+// verdict cache made the "/verified" key split obsolete.)
+func TestDistinctKeyedFlightsAreDistinct(t *testing.T) {
 	fnText, profText, cfg, fr := compiled(t)
 	c := New(64 << 20)
 	plain := KeyOf(fnText, profText, cfg.Fingerprint())
-	verified := KeyOf(fnText, profText, cfg.Fingerprint()+"/verified")
+	verified := KeyOf(fnText, profText, cfg.Fingerprint()+"+issue16")
 	if plain == verified {
-		t.Fatal("verify-distinct keys collided")
+		t.Fatal("distinct keys collided")
 	}
 
 	const n = 8

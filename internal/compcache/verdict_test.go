@@ -1,0 +1,74 @@
+package compcache
+
+import (
+	"testing"
+
+	"treegion/internal/verify"
+)
+
+// memVerdicts is a test VerdictStore recording tier traffic.
+type memVerdicts struct {
+	m          map[Key]*verify.Verdict
+	gets, puts int
+}
+
+func (s *memVerdicts) GetVerdict(k Key) (*verify.Verdict, bool) {
+	s.gets++
+	v, ok := s.m[k]
+	return v, ok
+}
+
+func (s *memVerdicts) PutVerdict(k Key, v *verify.Verdict) error {
+	s.puts++
+	s.m[k] = v
+	return nil
+}
+
+func TestVerdictTiers(t *testing.T) {
+	c := New(64 << 20)
+	vs := &memVerdicts{m: make(map[Key]*verify.Verdict)}
+	c.SetVerdictStore(vs)
+	k := KeyOf("fn", "prof", "cfg")
+
+	if _, ok := c.Verdict(k); ok {
+		t.Fatal("verdict hit on empty cache")
+	}
+	want := &verify.Verdict{Passed: true}
+	c.PutVerdict(k, want)
+	if vs.puts != 1 {
+		t.Fatalf("persistent puts = %d, want 1", vs.puts)
+	}
+	// Memory answers without touching the persistent tier.
+	gets := vs.gets
+	v, ok := c.Verdict(k)
+	if !ok || v != want {
+		t.Fatal("memory tier miss after put")
+	}
+	if vs.gets != gets {
+		t.Fatal("memory hit consulted the persistent tier")
+	}
+	// A fresh cache (process restart) promotes from the persistent tier.
+	c2 := New(64 << 20)
+	c2.SetVerdictStore(vs)
+	v, ok = c2.Verdict(k)
+	if !ok || !v.Passed {
+		t.Fatal("persistent verdict not found after restart")
+	}
+	gets = vs.gets
+	if _, ok := c2.Verdict(k); !ok {
+		t.Fatal("promoted verdict missed")
+	}
+	if vs.gets != gets {
+		t.Fatal("promotion into memory did not stick")
+	}
+	st := c2.Stats()
+	if st.VerdictHits != 2 || st.VerdictMisses != 0 {
+		t.Fatalf("verdict stats %+v", st)
+	}
+	// A nil cache is a valid no-verdict-caching sentinel.
+	var nc *Cache
+	if _, ok := nc.Verdict(k); ok {
+		t.Fatal("nil cache produced a verdict")
+	}
+	nc.PutVerdict(k, want)
+}

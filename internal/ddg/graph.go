@@ -34,6 +34,8 @@ package ddg
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"treegion/internal/cfg"
 	"treegion/internal/ir"
@@ -122,8 +124,16 @@ type Graph struct {
 	Nodes  []*Node
 
 	// byID maps op.ID → node index + 1 (0 = no node). Op IDs are dense per
-	// function, so this replaces the old map[*ir.Op]*Node.
-	byID []int32
+	// function, so this replaces the old map[*ir.Op]*Node. It is built
+	// lazily on the first NodeOf: the table costs OpIDBound entries per
+	// graph, and most graphs — every one revived from the artifact store,
+	// for a start — never take a NodeOf lookup at all. The hand-rolled
+	// double-checked guard (rather than sync.Once) keeps NodeOf's fast path
+	// allocation-free: a method-value closure per call would dwarf the
+	// lookup itself in the simulator's inner loop.
+	indexed atomic.Bool
+	indexMu sync.Mutex
+	byID    []int32
 
 	// Transformation statistics.
 	NumRenamed int // ops whose destination was renamed
@@ -133,8 +143,16 @@ type Graph struct {
 
 // NodeOf returns the node for op, or nil (eliminated or foreign op). The
 // identity check guards against an op from a different function whose dense
-// ID happens to collide.
+// ID happens to collide. Safe for concurrent use once the graph is built.
 func (g *Graph) NodeOf(op *ir.Op) *Node {
+	if !g.indexed.Load() {
+		g.indexMu.Lock()
+		if !g.indexed.Load() {
+			g.indexNodes()
+			g.indexed.Store(true)
+		}
+		g.indexMu.Unlock()
+	}
 	if op == nil || op.ID < 0 || op.ID >= len(g.byID) {
 		return nil
 	}
@@ -148,7 +166,8 @@ func (g *Graph) NodeOf(op *ir.Op) *Node {
 	return nil
 }
 
-// indexNodes (re)builds the dense op-ID lookup from g.Nodes.
+// indexNodes builds the dense op-ID lookup from g.Nodes. Only the NodeOf
+// guard may call it; Nodes must not change afterwards.
 func (g *Graph) indexNodes() {
 	bound := g.Fn.OpIDBound()
 	g.byID = make([]int32, bound)
@@ -277,7 +296,6 @@ func BuildScratch(fn *ir.Function, r *region.Region, opts Options, sc *Scratch) 
 	b.dataEdges()
 	b.controlEdges()
 	installEdges(g.Nodes, b.recs, sc)
-	g.indexNodes()
 	b.attributes()
 	if sc != nil {
 		sc.release(b)

@@ -38,6 +38,15 @@ type EdgeSpec struct {
 // corrupt store entry must read as a miss, never crash or build a graph
 // that panics later).
 func Restore(fn *ir.Function, r *region.Region, nodes []NodeSpec, edges []EdgeSpec, renamed, copies, merged int) (*Graph, error) {
+	return RestoreScratch(fn, r, nodes, edges, renamed, copies, merged, nil)
+}
+
+// RestoreScratch is Restore with reusable working memory, mirroring
+// Build/BuildScratch: the edge-record and counting buffers come from sc, so
+// a caller reviving many schedules (the artifact store decodes every region
+// of every function in a suite) allocates only what the graph retains.
+// Neither nodes nor edges is retained by the result.
+func RestoreScratch(fn *ir.Function, r *region.Region, nodes []NodeSpec, edges []EdgeSpec, renamed, copies, merged int, sc *Scratch) (*Graph, error) {
 	g := &Graph{
 		Fn:         fn,
 		Region:     r,
@@ -62,14 +71,19 @@ func Restore(fn *ir.Function, r *region.Region, nodes []NodeSpec, edges []EdgeSp
 		n.Weight = spec.Weight
 		g.Nodes = append(g.Nodes, n)
 	}
-	recs := make([]edgeRec, len(edges))
+	var recs []edgeRec
+	if sc != nil {
+		sc.recs = grow(sc.recs, len(edges))
+		recs = sc.recs
+	} else {
+		recs = make([]edgeRec, len(edges))
+	}
 	for i, e := range edges {
 		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
 			return nil, fmt.Errorf("ddg: restore: edge %d->%d out of range (%d nodes)", e.From, e.To, len(g.Nodes))
 		}
 		recs[i] = edgeRec{from: int32(e.From), to: int32(e.To), lat: int32(e.Latency), kind: e.Kind}
 	}
-	installEdges(g.Nodes, recs, nil)
-	g.indexNodes()
+	installEdges(g.Nodes, recs, sc)
 	return g, nil
 }

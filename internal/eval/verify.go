@@ -6,12 +6,15 @@ import (
 	"treegion/internal/verify"
 )
 
-// VerifyResult runs the static verifier over one compiled function,
+// VerifyDiagnostics runs the static verifier over one compiled function,
 // translating the compilation Config into verifier options exactly as
 // CompileFunction interpreted it (tail-duplication defaults included). orig
 // is the pre-compilation function (CompileFunction mutates its input, so
 // callers keep a clone); nil skips the differential semantics check.
-func VerifyResult(orig *ir.Function, fr *FunctionResult, c Config) []verify.Diagnostic {
+//
+// Unlike VerifyResult it does not touch fr, so it is safe on results shared
+// out of a cache.
+func VerifyDiagnostics(orig *ir.Function, fr *FunctionResult, c Config) []verify.Diagnostic {
 	var td core.TDConfig
 	if c.Kind == TreegionTD {
 		td = c.TD
@@ -19,12 +22,18 @@ func VerifyResult(orig *ir.Function, fr *FunctionResult, c Config) []verify.Diag
 			td = core.DefaultTDConfig()
 		}
 	}
-	ds := verify.Compiled(fr.Fn, fr.Regions, fr.Schedules, verify.Options{
+	return verify.Compiled(fr.Fn, fr.Regions, fr.Schedules, verify.Options{
 		Machine:   c.Machine,
 		TD:        td,
 		IfConvert: c.IfConvert,
 		Orig:      orig,
 	})
+}
+
+// VerifyResult is VerifyDiagnostics plus recording the diagnostics on fr.
+// Only call it on a result this caller owns — never on a cached, shared one.
+func VerifyResult(orig *ir.Function, fr *FunctionResult, c Config) []verify.Diagnostic {
+	ds := VerifyDiagnostics(orig, fr, c)
 	fr.Diagnostics = ds
 	return ds
 }

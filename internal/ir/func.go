@@ -46,6 +46,14 @@ func (f *Function) NewOp(opc Opcode) *Op {
 	return op
 }
 
+// InitOp initializes op in place with a fresh ID (Orig == ID), exactly like
+// NewOp but without allocating. Slab-allocating parsers and decoders carve
+// ops out of a backing array and initialize them through this.
+func (f *Function) InitOp(op *Op, opc Opcode) {
+	*op = Op{ID: f.nextOpID, Orig: f.nextOpID, Opcode: opc}
+	f.nextOpID++
+}
+
 // CloneOp duplicates op under a fresh ID, preserving Orig.
 func (f *Function) CloneOp(op *Op) *Op {
 	c := op.Clone(f.nextOpID)
@@ -151,17 +159,32 @@ func (f *Function) Validate() error {
 	if f.Entry == NoBlock {
 		return fmt.Errorf("%s: no entry block", f.Name)
 	}
-	seenOp := make(map[int]bool)
+	// Op IDs are dense (every allocation path goes through nextOpID), so a
+	// flat bool slab replaces the old map; hand-built functions with IDs
+	// outside [0, nextOpID) spill into the overflow map.
+	seenOp := make([]bool, f.nextOpID)
+	var seenOverflow map[int]bool
+	var succBuf []BlockID
 	for i, b := range f.Blocks {
 		if b.ID != BlockID(i) {
 			return fmt.Errorf("%s: block at index %d has ID %d", f.Name, i, b.ID)
 		}
 		sawBranch := false
 		for j, op := range b.Ops {
-			if seenOp[op.ID] {
-				return fmt.Errorf("%s: bb%d: duplicate op ID %d", f.Name, b.ID, op.ID)
+			if op.ID >= 0 && op.ID < len(seenOp) {
+				if seenOp[op.ID] {
+					return fmt.Errorf("%s: bb%d: duplicate op ID %d", f.Name, b.ID, op.ID)
+				}
+				seenOp[op.ID] = true
+			} else {
+				if seenOverflow[op.ID] {
+					return fmt.Errorf("%s: bb%d: duplicate op ID %d", f.Name, b.ID, op.ID)
+				}
+				if seenOverflow == nil {
+					seenOverflow = make(map[int]bool)
+				}
+				seenOverflow[op.ID] = true
 			}
-			seenOp[op.ID] = true
 			if op.IsBranch() {
 				sawBranch = true
 				if op.Target < 0 || int(op.Target) >= len(f.Blocks) {
@@ -180,13 +203,13 @@ func (f *Function) Validate() error {
 		if b.FallThrough != NoBlock && (b.FallThrough < 0 || int(b.FallThrough) >= len(f.Blocks)) {
 			return fmt.Errorf("%s: bb%d: fallthrough to missing bb%d", f.Name, b.ID, b.FallThrough)
 		}
-		succs := b.Succs()
-		seen := make(map[BlockID]bool, len(succs))
-		for _, s := range succs {
-			if seen[s] {
-				return fmt.Errorf("%s: bb%d: duplicate successor bb%d", f.Name, b.ID, s)
+		succBuf = b.AppendSuccs(succBuf[:0])
+		for j, s := range succBuf {
+			for _, t := range succBuf[:j] {
+				if s == t {
+					return fmt.Errorf("%s: bb%d: duplicate successor bb%d", f.Name, b.ID, s)
+				}
 			}
-			seen[s] = true
 		}
 		if len(b.Ops) > 0 && b.Ops[len(b.Ops)-1].Opcode == Bru && b.FallThrough != NoBlock {
 			return fmt.Errorf("%s: bb%d: fallthrough after BRU", f.Name, b.ID)

@@ -27,51 +27,114 @@ func Parse(src string) (*ir.Function, error) {
 // exists for the verifier's adversarial fixtures: structurally broken
 // functions (an op after a branch, a RET with successors) must be loadable
 // so the IR well-formedness rules can be exercised against them.
+//
+// The parser sits on the artifact-store decode path (tgart2 ships functions
+// as canonical text), so it slab-allocates: one pre-scan counts ops and
+// operands, then all ops, op pointers, and operand registers are carved out
+// of three backing arrays instead of one allocation per op.
 func ParseUnchecked(src string) (*ir.Function, error) {
 	p := &parser{}
-	lines := strings.Split(src, "\n")
 	// Pre-scan declarations so forward references resolve and block IDs
-	// follow declaration order (Print/Parse round-trips preserve layout).
-	for i, raw := range lines {
+	// follow declaration order (Print/Parse round-trips preserve layout),
+	// counting the op lines per block for the slab carve.
+	var fnName string
+	var labels, labelLines, opsPerLabel []int
+	nops := 0
+	lineNo := 0
+	for rest := src; len(rest) > 0 || lineNo == 0; {
+		var raw string
+		raw, rest = nextLine(rest)
+		lineNo++
 		line := clean(raw)
 		switch {
+		case line == "":
 		case strings.HasPrefix(line, "func "):
-			if p.fn != nil {
-				return nil, fmt.Errorf("irtext: line %d: duplicate func declaration", i+1)
+			if fnName != "" {
+				return nil, fmt.Errorf("irtext: line %d: duplicate func declaration", lineNo)
 			}
 			name := strings.TrimSpace(strings.TrimPrefix(line, "func "))
 			if name == "" {
-				return nil, fmt.Errorf("irtext: line %d: func needs a name", i+1)
+				return nil, fmt.Errorf("irtext: line %d: func needs a name", lineNo)
 			}
-			p.fn = ir.NewFunction(name)
-			p.declared = make(map[int]*ir.Block)
+			fnName = name
 		case strings.HasSuffix(line, ":"):
-			if p.fn == nil {
-				return nil, fmt.Errorf("irtext: line %d: block before func declaration", i+1)
+			if fnName == "" {
+				return nil, fmt.Errorf("irtext: line %d: block before func declaration", lineNo)
 			}
 			n, err := blockNum(strings.TrimSuffix(line, ":"))
 			if err != nil {
-				return nil, fmt.Errorf("irtext: line %d: %w", i+1, err)
+				return nil, fmt.Errorf("irtext: line %d: %w", lineNo, err)
 			}
+			labels = append(labels, n)
+			labelLines = append(labelLines, lineNo)
+			opsPerLabel = append(opsPerLabel, 0)
+		case strings.HasPrefix(line, "fallthrough"):
+		default:
+			if len(opsPerLabel) > 0 {
+				opsPerLabel[len(opsPerLabel)-1]++
+			}
+			nops++
+		}
+	}
+	if fnName == "" {
+		return nil, fmt.Errorf("irtext: no function declared")
+	}
+
+	p.fn = ir.NewFunction(fnName)
+	// Machine-generated text declares bb0..bbN-1 in order; then the label
+	// IS the block index and the lookup is a slice. Hand-written files with
+	// gaps or shuffled labels fall back to a map.
+	dense := true
+	for i, n := range labels {
+		if n != i {
+			dense = false
+			break
+		}
+	}
+	if dense {
+		for range labels {
+			p.fn.NewBlock()
+		}
+		p.denseLabels = p.fn.Blocks
+	} else {
+		p.declared = make(map[int]*ir.Block, len(labels))
+		for i, n := range labels {
 			if _, dup := p.declared[n]; dup {
-				return nil, fmt.Errorf("irtext: line %d: bb%d declared twice", i+1, n)
+				return nil, fmt.Errorf("irtext: line %d: bb%d declared twice", labelLines[i], n)
 			}
 			p.declared[n] = p.fn.NewBlock()
 		}
 	}
-	if p.fn == nil {
-		return nil, fmt.Errorf("irtext: no function declared")
-	}
-	for i, raw := range lines {
+
+	p.opSlab = make([]ir.Op, nops)
+	p.opPtrs = make([]*ir.Op, 0, nops)
+	p.regSlab = make([]ir.Reg, 4*nops) // ≤2 dests + ≤2 srcs per op
+	p.opsPerLabel = opsPerLabel
+
+	lineNo = 0
+	first := true
+	for rest := src; len(rest) > 0 || first; {
+		var raw string
+		raw, rest = nextLine(rest)
+		first = false
+		lineNo++
 		line := clean(raw)
 		if line == "" {
 			continue
 		}
 		if err := p.line(line); err != nil {
-			return nil, fmt.Errorf("irtext: line %d: %w", i+1, err)
+			return nil, fmt.Errorf("irtext: line %d: %w", lineNo, err)
 		}
 	}
 	return p.fn, nil
+}
+
+// nextLine splits off the first line of s (without the newline).
+func nextLine(s string) (line, rest string) {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
 }
 
 func clean(raw string) string {
@@ -85,13 +148,27 @@ func clean(raw string) string {
 type parser struct {
 	fn  *ir.Function
 	cur *ir.Block
-	// declared maps textual block labels to blocks, in declaration order.
-	declared map[int]*ir.Block
+	// Exactly one of denseLabels/declared resolves textual labels:
+	// denseLabels when labels are 0..n-1 in declaration order (index ==
+	// label), declared otherwise.
+	denseLabels []*ir.Block
+	declared    map[int]*ir.Block
+
+	opSlab      []ir.Op  // backing array for all ops
+	opPtrs      []*ir.Op // backing array for the blocks' Ops slices
+	regSlab     []ir.Reg // backing array for all Dests/Srcs
+	oi, ri      int
+	opsPerLabel []int // op-line count per declaration, for carving opPtrs
+	labelIdx    int   // next declaration index in the second pass
 }
 
 // block resolves the block labelled bbN, which must be declared.
 func (p *parser) block(n int) (*ir.Block, error) {
-	if b, ok := p.declared[n]; ok {
+	if p.denseLabels != nil {
+		if n >= 0 && n < len(p.denseLabels) {
+			return p.denseLabels[n], nil
+		}
+	} else if b, ok := p.declared[n]; ok {
 		return b, nil
 	}
 	return nil, fmt.Errorf("reference to undeclared bb%d", n)
@@ -107,7 +184,17 @@ func (p *parser) line(line string) error {
 			return err
 		}
 		p.cur, err = p.block(n)
-		return err
+		if err != nil {
+			return err
+		}
+		// Carve this block's Ops pointer slice: full-cap so appends fill
+		// the carved region and never spill into the next block's.
+		cnt := p.opsPerLabel[p.labelIdx]
+		p.labelIdx++
+		off := len(p.opPtrs)
+		p.opPtrs = p.opPtrs[:off+cnt]
+		p.cur.Ops = p.opPtrs[off:off:off+cnt]
+		return nil
 	case p.cur == nil:
 		return fmt.Errorf("op outside a block")
 	case strings.HasPrefix(line, "fallthrough"):
@@ -120,6 +207,19 @@ func (p *parser) line(line string) error {
 	default:
 		return p.op(line)
 	}
+}
+
+// carveRegs copies n registers from buf into the shared register slab and
+// returns the full-cap sub-slice.
+func (p *parser) carveRegs(buf []ir.Reg) []ir.Reg {
+	n := len(buf)
+	if n == 0 {
+		return nil
+	}
+	s := p.regSlab[p.ri : p.ri+n : p.ri+n]
+	copy(s, buf)
+	p.ri += n
+	return s
 }
 
 func blockNum(tok string) (int, error) {
@@ -195,6 +295,16 @@ var condByName = func() map[string]ir.Cond {
 	return m
 }()
 
+// split2 splits s at its single comma; ok is false when s has zero or more
+// than one comma.
+func split2(s string) (a, b string, ok bool) {
+	i := strings.IndexByte(s, ',')
+	if i < 0 || strings.IndexByte(s[i+1:], ',') >= 0 {
+		return "", "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
 // op parses one instruction line into the current block.
 func (p *parser) op(line string) error {
 	guard := ir.NoReg
@@ -214,32 +324,52 @@ func (p *parser) op(line string) error {
 		line = strings.TrimSpace(line[end+1:])
 	}
 
-	var dests []ir.Reg
+	// Only the first two parsed destinations are kept (no op takes more);
+	// ndests still counts them all so arity errors report the real count.
+	var destBuf [2]ir.Reg
+	ndests := 0
 	rest := line
-	if eq := strings.Index(line, "="); eq >= 0 && !strings.Contains(line[:eq], "[") {
-		for _, tok := range strings.Split(line[:eq], ",") {
-			d, err := reg(tok)
+	if eq := strings.IndexByte(line, '='); eq >= 0 && strings.IndexByte(line[:eq], '[') < 0 {
+		for tok := line[:eq]; ; {
+			var seg string
+			if i := strings.IndexByte(tok, ','); i >= 0 {
+				seg, tok = tok[:i], tok[i+1:]
+			} else {
+				seg, tok = tok, ""
+			}
+			d, err := reg(seg)
 			if err != nil {
 				return err
 			}
 			p.fn.NoteReg(d)
-			dests = append(dests, d)
+			if ndests < len(destBuf) {
+				destBuf[ndests] = d
+			}
+			ndests++
+			if tok == "" {
+				break
+			}
 		}
 		rest = strings.TrimSpace(line[eq+1:])
 	}
+	dests := p.carveRegs(destBuf[:min(ndests, len(destBuf))])
 
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
+	name := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name = rest[:i]
+	}
+	if name == "" {
 		return fmt.Errorf("empty op")
 	}
-	name := fields[0]
 	args := strings.TrimSpace(strings.TrimPrefix(rest, name))
 	opc, ok := opcodeByName[name]
 	if !ok {
 		return fmt.Errorf("unknown op %q", name)
 	}
 
-	op := p.fn.NewOp(opc)
+	op := &p.opSlab[p.oi]
+	p.oi++
+	p.fn.InitOp(op, opc)
 	op.Dests = dests
 	op.Guard = guard
 	b := p.cur
@@ -248,11 +378,12 @@ func (p *parser) op(line string) error {
 		return fmt.Errorf("%s: "+format, append([]interface{}{name}, a...)...)
 	}
 	wantDests := func(n int) error {
-		if len(dests) != n {
-			return fail("needs %d destination(s), got %d", n, len(dests))
+		if ndests != n {
+			return fail("needs %d destination(s), got %d", n, ndests)
 		}
 		return nil
 	}
+	var srcBuf [2]ir.Reg
 
 	switch opc {
 	case ir.MovI:
@@ -272,7 +403,8 @@ func (p *parser) op(line string) error {
 		if err != nil {
 			return err
 		}
-		op.Srcs = []ir.Reg{s}
+		srcBuf[0] = s
+		op.Srcs = p.carveRegs(srcBuf[:1])
 	case ir.Ld:
 		if err := wantDests(1); err != nil {
 			return err
@@ -281,13 +413,14 @@ func (p *parser) op(line string) error {
 		if err != nil {
 			return err
 		}
-		op.Srcs = []ir.Reg{base}
+		srcBuf[0] = base
+		op.Srcs = p.carveRegs(srcBuf[:1])
 		op.Imm = off
 	case ir.St:
-		if len(dests) != 0 {
+		if ndests != 0 {
 			return fail("takes no destinations")
 		}
-		comma := strings.LastIndex(args, ",")
+		comma := strings.LastIndexByte(args, ',')
 		if comma < 0 {
 			return fail("needs [base+off], value")
 		}
@@ -299,34 +432,39 @@ func (p *parser) op(line string) error {
 		if err != nil {
 			return err
 		}
-		op.Srcs = []ir.Reg{base, v}
+		srcBuf[0], srcBuf[1] = base, v
+		op.Srcs = p.carveRegs(srcBuf[:2])
 		op.Imm = off
 	case ir.Cmpp:
-		if len(dests) != 1 && len(dests) != 2 {
+		if ndests != 1 && ndests != 2 {
 			return fail("needs 1 or 2 destinations")
 		}
-		fs := strings.Fields(args)
-		if len(fs) < 2 {
+		cname := args
+		if i := strings.IndexAny(args, " \t"); i >= 0 {
+			cname = args[:i]
+		}
+		if cname == "" {
 			return fail("needs a condition and two sources")
 		}
-		cond, ok := condByName[fs[0]]
+		cond, ok := condByName[cname]
 		if !ok {
-			return fail("unknown condition %q", fs[0])
+			return fail("unknown condition %q", cname)
 		}
 		op.Cond = cond
-		srcs := strings.Split(strings.TrimSpace(strings.TrimPrefix(args, fs[0])), ",")
-		if len(srcs) != 2 {
+		sa, sb, ok := split2(strings.TrimSpace(strings.TrimPrefix(args, cname)))
+		if !ok {
 			return fail("needs two sources")
 		}
-		a, err := reg(srcs[0])
+		a, err := reg(sa)
 		if err != nil {
 			return err
 		}
-		c, err := reg(srcs[1])
+		c, err := reg(sb)
 		if err != nil {
 			return err
 		}
-		op.Srcs = []ir.Reg{a, c}
+		srcBuf[0], srcBuf[1] = a, c
+		op.Srcs = p.carveRegs(srcBuf[:2])
 	case ir.Pbr:
 		if err := wantDests(1); err != nil {
 			return err
@@ -337,11 +475,11 @@ func (p *parser) op(line string) error {
 		}
 		op.Target = t
 	case ir.Brct, ir.Brcf:
-		if len(dests) != 0 {
+		if ndests != 0 {
 			return fail("takes no destinations")
 		}
 		prob := 0.5
-		if h := strings.LastIndex(args, "#"); h >= 0 {
+		if h := strings.LastIndexByte(args, '#'); h >= 0 {
 			v, err := strconv.ParseFloat(strings.TrimSpace(args[h+1:]), 64)
 			if err != nil || v < 0 || v > 1 {
 				return fail("bad probability %q", args[h+1:])
@@ -349,27 +487,34 @@ func (p *parser) op(line string) error {
 			prob = v
 			args = strings.TrimSpace(args[:h])
 		}
-		parts := strings.Split(args, ",")
-		if len(parts) != 3 {
+		c1 := strings.IndexByte(args, ',')
+		var c2 int = -1
+		if c1 >= 0 {
+			if j := strings.IndexByte(args[c1+1:], ','); j >= 0 {
+				c2 = c1 + 1 + j
+			}
+		}
+		if c1 < 0 || c2 < 0 || strings.IndexByte(args[c2+1:], ',') >= 0 {
 			return fail("needs btr, pred, @target")
 		}
-		btr, err := reg(parts[0])
+		btr, err := reg(args[:c1])
 		if err != nil {
 			return err
 		}
-		pr, err := reg(parts[1])
+		pr, err := reg(args[c1+1 : c2])
 		if err != nil {
 			return err
 		}
-		t, err := p.target(parts[2])
+		t, err := p.target(args[c2+1:])
 		if err != nil {
 			return err
 		}
-		op.Srcs = []ir.Reg{btr, pr} // NoReg btr slot matches the builder's layout
+		srcBuf[0], srcBuf[1] = btr, pr // NoReg btr slot matches the builder's layout
+		op.Srcs = p.carveRegs(srcBuf[:2])
 		op.Target = t
 		op.Prob = prob
 	case ir.Bru:
-		if len(dests) != 0 {
+		if ndests != 0 {
 			return fail("takes no destinations")
 		}
 		t, err := p.target(args)
@@ -386,19 +531,20 @@ func (p *parser) op(line string) error {
 		if err := wantDests(1); err != nil {
 			return err
 		}
-		srcs := strings.Split(args, ",")
-		if len(srcs) != 2 {
+		sa, sb, ok := split2(args)
+		if !ok {
 			return fail("needs two sources")
 		}
-		a, err := reg(srcs[0])
+		a, err := reg(sa)
 		if err != nil {
 			return err
 		}
-		c, err := reg(srcs[1])
+		c, err := reg(sb)
 		if err != nil {
 			return err
 		}
-		op.Srcs = []ir.Reg{a, c}
+		srcBuf[0], srcBuf[1] = a, c
+		op.Srcs = p.carveRegs(srcBuf[:2])
 	}
 	for _, s := range op.Srcs {
 		p.fn.NoteReg(s)
@@ -434,4 +580,3 @@ func memOperand(tok string) (ir.Reg, int64, error) {
 	}
 	return base, off, nil
 }
-

@@ -28,73 +28,152 @@
 package irtext
 
 import (
-	"fmt"
-	"strings"
+	"slices"
+	"strconv"
 
 	"treegion/internal/ir"
 )
 
 // Print serializes fn in the package's text format.
+//
+// Print sits on the hot path of every cache lookup (the content-addressed
+// key is the SHA-256 of this text) and of every store write, so it builds
+// the output with manual byte appends rather than fmt.
 func Print(fn *ir.Function) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "func %s\n", fn.Name)
-	for _, b := range fn.Blocks {
-		fmt.Fprintf(&sb, "bb%d:\n", b.ID)
-		for _, op := range b.Ops {
-			sb.WriteString("  ")
-			sb.WriteString(printOp(op))
-			sb.WriteString("\n")
-		}
-		if b.FallThrough != ir.NoBlock {
-			fmt.Fprintf(&sb, "  fallthrough @bb%d\n", b.FallThrough)
-		}
-	}
-	return sb.String()
+	return string(AppendFunc(nil, fn))
 }
 
-func printOp(op *ir.Op) string {
-	var sb strings.Builder
+// AppendFunc appends fn's text format to buf and returns it, letting the
+// cache-key path hash the text out of one reused buffer instead of
+// materializing a fresh string per lookup.
+func AppendFunc(buf []byte, fn *ir.Function) []byte {
+	// ~24 bytes/op line covers the suite's mix; under-estimates just grow.
+	buf = slices.Grow(buf, 16+len(fn.Name)+8*len(fn.Blocks)+24*fn.NumOps())
+	buf = append(buf, "func "...)
+	buf = append(buf, fn.Name...)
+	buf = append(buf, '\n')
+	for _, b := range fn.Blocks {
+		buf = append(buf, "bb"...)
+		buf = strconv.AppendInt(buf, int64(b.ID), 10)
+		buf = append(buf, ":\n"...)
+		for _, op := range b.Ops {
+			buf = append(buf, ' ', ' ')
+			buf = appendOp(buf, op)
+			buf = append(buf, '\n')
+		}
+		if b.FallThrough != ir.NoBlock {
+			buf = append(buf, "  fallthrough @bb"...)
+			buf = strconv.AppendInt(buf, int64(b.FallThrough), 10)
+			buf = append(buf, '\n')
+		}
+	}
+	return buf
+}
+
+// appendReg appends a register token (r3, p1, b0, f2, or _).
+func appendReg(buf []byte, r ir.Reg) []byte {
+	var c byte
+	switch r.Class {
+	case ir.ClassGPR:
+		c = 'r'
+	case ir.ClassPred:
+		c = 'p'
+	case ir.ClassBTR:
+		c = 'b'
+	case ir.ClassFPR:
+		c = 'f'
+	default:
+		return append(buf, '_')
+	}
+	buf = append(buf, c)
+	return strconv.AppendInt(buf, int64(r.Num), 10)
+}
+
+func appendTarget(buf []byte, t ir.BlockID) []byte {
+	buf = append(buf, "@bb"...)
+	return strconv.AppendInt(buf, int64(t), 10)
+}
+
+func appendOp(buf []byte, op *ir.Op) []byte {
 	if op.Guarded() {
-		fmt.Fprintf(&sb, "(%s) ", op.Guard)
+		buf = append(buf, '(')
+		buf = appendReg(buf, op.Guard)
+		buf = append(buf, ") "...)
 	}
 	switch op.Opcode {
 	case ir.MovI:
-		fmt.Fprintf(&sb, "%s = movi %d", op.Dests[0], op.Imm)
+		buf = appendReg(buf, op.Dests[0])
+		buf = append(buf, " = movi "...)
+		buf = strconv.AppendInt(buf, op.Imm, 10)
 	case ir.Mov, ir.Copy:
-		fmt.Fprintf(&sb, "%s = %s %s", op.Dests[0], mnemonic(op.Opcode), op.Srcs[0])
+		buf = appendReg(buf, op.Dests[0])
+		buf = append(buf, " = "...)
+		buf = append(buf, mnemonic(op.Opcode)...)
+		buf = append(buf, ' ')
+		buf = appendReg(buf, op.Srcs[0])
 	case ir.Ld:
-		fmt.Fprintf(&sb, "%s = ld [%s+%d]", op.Dests[0], op.Srcs[0], op.Imm)
+		buf = appendReg(buf, op.Dests[0])
+		buf = append(buf, " = ld ["...)
+		buf = appendReg(buf, op.Srcs[0])
+		buf = append(buf, '+')
+		buf = strconv.AppendInt(buf, op.Imm, 10)
+		buf = append(buf, ']')
 	case ir.St:
-		fmt.Fprintf(&sb, "st [%s+%d], %s", op.Srcs[0], op.Imm, op.Srcs[1])
+		buf = append(buf, "st ["...)
+		buf = appendReg(buf, op.Srcs[0])
+		buf = append(buf, '+')
+		buf = strconv.AppendInt(buf, op.Imm, 10)
+		buf = append(buf, "], "...)
+		buf = appendReg(buf, op.Srcs[1])
 	case ir.Cmpp:
+		buf = appendReg(buf, op.Dests[0])
 		if len(op.Dests) > 1 {
-			fmt.Fprintf(&sb, "%s, %s = cmpp %s %s, %s",
-				op.Dests[0], op.Dests[1], condName(op.Cond), op.Srcs[0], op.Srcs[1])
-		} else {
-			fmt.Fprintf(&sb, "%s = cmpp %s %s, %s",
-				op.Dests[0], condName(op.Cond), op.Srcs[0], op.Srcs[1])
+			buf = append(buf, ", "...)
+			buf = appendReg(buf, op.Dests[1])
 		}
+		buf = append(buf, " = cmpp "...)
+		buf = append(buf, condName(op.Cond)...)
+		buf = append(buf, ' ')
+		buf = appendReg(buf, op.Srcs[0])
+		buf = append(buf, ", "...)
+		buf = appendReg(buf, op.Srcs[1])
 	case ir.Pbr:
-		fmt.Fprintf(&sb, "%s = pbr @bb%d", op.Dests[0], op.Target)
+		buf = appendReg(buf, op.Dests[0])
+		buf = append(buf, " = pbr "...)
+		buf = appendTarget(buf, op.Target)
 	case ir.Brct, ir.Brcf:
-		btr := "_"
+		buf = append(buf, mnemonic(op.Opcode)...)
+		buf = append(buf, ' ')
 		if len(op.Srcs) > 1 && op.Srcs[0].IsValid() {
-			btr = op.Srcs[0].String()
+			buf = appendReg(buf, op.Srcs[0])
+		} else {
+			buf = append(buf, '_')
 		}
-		p := op.Srcs[len(op.Srcs)-1]
-		fmt.Fprintf(&sb, "%s %s, %s, @bb%d #%g", mnemonic(op.Opcode), btr, p, op.Target, op.Prob)
+		buf = append(buf, ", "...)
+		buf = appendReg(buf, op.Srcs[len(op.Srcs)-1])
+		buf = append(buf, ", "...)
+		buf = appendTarget(buf, op.Target)
+		buf = append(buf, " #"...)
+		buf = strconv.AppendFloat(buf, op.Prob, 'g', -1, 64)
 	case ir.Bru:
-		fmt.Fprintf(&sb, "bru @bb%d", op.Target)
+		buf = append(buf, "bru "...)
+		buf = appendTarget(buf, op.Target)
 	case ir.Call:
-		sb.WriteString("call")
+		buf = append(buf, "call"...)
 	case ir.Ret:
-		sb.WriteString("ret")
+		buf = append(buf, "ret"...)
 	case ir.Nop:
-		sb.WriteString("nop")
+		buf = append(buf, "nop"...)
 	default: // two-source ALU
-		fmt.Fprintf(&sb, "%s = %s %s, %s", op.Dests[0], mnemonic(op.Opcode), op.Srcs[0], op.Srcs[1])
+		buf = appendReg(buf, op.Dests[0])
+		buf = append(buf, " = "...)
+		buf = append(buf, mnemonic(op.Opcode)...)
+		buf = append(buf, ' ')
+		buf = appendReg(buf, op.Srcs[0])
+		buf = append(buf, ", "...)
+		buf = appendReg(buf, op.Srcs[1])
 	}
-	return sb.String()
+	return buf
 }
 
 var mnemonics = map[ir.Opcode]string{

@@ -44,12 +44,14 @@ type Options struct {
 	// histograms, scheduling counters and region-shape histograms for every
 	// cold compile.
 	Telemetry *telemetry.Registry
-	// Verify runs the static verifier over every cold compile. A function
+	// Verify runs the static verifier over the compile result. A function
 	// whose schedule produces Error-severity diagnostics fails with a
 	// *verify.Failure carrying the full diagnostic list; advisory
-	// diagnostics ride along on the FunctionResult. Verified results are
-	// cached under a distinct key, so verified and unverified pipelines
-	// never serve each other's entries.
+	// diagnostics ride along on (a private copy of) the FunctionResult.
+	// Verified and plain pipelines share one cache key — the verdict is
+	// cached separately, keyed by the same artifact hash, so a warm
+	// verified lookup re-checks nothing and a plain lookup can reuse an
+	// artifact a verified caller compiled (and vice versa).
 	Verify bool
 }
 
@@ -79,6 +81,11 @@ type Metrics struct {
 	InFlight atomic.Int64
 	// VerifyFailures counts compiles rejected by the static verifier.
 	VerifyFailures atomic.Int64
+	// VerifyRuns counts actual verifier executions (verdict-cache misses).
+	VerifyRuns atomic.Int64
+	// VerdictHits counts verified lookups answered from the verdict cache
+	// without running the verifier.
+	VerdictHits atomic.Int64
 }
 
 // compileFunc is the per-function compile entry point; tests swap it to
@@ -240,39 +247,51 @@ func CompileFunction(ctx context.Context, fn *ir.Function, prof *profile.Data, c
 	return compileOne(fn, prof, c, opts, nil)
 }
 
+// keyBufPool recycles the buffer contentKey serializes into: the key-form
+// IR and profile bytes exist only to be hashed, so the warm cache path
+// should not allocate a fresh buffer per lookup.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
+
+// contentKey computes the content-addressed cache key of one compilation
+// input triple. It hashes the compact binary serializations
+// (irtext.AppendFuncKey, profile.AppendKey), which carry exactly the
+// information of irtext.Print and profile.Canonical: the keys partition
+// compilations identically to hashing the text forms, without the
+// formatting cost.
+func contentKey(orig *ir.Function, prof *profile.Data, c eval.Config) compcache.Key {
+	bp := keyBufPool.Get().(*[]byte)
+	buf := irtext.AppendFuncKey((*bp)[:0], orig)
+	mark := len(buf)
+	buf = prof.AppendKey(buf)
+	k := compcache.KeyOfBytes(buf[:mark], buf[mark:], c.Fingerprint())
+	*bp = buf[:0]
+	keyBufPool.Put(bp)
+	return k
+}
+
 // compileOne compiles one function on clones of (orig, prof), going through
 // the tiered cache (memory, then disk, then compile) when one is
 // configured. Concurrent identical requests coalesce onto one compile.
 // arena, when non-nil, is the calling worker's private compile scratch.
+//
+// Verification rides on top: the artifact is compiled and cached once under
+// the unified key, and the verifier's verdict is cached alongside it under
+// the same key, so the verifier runs only when no verdict is known yet. A
+// failing verdict is cached too — the artifact stays valid for plain
+// callers while verified callers keep getting the recorded Failure without
+// re-running the verifier.
 func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Options, arena *eval.Arena) (*eval.FunctionResult, bool, error) {
 	var key compcache.Key
 	if opts.Cache != nil {
-		fp := c.Fingerprint()
-		if opts.Verify {
-			fp += "/verified"
-		}
-		key = compcache.KeyOf(irtext.Print(orig), prof.Canonical(), fp)
+		key = contentKey(orig, prof, c)
 	}
 	fr, src, err := opts.Cache.GetOrCompute(key, func() (*eval.FunctionResult, error) {
 		fr, err := compileIsolated(orig.Clone(), prof.Clone(), c, opts.Metrics, arena)
 		if err != nil {
 			return nil, err
-		}
-		if opts.Verify {
-			t0 := time.Now()
-			ds := eval.VerifyResult(orig, fr, c)
-			fr.Trace.Observe(telemetry.PhaseVerify, time.Since(t0), fr.OpsAfter)
-			if verify.HasErrors(ds) {
-				if opts.Metrics != nil {
-					opts.Metrics.VerifyFailures.Add(1)
-				}
-				if opts.Telemetry != nil {
-					observeResult(opts.Telemetry, fr)
-				}
-				// A rejected compile is an error, so GetOrCompute never
-				// caches it in any tier.
-				return nil, &verify.Failure{Fn: orig.Name, Diagnostics: ds}
-			}
 		}
 		if opts.Telemetry != nil {
 			observeResult(opts.Telemetry, fr)
@@ -285,13 +304,72 @@ func compileOne(orig *ir.Function, prof *profile.Data, c eval.Config, opts Optio
 		}
 		return nil, false, err
 	}
-	if opts.Metrics != nil && src != compcache.SourceCompile {
+	hit := src != compcache.SourceCompile
+	if opts.Metrics != nil && hit {
 		opts.Metrics.CacheHits.Add(1)
 		if src == compcache.SourceL2 {
 			opts.Metrics.StoreHits.Add(1)
 		}
 	}
-	return fr, src != compcache.SourceCompile, nil
+	if !opts.Verify {
+		return fr, hit, nil
+	}
+	v, ok := opts.Cache.Verdict(key)
+	if ok {
+		if opts.Metrics != nil {
+			opts.Metrics.VerdictHits.Add(1)
+		}
+	} else {
+		// No verdict yet (or no cache at all): run the verifier. Cached
+		// results are shared and immutable, so the diagnostics go into the
+		// verdict, never onto fr.
+		t0 := time.Now()
+		ds := eval.VerifyDiagnostics(orig, fr, c)
+		elapsed := time.Since(t0)
+		v = &verify.Verdict{Passed: !verify.HasErrors(ds), Diagnostics: ds}
+		opts.Cache.PutVerdict(key, v)
+		if opts.Metrics != nil {
+			opts.Metrics.VerifyRuns.Add(1)
+			if !v.Passed {
+				opts.Metrics.VerifyFailures.Add(1)
+			}
+		}
+		if opts.Telemetry != nil {
+			observeVerify(opts.Telemetry, fr, ds, elapsed)
+		}
+	}
+	if !v.Passed {
+		if opts.Metrics != nil {
+			opts.Metrics.Errors.Add(1)
+		}
+		return nil, false, &verify.Failure{Fn: orig.Name, Diagnostics: v.Diagnostics}
+	}
+	if len(v.Diagnostics) > 0 {
+		// Advisory diagnostics ride on a private shallow copy: the cached
+		// result stays pristine for plain callers.
+		out := *fr
+		out.Diagnostics = v.Diagnostics
+		fr = &out
+	}
+	return fr, hit, nil
+}
+
+// observeVerify publishes one verifier run's telemetry: the verify phase
+// latency (which no longer lives on the compile trace — cached artifacts
+// share one trace regardless of who verifies them) and per-rule diagnostic
+// counters, counted once per verifier execution rather than once per
+// caller served from the verdict cache.
+func observeVerify(reg *telemetry.Registry, fr *eval.FunctionResult, ds []verify.Diagnostic, elapsed time.Duration) {
+	lbl := telemetry.Labels{"phase": telemetry.PhaseVerify.String()}
+	reg.Histogram("treegion_compile_phase_seconds", lbl,
+		"Wall time per compile phase per function.", telemetry.DefBuckets).Observe(elapsed.Seconds())
+	reg.LabeledCounter("treegion_compile_phase_ops_total", lbl,
+		"Ops processed per compile phase.").Add(int64(fr.OpsAfter))
+	for _, d := range ds {
+		reg.LabeledCounter("treegion_verify_diagnostics_total",
+			telemetry.Labels{"rule": d.Rule, "severity": d.Severity.String()},
+			"Static-verifier diagnostics by rule and severity.").Inc()
+	}
 }
 
 // observeResult publishes one cold compile's telemetry: per-phase latency
@@ -301,11 +379,6 @@ func observeResult(reg *telemetry.Registry, fr *eval.FunctionResult) {
 	reg.Counter("treegion_compile_functions_total", "Functions cold-compiled through the pipeline.").Inc()
 	reg.Counter("treegion_compile_ops_total",
 		"Ops compiled (post-formation) across all cold compiles; divide by wall time for ops/sec.").Add(int64(fr.OpsAfter))
-	for _, d := range fr.Diagnostics {
-		reg.LabeledCounter("treegion_verify_diagnostics_total",
-			telemetry.Labels{"rule": d.Rule, "severity": d.Severity.String()},
-			"Static-verifier diagnostics by rule and severity.").Inc()
-	}
 	snap := fr.Trace.Snapshot()
 	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
 		ps := snap.Phase[p]
@@ -360,6 +433,8 @@ func (m *Metrics) Register(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_pipeline_errors_total", "Compiles that returned errors.", m.Errors.Load)
 	reg.GaugeFunc(prefix+"_pipeline_in_flight", "Compiles currently executing.", m.InFlight.Load)
 	reg.CounterFunc(prefix+"_pipeline_verify_failures_total", "Compiles rejected by the static verifier.", m.VerifyFailures.Load)
+	reg.CounterFunc(prefix+"_pipeline_verify_runs_total", "Verifier executions (verdict-cache misses).", m.VerifyRuns.Load)
+	reg.CounterFunc(prefix+"_pipeline_verdict_hits_total", "Verified compiles answered from the verdict cache.", m.VerdictHits.Load)
 }
 
 // compileIsolated runs one compile with panic isolation: a panic inside

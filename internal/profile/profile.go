@@ -6,7 +6,9 @@
 package profile
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 	"strconv"
@@ -127,7 +129,16 @@ func (d *Data) Total() float64 {
 // block and edge weights, sorted — suitable as the profile component of a
 // content-addressed cache key. Two profiles with equal Canonical strings
 // drive every profile-guided decision identically.
+// Canonical sits on the hot path of every cache lookup (it feeds the
+// content-addressed key), so it builds the string with manual byte appends
+// rather than fmt.
 func (d *Data) Canonical() string {
+	return string(d.AppendCanonical(nil))
+}
+
+// AppendCanonical appends the Canonical serialization to buf and returns
+// it, so the cache-key path can hash out of one reused buffer.
+func (d *Data) AppendCanonical(buf []byte) []byte {
 	blocks := make([]int, 0, len(d.Block))
 	for b := range d.Block {
 		blocks = append(blocks, int(b))
@@ -143,14 +154,62 @@ func (d *Data) Canonical() string {
 		}
 		return int(a.To) - int(b.To)
 	})
-	var sb strings.Builder
+	// ~24 bytes per entry covers typical weights; under-estimates just grow.
+	buf = slices.Grow(buf, 24*(len(blocks)+len(edges)))
 	for _, b := range blocks {
-		fmt.Fprintf(&sb, "b%d=%s;", b, strconv.FormatFloat(d.Block[ir.BlockID(b)], 'g', -1, 64))
+		buf = append(buf, 'b')
+		buf = strconv.AppendInt(buf, int64(b), 10)
+		buf = append(buf, '=')
+		buf = strconv.AppendFloat(buf, d.Block[ir.BlockID(b)], 'g', -1, 64)
+		buf = append(buf, ';')
 	}
 	for _, e := range edges {
-		fmt.Fprintf(&sb, "e%d-%d=%s;", e.From, e.To, strconv.FormatFloat(d.Edge[e], 'g', -1, 64))
+		buf = append(buf, 'e')
+		buf = strconv.AppendInt(buf, int64(e.From), 10)
+		buf = append(buf, '-')
+		buf = strconv.AppendInt(buf, int64(e.To), 10)
+		buf = append(buf, '=')
+		buf = strconv.AppendFloat(buf, d.Edge[e], 'g', -1, 64)
+		buf = append(buf, ';')
 	}
-	return sb.String()
+	return buf
+}
+
+// AppendKey appends a compact binary serialization of the profile to buf
+// and returns it: count-prefixed, sorted block entries (u32 id, f64 bits)
+// followed by edge entries (u32 from, u32 to, f64 bits), little-endian.
+// It carries exactly the information Canonical does, so hashing it
+// partitions profiles the same way, without the per-entry float formatting.
+func (d *Data) AppendKey(buf []byte) []byte {
+	blocks := make([]int, 0, len(d.Block))
+	for b := range d.Block {
+		blocks = append(blocks, int(b))
+	}
+	sort.Ints(blocks)
+	edges := make([]Edge, 0, len(d.Edge))
+	for e := range d.Edge {
+		edges = append(edges, e)
+	}
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
+		}
+		return int(a.To) - int(b.To)
+	})
+	le := binary.LittleEndian
+	buf = slices.Grow(buf, 8+12*len(blocks)+16*len(edges))
+	buf = le.AppendUint32(buf, uint32(len(blocks)))
+	for _, b := range blocks {
+		buf = le.AppendUint32(buf, uint32(b))
+		buf = le.AppendUint64(buf, math.Float64bits(d.Block[ir.BlockID(b)]))
+	}
+	buf = le.AppendUint32(buf, uint32(len(edges)))
+	for _, e := range edges {
+		buf = le.AppendUint32(buf, uint32(e.From))
+		buf = le.AppendUint32(buf, uint32(e.To))
+		buf = le.AppendUint64(buf, math.Float64bits(d.Edge[e]))
+	}
+	return buf
 }
 
 // String dumps the profile sorted by block ID, for debugging.

@@ -28,6 +28,13 @@ func Rebuild(fn *ir.Function, kind Kind, blocks, parents []ir.BlockID, fromTrace
 	}
 	r := New(fn, kind, blocks[0])
 	r.FromTrace = fromTrace
+	// The preorder length is known up front; reserve it so the Add loop
+	// never regrows Blocks (regions revive by the thousand on warm decode).
+	if n := len(blocks); cap(r.Blocks) < n {
+		grown := make([]ir.BlockID, 1, n)
+		grown[0] = r.Blocks[0]
+		r.Blocks = grown
+	}
 	for i := 1; i < len(blocks); i++ {
 		b, p := blocks[i], parents[i]
 		if !inRange(b) {

@@ -84,16 +84,25 @@ func New(fn *ir.Function, kind Kind, root ir.BlockID) *Region {
 	return r
 }
 
-// ensure grows the dense tables to cover block b.
+// ensure grows the dense tables to cover block b, in one reallocation —
+// regions are built by the thousand on the store's warm decode path, so
+// element-at-a-time growth here shows up directly in GC pressure.
 func (r *Region) ensure(b ir.BlockID) {
 	need := int(b) + 1
 	if n := len(r.Fn.Blocks); n > need {
 		need = n
 	}
-	for len(r.parent) < need {
-		r.parent = append(r.parent, ir.NoBlock)
-		r.member = append(r.member, false)
+	if len(r.parent) >= need {
+		return
 	}
+	parent := make([]ir.BlockID, need)
+	copy(parent, r.parent)
+	for i := len(r.parent); i < need; i++ {
+		parent[i] = ir.NoBlock
+	}
+	member := make([]bool, need)
+	copy(member, r.member)
+	r.parent, r.member = parent, member
 }
 
 // Add places b into the region as a child of parent, which must already be
@@ -182,7 +191,27 @@ func (r *Region) Leaves() []ir.BlockID {
 }
 
 // PathCount returns the number of distinct root-to-leaf paths (== leaves).
-func (r *Region) PathCount() int { return len(r.Leaves()) }
+// It counts straight off the parent table rather than via Leaves: statistics
+// aggregation calls this once per region, and forcing the children cache
+// just to count leaves dominated the warm artifact-decode profile.
+func (r *Region) PathCount() int {
+	if len(r.Blocks) <= 1 {
+		return len(r.Blocks)
+	}
+	internal := make([]bool, len(r.parent))
+	for _, b := range r.Blocks {
+		if p := r.parent[b]; p != ir.NoBlock {
+			internal[p] = true
+		}
+	}
+	leaves := 0
+	for _, b := range r.Blocks {
+		if !internal[b] {
+			leaves++
+		}
+	}
+	return leaves
+}
 
 // PathTo returns the block path root..b.
 func (r *Region) PathTo(b ir.BlockID) []ir.BlockID {

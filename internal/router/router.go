@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"treegion/internal/api"
 	"treegion/internal/telemetry"
 )
 
@@ -287,18 +288,13 @@ func (rt *Router) ranked(key ShardKey) []*replica {
 	return out
 }
 
-// errorBody mirrors treegiond's structured error shape.
-func errorBody(code, msg string) string {
-	b, _ := json.Marshal(map[string]any{"error": map[string]string{"code": code, "message": msg}})
-	return string(b)
-}
-
+// fail answers one request with the structured error body shared with
+// treegiond (internal/api): clients parse one shape no matter which tier
+// rejected the request.
 func (rt *Router) fail(w http.ResponseWriter, status int, code, msg string) {
 	rt.reg.Counter("treegion_router_request_errors_total",
 		"Requests the router answered with an error.").Inc()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	io.WriteString(w, errorBody(code, msg))
+	api.WriteError(w, status, api.ErrorDetail{Code: code, Message: msg})
 }
 
 // Handler returns the router's public mux: /v1/compile and

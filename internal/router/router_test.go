@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"treegion/internal/api"
 	"treegion/internal/telemetry"
 )
 
@@ -333,5 +334,32 @@ func TestRouterMetricsExposed(t *testing.T) {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("metrics missing %s", want)
 		}
+	}
+}
+
+// TestRouterErrorShape: the router's own rejections carry the same
+// structured {"error":{code,message}} body treegiond answers with
+// (internal/api), so clients parse one shape regardless of which tier
+// failed the request.
+func TestRouterErrorShape(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	rt := testRouter(t, Config{Replicas: []string{a.ts.URL}})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/v1/compile", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var er api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if er.Error.Code != "bad_json" || er.Error.Message == "" {
+		t.Fatalf("error body %+v, want code bad_json with a message", er.Error)
 	}
 }

@@ -1,13 +1,14 @@
 package store
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"math"
+	"slices"
+	"sync"
 
 	"treegion/internal/ddg"
 	"treegion/internal/eval"
-	"treegion/internal/hyper"
 	"treegion/internal/ir"
 	"treegion/internal/irtext"
 	"treegion/internal/machine"
@@ -18,294 +19,895 @@ import (
 	"treegion/internal/verify"
 )
 
-// schemaVersion is bumped whenever the payload layout changes. An entry
-// with a different schema reads as a miss (another binary's entries are not
-// corruption), so mixed-version processes can share one store directory.
-const schemaVersion = 2
+// The tgart2 codec: a flat, offset-indexed, little-endian binary layout
+// over the compiler's dense ID spaces. The gob codec it replaces spent the
+// whole warm-path win re-parsing textual IR and re-linking the result graph
+// through reflection; tgart2 instead writes fixed-width records that decode
+// straight into the same slabs a cold compile allocates (ir.FuncSnapshot,
+// ddg.Restore, region.Rebuild), with near-zero per-node allocations.
+//
+// Layout (all integers little-endian; offsets relative to the payload
+// start, i.e. after the store's magic line):
+//
+//	u32 schema
+//	u32 sectionCount
+//	sectionCount × { u32 id, u32 reserved, u64 offset, u64 length }
+//	section bytes, contiguous, in table order
+//
+// Section IDs (1-6 required, 7-8 optional, ids strictly increasing):
+//
+//	1 ir-text     canonical irtext.Print of the compiled function
+//	2 func        binary ir.FuncSnapshot (IDs + allocator counters exact)
+//	3 profile     block/edge weights, sorted for byte-stable re-encoding
+//	4 regions     preorder (block, parent) lists per region
+//	5 schedules   per-schedule DDG node/edge CSR records + issue cycles
+//	6 stats       fixed-width scalar result fields
+//	7 trace       telemetry.TraceSnapshot (per-phase counters)
+//	8 diagnostics verifier diagnostics riding on the result
+//
+// Decode validates the section table (bounds, contiguity, unknown ids) and
+// every index before use: a corrupt entry must surface as an error (which
+// the store turns into a quarantined miss), never as a panic in a consumer.
+// A different schema number — or a trace/stats section whose field counts
+// disagree with this binary's structs — reads as errSchemaSkew: a plain
+// miss, because the entry may be perfectly valid for another binary
+// version. The function travels as a binary snapshot rather than text so op
+// IDs, Orig tags and allocator counters survive exactly (irtext.Parse
+// renumbers); the text section is the human-auditable ground truth and the
+// input to the content address.
+const schemaVersion = 3
 
-// payload is the on-disk form of one FunctionResult. The in-memory result
-// is a web of pointers (ops shared between blocks, regions and DDG nodes;
-// dependence edges form a cyclic Succs/Preds mesh), which gob cannot
-// express — so the codec flattens it: the function travels as canonical
-// textual IR, regions as (blocks, parents) lists, and each schedule's DDG
-// as node/edge records addressing ops positionally. Decode rebuilds the
-// exact object graph against the re-parsed function.
-type payload struct {
-	Schema int
+// Section IDs.
+const (
+	secIRText = 1 + iota
+	secFunc
+	secProfile
+	secRegions
+	secSchedules
+	secStats
+	secTrace
+	secDiagnostics
+)
 
-	FnText string
-
-	HasProf   bool
-	ProfBlock map[ir.BlockID]float64
-	ProfEdge  map[profile.Edge]float64
-
-	Regions []regionRec
-	Scheds  []schedRec
-
-	Time, Copies        float64
-	OpsBefore, OpsAfter int
-
-	NumRenamed, NumCopies, NumMerged, NumSpeculated int
-
-	Sched sched.Stats
-	Hyper hyper.Stats
-
-	HasTrace bool
-	Trace    telemetry.TraceSnapshot
-
-	Diagnostics []verify.Diagnostic
-}
-
-// regionRec serializes one region as its preorder block list plus the
-// parallel parent list (region.Rebuild's input).
-type regionRec struct {
-	Kind      region.Kind
-	Blocks    []ir.BlockID
-	Parents   []ir.BlockID
-	FromTrace bool
-}
-
-// opRef addresses an op positionally: block ID and index within the
-// block's op list. Positions survive the irtext round trip (Print emits
-// blocks in ID order and ops in block order), unlike op IDs, which Parse
-// renumbers.
-type opRef struct {
-	Block ir.BlockID
-	Index int
-}
-
-// nodeRec serializes one DDG node.
-type nodeRec struct {
-	Op        opRef
-	Home      ir.BlockID
-	Term      bool
-	Spec      bool
-	Height    int
-	ExitCount int
-	Weight    float64
-}
-
-// edgeRec serializes one dependence edge between node indices.
-type edgeRec struct {
-	From, To int
-	Latency  int
-	Kind     ddg.EdgeKind
-}
-
-// schedRec serializes one schedule together with its DDG.
-type schedRec struct {
-	Region int // index into payload.Regions
-	Model  machine.Model
-	Nodes  []nodeRec
-	Edges  []edgeRec
-
-	NumRenamed, NumCopies, NumMerged int
-
-	Cycle  []int
-	Length int
-}
-
-// encode flattens fr into the gob payload.
-func encode(fr *eval.FunctionResult) ([]byte, error) {
-	if fr == nil || fr.Fn == nil {
-		return nil, fmt.Errorf("store: nil result")
-	}
-	p := payload{
-		Schema:        schemaVersion,
-		FnText:        irtext.Print(fr.Fn),
-		Time:          fr.Time,
-		Copies:        fr.Copies,
-		OpsBefore:     fr.OpsBefore,
-		OpsAfter:      fr.OpsAfter,
-		NumRenamed:    fr.NumRenamed,
-		NumCopies:     fr.NumCopies,
-		NumMerged:     fr.NumMerged,
-		NumSpeculated: fr.NumSpeculated,
-		Sched:         fr.Sched,
-		Hyper:         fr.Hyper,
-		Diagnostics:   fr.Diagnostics,
-	}
-	if fr.Prof != nil {
-		p.HasProf = true
-		p.ProfBlock = fr.Prof.Block
-		p.ProfEdge = fr.Prof.Edge
-	}
-	if fr.Trace != nil {
-		p.HasTrace = true
-		p.Trace = fr.Trace.Snapshot()
-	}
-
-	// Positional op index over the function as it prints.
-	refOf := make(map[*ir.Op]opRef)
-	for _, b := range fr.Fn.Blocks {
-		for i, op := range b.Ops {
-			refOf[op] = opRef{Block: b.ID, Index: i}
-		}
-	}
-	regionIdx := make(map[*region.Region]int)
-	for i, r := range fr.Regions {
-		regionIdx[r] = i
-		p.Regions = append(p.Regions, regionRec{
-			Kind:      r.Kind,
-			Blocks:    r.Blocks,
-			Parents:   r.Parents(),
-			FromTrace: r.FromTrace,
-		})
-	}
-	for _, s := range fr.Schedules {
-		if s.Graph == nil || s.Graph.Region == nil {
-			return nil, fmt.Errorf("store: schedule without graph")
-		}
-		ri, ok := regionIdx[s.Graph.Region]
-		if !ok {
-			return nil, fmt.Errorf("store: schedule region not among result regions")
-		}
-		rec := schedRec{
-			Region:     ri,
-			Model:      s.Model,
-			NumRenamed: s.Graph.NumRenamed,
-			NumCopies:  s.Graph.NumCopies,
-			NumMerged:  s.Graph.NumMerged,
-			Cycle:      s.Cycle,
-			Length:     s.Length,
-		}
-		for _, n := range s.Graph.Nodes {
-			ref, ok := refOf[n.Op]
-			if !ok {
-				return nil, fmt.Errorf("store: node op not found in function body")
-			}
-			rec.Nodes = append(rec.Nodes, nodeRec{
-				Op:        ref,
-				Home:      n.Home,
-				Term:      n.Term,
-				Spec:      n.Spec,
-				Height:    n.Height,
-				ExitCount: n.ExitCount,
-				Weight:    n.Weight,
-			})
-		}
-		for _, n := range s.Graph.Nodes {
-			for _, e := range n.Succs {
-				rec.Edges = append(rec.Edges, edgeRec{
-					From: n.Index, To: e.To.Index, Latency: e.Latency, Kind: e.Kind,
-				})
-			}
-		}
-		p.Scheds = append(p.Scheds, rec)
-	}
-
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
-		return nil, fmt.Errorf("store: encode: %w", err)
-	}
-	return buf.Bytes(), nil
-}
+const (
+	secHdrSize   = 24 // u32 id + u32 reserved + u64 offset + u64 length
+	maxSections  = 8
+	schedStatsN  = 8 // field count of sched.Stats; drift => schema skew
+	hyperStatsN  = 3 // field count of hyper.Stats
+	resultStatsN = 8 // scalar fields of FunctionResult in the stats section
+)
 
 // errSchemaSkew marks an entry written under a different payload schema: a
 // clean miss, not corruption.
 var errSchemaSkew = fmt.Errorf("store: schema skew")
 
-// decode revives a FunctionResult from the gob payload. Every index is
-// validated before use: a corrupt entry must surface as an error (which the
-// store turns into a miss), never as a panic in some later consumer.
-func decode(data []byte) (*eval.FunctionResult, error) {
-	var p payload
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
-		return nil, fmt.Errorf("store: decode: %w", err)
+// writer builds the payload with plain byte appends.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
 	}
-	if p.Schema != schemaVersion {
-		return nil, errSchemaSkew
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader consumes the payload with sticky-error bounds checking: any
+// out-of-bounds read sets err and yields zeros, so decode logic can run
+// straight-line and check once per section.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, a ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("store: "+format, a...)
 	}
-	fn, err := irtext.Parse(p.FnText)
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("truncated payload (need %d bytes at %d of %d)", n, r.off, len(r.b))
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *reader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *reader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *reader) i32() int32   { return int32(r.u32()) }
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	s := r.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// count reads an element count and checks it against the bytes remaining
+// (elemSize is a lower bound per element), so a corrupt length can never
+// drive a giant allocation.
+func (r *reader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > len(r.b)-r.off {
+		r.fail("element count %d exceeds remaining %d bytes", n, len(r.b)-r.off)
+		return 0
+	}
+	return n
+}
+
+// done checks the section was fully consumed.
+func (r *reader) done(what string) {
+	if r.err == nil && r.off != len(r.b) {
+		r.fail("%s section has %d trailing bytes", what, len(r.b)-r.off)
+	}
+}
+
+// encode flattens fr into the tgart2 payload.
+func encode(fr *eval.FunctionResult) ([]byte, error) {
+	if fr == nil || fr.Fn == nil {
+		return nil, fmt.Errorf("store: nil result")
+	}
+	fnText := irtext.Print(fr.Fn)
+	snap := fr.Fn.Snapshot()
+
+	ids := []uint32{secIRText, secFunc, secProfile, secRegions, secSchedules, secStats}
+	hasTrace := fr.Trace != nil
+	if hasTrace {
+		ids = append(ids, secTrace)
+	}
+	if len(fr.Diagnostics) > 0 {
+		ids = append(ids, secDiagnostics)
+	}
+
+	w := &writer{buf: make([]byte, 0, len(fnText)+64*len(snap.Ops)+4096)}
+	w.u32(schemaVersion)
+	w.u32(uint32(len(ids)))
+	tableOff := len(w.buf)
+	w.buf = append(w.buf, make([]byte, len(ids)*secHdrSize)...)
+
+	starts := make([]int, len(ids))
+	for i, id := range ids {
+		starts[i] = len(w.buf)
+		var err error
+		switch id {
+		case secIRText:
+			w.buf = append(w.buf, fnText...)
+		case secFunc:
+			encodeFunc(w, snap)
+		case secProfile:
+			encodeProfile(w, fr.Prof)
+		case secRegions:
+			encodeRegions(w, fr.Regions)
+		case secSchedules:
+			err = encodeSchedules(w, fr)
+		case secStats:
+			encodeStats(w, fr)
+		case secTrace:
+			encodeTrace(w, fr.Trace.Snapshot())
+		case secDiagnostics:
+			encodeDiagnostics(w, fr.Diagnostics)
+		}
+		if err != nil {
+			return nil, err
+		}
+		hdr := w.buf[tableOff+i*secHdrSize:]
+		binary.LittleEndian.PutUint32(hdr[0:], id)
+		binary.LittleEndian.PutUint32(hdr[4:], 0)
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(starts[i]))
+		binary.LittleEndian.PutUint64(hdr[16:], uint64(len(w.buf)-starts[i]))
+	}
+	return w.buf, nil
+}
+
+func encodeFunc(w *writer, s *ir.FuncSnapshot) {
+	w.str(s.Name)
+	w.i32(int32(s.Entry))
+	w.i32(s.NextOp)
+	w.i32(s.NextBlock)
+	for _, n := range s.NextReg {
+		w.i32(n)
+	}
+	w.u32(uint32(len(s.Blocks)))
+	w.u32(uint32(len(s.Ops)))
+	w.u32(uint32(len(s.Regs)))
+	for i := range s.Blocks {
+		b := &s.Blocks[i]
+		w.i32(int32(b.Orig))
+		w.i32(int32(b.FallThrough))
+		w.u32(uint32(b.NumOps))
+	}
+	for i := range s.Ops {
+		op := &s.Ops[i]
+		w.i32(op.ID)
+		w.i32(op.Orig)
+		w.u8(uint8(op.Opcode))
+		w.u8(uint8(op.Cond))
+		w.bool(op.Renamed)
+		w.u8(uint8(op.Guard.Class))
+		w.i32(int32(op.Guard.Num))
+		w.u8(op.NumDests)
+		w.u8(op.NumSrcs)
+		w.i64(op.Imm)
+		w.i32(int32(op.Target))
+		w.f64(op.Prob)
+	}
+	for _, r := range s.Regs {
+		w.u8(uint8(r.Class))
+		w.i32(int32(r.Num))
+	}
+}
+
+// snapPool recycles the transient FuncSnapshot that decodeFunc fills before
+// Build copies it into the Function's own slabs. Nothing in the snapshot is
+// retained by the built function, so reusing the three record slices removes
+// the largest transient allocation on the warm store path.
+var snapPool = sync.Pool{New: func() any { return new(ir.FuncSnapshot) }}
+
+// growRecs returns buf resized to n, reallocating only when capacity is
+// short; contents are unspecified (every decode loop writes all n records).
+func growRecs[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+func decodeFunc(data []byte) (*ir.Function, error) {
+	r := &reader{b: data}
+	s := snapPool.Get().(*ir.FuncSnapshot)
+	defer snapPool.Put(s)
+	s.Name = r.str()
+	s.Entry = ir.BlockID(r.i32())
+	s.NextOp = r.i32()
+	s.NextBlock = r.i32()
+	for c := range s.NextReg {
+		s.NextReg[c] = r.i32()
+	}
+	nblocks := r.count(12)
+	nops := r.count(38)
+	nregs := r.count(5)
+	// Bulk-take each fixed-width record array: one bounds check per array
+	// instead of one per field keeps the op loop branch-free.
+	blockRaw := r.take(nblocks * 12)
+	opRaw := r.take(nops * 38)
+	regRaw := r.take(nregs * 5)
+	r.done("func")
+	if r.err != nil {
+		return nil, r.err
+	}
+	le := binary.LittleEndian
+	s.Blocks = growRecs(s.Blocks, nblocks)
+	for i := range s.Blocks {
+		rec := blockRaw[i*12 : i*12+12]
+		s.Blocks[i] = ir.BlockSnap{
+			Orig:        ir.BlockID(int32(le.Uint32(rec[0:]))),
+			FallThrough: ir.BlockID(int32(le.Uint32(rec[4:]))),
+			NumOps:      int32(le.Uint32(rec[8:])),
+		}
+	}
+	s.Ops = growRecs(s.Ops, nops)
+	for i := range s.Ops {
+		rec := opRaw[i*38 : i*38+38]
+		op := &s.Ops[i]
+		op.ID = int32(le.Uint32(rec[0:]))
+		op.Orig = int32(le.Uint32(rec[4:]))
+		op.Opcode = ir.Opcode(rec[8])
+		op.Cond = ir.Cond(rec[9])
+		op.Renamed = rec[10] != 0
+		op.Guard.Class = ir.RegClass(rec[11])
+		op.Guard.Num = int(int32(le.Uint32(rec[12:])))
+		op.NumDests = rec[16]
+		op.NumSrcs = rec[17]
+		op.Imm = int64(le.Uint64(rec[18:]))
+		op.Target = ir.BlockID(int32(le.Uint32(rec[26:])))
+		op.Prob = math.Float64frombits(le.Uint64(rec[30:]))
+	}
+	s.Regs = growRecs(s.Regs, nregs)
+	for i := range s.Regs {
+		rec := regRaw[i*5 : i*5+5]
+		s.Regs[i] = ir.Reg{Class: ir.RegClass(rec[0]), Num: int(int32(le.Uint32(rec[1:])))}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	fn, err := s.Build()
 	if err != nil {
 		return nil, fmt.Errorf("store: decode function: %w", err)
 	}
-	fr := &eval.FunctionResult{
-		Fn:            fn,
-		Time:          p.Time,
-		Copies:        p.Copies,
-		OpsBefore:     p.OpsBefore,
-		OpsAfter:      p.OpsAfter,
-		NumRenamed:    p.NumRenamed,
-		NumCopies:     p.NumCopies,
-		NumMerged:     p.NumMerged,
-		NumSpeculated: p.NumSpeculated,
-		Sched:         p.Sched,
-		Hyper:         p.Hyper,
-		Diagnostics:   p.Diagnostics,
+	// The snapshot structure checks out; now enforce the full IR contract,
+	// exactly as the gob-era decode did via irtext.Parse.
+	if err := fn.Validate(); err != nil {
+		return nil, fmt.Errorf("store: decode function: %w", err)
 	}
-	if p.HasProf {
-		prof := profile.New()
-		for b, w := range p.ProfBlock {
-			prof.Block[b] = w
+	return fn, nil
+}
+
+func encodeProfile(w *writer, prof *profile.Data) {
+	if prof == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	// Map iteration is randomized; sort so re-encoding a decoded result
+	// reproduces the original bytes.
+	blocks := make([]ir.BlockID, 0, len(prof.Block))
+	for b := range prof.Block {
+		blocks = append(blocks, b)
+	}
+	slices.Sort(blocks)
+	w.u32(uint32(len(blocks)))
+	for _, b := range blocks {
+		w.i32(int32(b))
+		w.f64(prof.Block[b])
+	}
+	edges := make([]profile.Edge, 0, len(prof.Edge))
+	for e := range prof.Edge {
+		edges = append(edges, e)
+	}
+	slices.SortFunc(edges, func(a, b profile.Edge) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
 		}
-		for e, w := range p.ProfEdge {
-			prof.Edge[e] = w
+		return int(a.To) - int(b.To)
+	})
+	w.u32(uint32(len(edges)))
+	for _, e := range edges {
+		w.i32(int32(e.From))
+		w.i32(int32(e.To))
+		w.f64(prof.Edge[e])
+	}
+}
+
+func decodeProfile(data []byte) (*profile.Data, error) {
+	r := &reader{b: data}
+	if !r.bool() {
+		r.done("profile")
+		return nil, r.err
+	}
+	nb := r.count(12)
+	prof := &profile.Data{
+		Block: make(map[ir.BlockID]float64, nb),
+		Edge:  nil, // sized below once the edge count is known
+	}
+	for i := 0; i < nb && r.err == nil; i++ {
+		b := ir.BlockID(r.i32())
+		prof.Block[b] = r.f64()
+	}
+	ne := r.count(16)
+	prof.Edge = make(map[profile.Edge]float64, ne)
+	for i := 0; i < ne && r.err == nil; i++ {
+		from := ir.BlockID(r.i32())
+		to := ir.BlockID(r.i32())
+		prof.Edge[profile.Edge{From: from, To: to}] = r.f64()
+	}
+	r.done("profile")
+	if r.err != nil {
+		return nil, r.err
+	}
+	return prof, nil
+}
+
+func encodeRegions(w *writer, regions []*region.Region) {
+	w.u32(uint32(len(regions)))
+	for _, r := range regions {
+		w.u8(uint8(r.Kind))
+		w.bool(r.FromTrace)
+		parents := r.Parents()
+		w.u32(uint32(len(r.Blocks)))
+		for i, b := range r.Blocks {
+			w.i32(int32(b))
+			w.i32(int32(parents[i]))
 		}
-		fr.Prof = prof
 	}
-	if p.HasTrace {
-		fr.Trace = p.Trace.Restore()
-	}
-	for _, rec := range p.Regions {
-		r, err := region.Rebuild(fn, rec.Kind, rec.Blocks, rec.Parents, rec.FromTrace)
+}
+
+func decodeRegions(data []byte, fn *ir.Function) ([]*region.Region, error) {
+	r := &reader{b: data}
+	n := r.count(7)
+	out := make([]*region.Region, 0, n)
+	// Rebuild copies both lists into the region's own tables, so one pair of
+	// buffers serves every region in the entry.
+	var blocks, parents []ir.BlockID
+	for i := 0; i < n && r.err == nil; i++ {
+		kind := region.Kind(r.u8())
+		fromTrace := r.bool()
+		nb := r.count(8)
+		raw := r.take(nb * 8)
+		if r.err != nil {
+			break
+		}
+		le := binary.LittleEndian
+		blocks = growRecs(blocks, nb)
+		parents = growRecs(parents, nb)
+		for j := 0; j < nb; j++ {
+			blocks[j] = ir.BlockID(int32(le.Uint32(raw[j*8:])))
+			parents[j] = ir.BlockID(int32(le.Uint32(raw[j*8+4:])))
+		}
+		reg, err := region.Rebuild(fn, kind, blocks, parents, fromTrace)
 		if err != nil {
 			return nil, err
 		}
-		fr.Regions = append(fr.Regions, r)
+		out = append(out, reg)
 	}
-	for _, rec := range p.Scheds {
-		if rec.Region < 0 || rec.Region >= len(fr.Regions) {
-			return nil, fmt.Errorf("store: schedule region %d out of range", rec.Region)
+	r.done("regions")
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+func encodeSchedules(w *writer, fr *eval.FunctionResult) error {
+	// Positional op index over the function: (block, index) survives the
+	// round trip because blocks and per-block op order are preserved
+	// verbatim by the func section.
+	refOf := make(map[*ir.Op]uint64, fr.Fn.NumOps())
+	for _, b := range fr.Fn.Blocks {
+		for i, op := range b.Ops {
+			refOf[op] = uint64(b.ID)<<32 | uint64(uint32(i))
 		}
-		if err := rec.Model.Validate(); err != nil {
+	}
+	regionIdx := make(map[*region.Region]int, len(fr.Regions))
+	for i, r := range fr.Regions {
+		regionIdx[r] = i
+	}
+	w.u32(uint32(len(fr.Schedules)))
+	for _, s := range fr.Schedules {
+		if s.Graph == nil || s.Graph.Region == nil {
+			return fmt.Errorf("store: schedule without graph")
+		}
+		ri, ok := regionIdx[s.Graph.Region]
+		if !ok {
+			return fmt.Errorf("store: schedule region not among result regions")
+		}
+		w.u32(uint32(ri))
+		w.str(s.Model.Name)
+		w.i32(int32(s.Model.IssueWidth))
+		w.i32(int32(s.Graph.NumRenamed))
+		w.i32(int32(s.Graph.NumCopies))
+		w.i32(int32(s.Graph.NumMerged))
+		nedges := 0
+		for _, n := range s.Graph.Nodes {
+			nedges += len(n.Succs)
+		}
+		w.u32(uint32(len(s.Graph.Nodes)))
+		w.u32(uint32(nedges))
+		for _, n := range s.Graph.Nodes {
+			ref, ok := refOf[n.Op]
+			if !ok {
+				return fmt.Errorf("store: node op not found in function body")
+			}
+			w.i32(int32(ref >> 32))
+			w.i32(int32(uint32(ref)))
+			w.i32(int32(n.Home))
+			var flags uint8
+			if n.Term {
+				flags |= 1
+			}
+			if n.Spec {
+				flags |= 2
+			}
+			w.u8(flags)
+			w.i32(int32(n.Height))
+			w.i32(int32(n.ExitCount))
+			w.f64(n.Weight)
+		}
+		for _, n := range s.Graph.Nodes {
+			for _, e := range n.Succs {
+				w.u32(uint32(n.Index))
+				w.u32(uint32(e.To.Index))
+				w.i32(int32(e.Latency))
+				w.u8(uint8(e.Kind))
+			}
+		}
+		w.i32(int32(s.Length))
+		if len(s.Cycle) != len(s.Graph.Nodes) {
+			return fmt.Errorf("store: %d cycles for %d nodes", len(s.Cycle), len(s.Graph.Nodes))
+		}
+		for _, c := range s.Cycle {
+			w.i32(int32(c))
+		}
+	}
+	return nil
+}
+
+func decodeSchedules(data []byte, fn *ir.Function, regions []*region.Region) ([]*sched.Schedule, error) {
+	r := &reader{b: data}
+	n := r.count(24)
+	out := make([]*sched.Schedule, 0, n)
+	// The spec slices and graph scratch are reused across every schedule in
+	// the entry: Restore copies what it keeps, so only the revived graphs
+	// themselves allocate.
+	var (
+		nodes []ddg.NodeSpec
+		edges []ddg.EdgeSpec
+		sc    ddg.Scratch
+	)
+	for si := 0; si < n && r.err == nil; si++ {
+		ri := int(r.u32())
+		var model machine.Model
+		model.Name = r.str()
+		model.IssueWidth = int(r.i32())
+		renamed := int(r.i32())
+		copies := int(r.i32())
+		merged := int(r.i32())
+		nnodes := r.count(29)
+		nedges := r.count(13)
+		nodeRaw := r.take(nnodes * 29)
+		edgeRaw := r.take(nedges * 13)
+		length := int(r.i32())
+		cycleRaw := r.take(nnodes * 4)
+		if r.err != nil {
+			break
+		}
+		if ri < 0 || ri >= len(regions) {
+			return nil, fmt.Errorf("store: schedule region %d out of range", ri)
+		}
+		if err := model.Validate(); err != nil {
 			return nil, err
 		}
-		nodes := make([]ddg.NodeSpec, len(rec.Nodes))
-		for i, n := range rec.Nodes {
-			if n.Op.Block < 0 || int(n.Op.Block) >= len(fn.Blocks) {
-				return nil, fmt.Errorf("store: node op block bb%d out of range", n.Op.Block)
+		le := binary.LittleEndian
+		if cap(nodes) < nnodes {
+			nodes = make([]ddg.NodeSpec, nnodes)
+		} else {
+			nodes = nodes[:nnodes]
+		}
+		for i := range nodes {
+			rec := nodeRaw[i*29 : i*29+29]
+			blockID := ir.BlockID(int32(le.Uint32(rec[0:])))
+			opIdx := int(int32(le.Uint32(rec[4:])))
+			if blockID < 0 || int(blockID) >= len(fn.Blocks) {
+				return nil, fmt.Errorf("store: node op block bb%d out of range", blockID)
 			}
-			b := fn.Block(n.Op.Block)
-			if n.Op.Index < 0 || n.Op.Index >= len(b.Ops) {
-				return nil, fmt.Errorf("store: node op index %d out of range in bb%d", n.Op.Index, n.Op.Block)
+			b := fn.Block(blockID)
+			if opIdx < 0 || opIdx >= len(b.Ops) {
+				return nil, fmt.Errorf("store: node op index %d out of range in bb%d", opIdx, blockID)
 			}
+			flags := rec[12]
 			nodes[i] = ddg.NodeSpec{
-				Op:        b.Ops[n.Op.Index],
-				Home:      n.Home,
-				Term:      n.Term,
-				Spec:      n.Spec,
-				Height:    n.Height,
-				ExitCount: n.ExitCount,
-				Weight:    n.Weight,
+				Op:        b.Ops[opIdx],
+				Home:      ir.BlockID(int32(le.Uint32(rec[8:]))),
+				Term:      flags&1 != 0,
+				Spec:      flags&2 != 0,
+				Height:    int(int32(le.Uint32(rec[13:]))),
+				ExitCount: int(int32(le.Uint32(rec[17:]))),
+				Weight:    math.Float64frombits(le.Uint64(rec[21:])),
 			}
 		}
-		edges := make([]ddg.EdgeSpec, len(rec.Edges))
-		for i, e := range rec.Edges {
-			edges[i] = ddg.EdgeSpec{From: e.From, To: e.To, Latency: e.Latency, Kind: e.Kind}
+		if cap(edges) < nedges {
+			edges = make([]ddg.EdgeSpec, nedges)
+		} else {
+			edges = edges[:nedges]
 		}
-		g, err := ddg.Restore(fn, fr.Regions[rec.Region], nodes, edges,
-			rec.NumRenamed, rec.NumCopies, rec.NumMerged)
+		for i := range edges {
+			rec := edgeRaw[i*13 : i*13+13]
+			edges[i] = ddg.EdgeSpec{
+				From:    int(le.Uint32(rec[0:])),
+				To:      int(le.Uint32(rec[4:])),
+				Latency: int(int32(le.Uint32(rec[8:]))),
+				Kind:    ddg.EdgeKind(rec[12]),
+			}
+		}
+		cycles := make([]int, nnodes)
+		for i := range cycles {
+			cycles[i] = int(int32(le.Uint32(cycleRaw[i*4:])))
+		}
+		g, err := ddg.RestoreScratch(fn, regions[ri], nodes, edges, renamed, copies, merged, &sc)
 		if err != nil {
 			return nil, err
 		}
-		if len(rec.Cycle) != len(nodes) {
-			return nil, fmt.Errorf("store: %d cycles for %d nodes", len(rec.Cycle), len(nodes))
-		}
-		for _, c := range rec.Cycle {
-			if c < 0 || c >= rec.Length {
-				return nil, fmt.Errorf("store: issue cycle %d outside schedule length %d", c, rec.Length)
+		for _, c := range cycles {
+			if c < 0 || c >= length {
+				return nil, fmt.Errorf("store: issue cycle %d outside schedule length %d", c, length)
 			}
 		}
-		if rec.Length < 0 || (len(nodes) == 0 && rec.Length != 0) {
-			return nil, fmt.Errorf("store: empty schedule with length %d", rec.Length)
+		if length < 0 || (nnodes == 0 && length != 0) {
+			return nil, fmt.Errorf("store: empty schedule with length %d", length)
 		}
-		fr.Schedules = append(fr.Schedules, &sched.Schedule{
+		out = append(out, &sched.Schedule{
 			Graph:  g,
-			Model:  rec.Model,
-			Cycle:  rec.Cycle,
-			Length: rec.Length,
+			Model:  model,
+			Cycle:  cycles,
+			Length: length,
 		})
+	}
+	r.done("schedules")
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+func encodeStats(w *writer, fr *eval.FunctionResult) {
+	w.u32(resultStatsN)
+	w.f64(fr.Time)
+	w.f64(fr.Copies)
+	w.i64(int64(fr.OpsBefore))
+	w.i64(int64(fr.OpsAfter))
+	w.i64(int64(fr.NumRenamed))
+	w.i64(int64(fr.NumCopies))
+	w.i64(int64(fr.NumMerged))
+	w.i64(int64(fr.NumSpeculated))
+	w.u32(schedStatsN)
+	ss := fr.Sched
+	w.i64(int64(ss.Ops))
+	w.i64(int64(ss.Copies))
+	w.i64(int64(ss.Branches))
+	w.i64(int64(ss.Length))
+	w.i64(int64(ss.Speculated))
+	w.i64(int64(ss.BranchCycles))
+	w.i64(int64(ss.PredicatedCycles))
+	w.i64(int64(ss.MaxBranchesPerCycle))
+	w.u32(hyperStatsN)
+	w.i64(int64(fr.Hyper.Triangles))
+	w.i64(int64(fr.Hyper.Diamonds))
+	w.i64(int64(fr.Hyper.Predicated))
+}
+
+func decodeStats(data []byte, fr *eval.FunctionResult) error {
+	r := &reader{b: data}
+	if n := r.u32(); r.err == nil && n != resultStatsN {
+		return errSchemaSkew
+	}
+	fr.Time = r.f64()
+	fr.Copies = r.f64()
+	fr.OpsBefore = int(r.i64())
+	fr.OpsAfter = int(r.i64())
+	fr.NumRenamed = int(r.i64())
+	fr.NumCopies = int(r.i64())
+	fr.NumMerged = int(r.i64())
+	fr.NumSpeculated = int(r.i64())
+	if n := r.u32(); r.err == nil && n != schedStatsN {
+		return errSchemaSkew
+	}
+	fr.Sched.Ops = int(r.i64())
+	fr.Sched.Copies = int(r.i64())
+	fr.Sched.Branches = int(r.i64())
+	fr.Sched.Length = int(r.i64())
+	fr.Sched.Speculated = int(r.i64())
+	fr.Sched.BranchCycles = int(r.i64())
+	fr.Sched.PredicatedCycles = int(r.i64())
+	fr.Sched.MaxBranchesPerCycle = int(r.i64())
+	if n := r.u32(); r.err == nil && n != hyperStatsN {
+		return errSchemaSkew
+	}
+	fr.Hyper.Triangles = int(r.i64())
+	fr.Hyper.Diamonds = int(r.i64())
+	fr.Hyper.Predicated = int(r.i64())
+	r.done("stats")
+	return r.err
+}
+
+func encodeTrace(w *writer, snap telemetry.TraceSnapshot) {
+	w.str(snap.Function)
+	w.u32(uint32(telemetry.NumPhases))
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		ps := snap.Phase[p]
+		w.i64(ps.Nanos)
+		w.i64(ps.Calls)
+		w.i64(ps.Ops)
+		w.i64(ps.Allocs)
+	}
+}
+
+func decodeTrace(data []byte) (*telemetry.CompileTrace, error) {
+	r := &reader{b: data}
+	var snap telemetry.TraceSnapshot
+	snap.Function = r.str()
+	if n := r.u32(); r.err == nil && n != uint32(telemetry.NumPhases) {
+		// Written by a binary with a different phase set.
+		return nil, errSchemaSkew
+	}
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		snap.Phase[p] = telemetry.PhaseSnapshot{
+			Nanos:  r.i64(),
+			Calls:  r.i64(),
+			Ops:    r.i64(),
+			Allocs: r.i64(),
+		}
+	}
+	r.done("trace")
+	if r.err != nil {
+		return nil, r.err
+	}
+	return snap.Restore(), nil
+}
+
+func encodeDiagnostics(w *writer, ds []verify.Diagnostic) {
+	w.u32(uint32(len(ds)))
+	for _, d := range ds {
+		w.str(d.Rule)
+		w.u8(uint8(d.Severity))
+		w.str(d.Fn)
+		w.i32(int32(d.Block))
+		w.i32(int32(d.Op))
+		w.str(d.Message)
+	}
+}
+
+func decodeDiagnostics(data []byte) ([]verify.Diagnostic, error) {
+	r := &reader{b: data}
+	n := r.count(15)
+	out := make([]verify.Diagnostic, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		d := verify.Diagnostic{
+			Rule:     r.str(),
+			Severity: verify.Severity(r.u8()),
+			Fn:       r.str(),
+			Block:    ir.BlockID(r.i32()),
+			Op:       int(r.i32()),
+			Message:  r.str(),
+		}
+		if d.Severity > verify.Error {
+			return nil, fmt.Errorf("store: unknown diagnostic severity %d", d.Severity)
+		}
+		out = append(out, d)
+	}
+	r.done("diagnostics")
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+// section is one parsed section-table row.
+type section struct {
+	id   uint32
+	data []byte
+}
+
+// parseSections validates the header and section table: schema match, ids
+// strictly increasing and known, sections contiguous from the end of the
+// table, and every (offset, length) in bounds. Overlapping or out-of-order
+// ranges are corruption by construction.
+func parseSections(data []byte) ([]section, error) {
+	r := &reader{b: data}
+	schema := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if schema != schemaVersion {
+		// A plausible schema number is another binary generation's entry
+		// (skew, a clean miss); anything else is garbage wearing our magic.
+		if schema >= 1 && schema < 4096 {
+			return nil, errSchemaSkew
+		}
+		return nil, fmt.Errorf("store: implausible schema %d", schema)
+	}
+	nsec := int(r.u32())
+	if r.err == nil && (nsec < 1 || nsec > maxSections) {
+		return nil, fmt.Errorf("store: bad section count %d", nsec)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	table := r.take(nsec * secHdrSize)
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := make([]section, nsec)
+	next := uint64(r.off)
+	lastID := uint32(0)
+	for i := 0; i < nsec; i++ {
+		hdr := table[i*secHdrSize:]
+		id := binary.LittleEndian.Uint32(hdr[0:])
+		off := binary.LittleEndian.Uint64(hdr[8:])
+		length := binary.LittleEndian.Uint64(hdr[16:])
+		if id <= lastID || id > secDiagnostics {
+			return nil, fmt.Errorf("store: bad section id %d after %d", id, lastID)
+		}
+		lastID = id
+		if off != next {
+			return nil, fmt.Errorf("store: section %d at offset %d, want %d", id, off, next)
+		}
+		if length > uint64(len(data))-off {
+			return nil, fmt.Errorf("store: section %d overruns payload", id)
+		}
+		out[i] = section{id: id, data: data[off : off+length]}
+		next = off + length
+	}
+	if next != uint64(len(data)) {
+		return nil, fmt.Errorf("store: %d trailing bytes after last section", uint64(len(data))-next)
+	}
+	return out, nil
+}
+
+// decode revives a FunctionResult from the tgart2 payload.
+func decode(data []byte) (*eval.FunctionResult, error) {
+	secs, err := parseSections(data)
+	if err != nil {
+		return nil, err
+	}
+	bySec := [secDiagnostics + 1][]byte{}
+	seen := [secDiagnostics + 1]bool{}
+	for _, s := range secs {
+		bySec[s.id] = s.data
+		seen[s.id] = true
+	}
+	for id := secIRText; id <= secStats; id++ {
+		if !seen[id] {
+			return nil, fmt.Errorf("store: missing section %d", id)
+		}
+	}
+
+	fn, err := decodeFunc(bySec[secFunc])
+	if err != nil {
+		return nil, err
+	}
+	fr := &eval.FunctionResult{Fn: fn}
+	if fr.Prof, err = decodeProfile(bySec[secProfile]); err != nil {
+		return nil, err
+	}
+	if fr.Regions, err = decodeRegions(bySec[secRegions], fn); err != nil {
+		return nil, err
+	}
+	if fr.Schedules, err = decodeSchedules(bySec[secSchedules], fn, fr.Regions); err != nil {
+		return nil, err
+	}
+	if err = decodeStats(bySec[secStats], fr); err != nil {
+		return nil, err
+	}
+	if seen[secTrace] {
+		if fr.Trace, err = decodeTrace(bySec[secTrace]); err != nil {
+			return nil, err
+		}
+	}
+	if seen[secDiagnostics] {
+		if fr.Diagnostics, err = decodeDiagnostics(bySec[secDiagnostics]); err != nil {
+			return nil, err
+		}
 	}
 	return fr, nil
 }

@@ -17,12 +17,15 @@
 //     hit refreshes the entry's mtime, and GC removes least-recently-used
 //     entries until the store fits (the most recent entry always stays).
 //
-// The store also hosts a named-blob journal namespace (Journal) used by
-// internal/jobs to persist queued/running jobs across restarts.
+// The store also hosts two named-blob namespaces: Journal, used by
+// internal/jobs to persist queued/running jobs across restarts, and
+// Verdicts, which caches verification verdicts keyed by artifact hash so a
+// warm verified compile re-checks nothing.
 package store
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,6 +37,7 @@ import (
 	"treegion/internal/compcache"
 	"treegion/internal/eval"
 	"treegion/internal/telemetry"
+	"treegion/internal/verify"
 )
 
 // DefaultBudget is the default disk budget: roomy enough for the full
@@ -49,18 +53,22 @@ const entryExt = ".art"
 // directory are safe too (atomic renames, content-addressed idempotent
 // writes), though their byte accounting is process-local.
 type Store struct {
-	dir     string
-	objects string
-	tmp     string
-	journal string
-	budget  int64
+	dir      string
+	objects  string
+	tmp      string
+	journal  string
+	verdicts string
+	budget   int64
 
 	bytes   atomic.Int64
 	entries atomic.Int64
 
-	hits, misses, puts     atomic.Int64
-	evictions, corrupt     atomic.Int64
-	writeErrs, encodeErrs  atomic.Int64
+	hits, misses, puts    atomic.Int64
+	evictions, corrupt    atomic.Int64
+	skew                  atomic.Int64
+	writeErrs, encodeErrs atomic.Int64
+
+	verdictHits, verdictMisses, verdictPuts atomic.Int64
 
 	gcMu sync.Mutex
 }
@@ -73,13 +81,14 @@ func Open(dir string, budgetBytes int64) (*Store, error) {
 		budgetBytes = DefaultBudget
 	}
 	s := &Store{
-		dir:     dir,
-		objects: filepath.Join(dir, "objects"),
-		tmp:     filepath.Join(dir, "tmp"),
-		journal: filepath.Join(dir, "journal"),
-		budget:  budgetBytes,
+		dir:      dir,
+		objects:  filepath.Join(dir, "objects"),
+		tmp:      filepath.Join(dir, "tmp"),
+		journal:  filepath.Join(dir, "journal"),
+		verdicts: filepath.Join(dir, "verdicts"),
+		budget:   budgetBytes,
 	}
-	for _, d := range []string{s.objects, s.tmp, s.journal} {
+	for _, d := range []string{s.objects, s.tmp, s.journal, s.verdicts} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
@@ -117,20 +126,24 @@ func (s *Store) Get(k compcache.Key) (*eval.FunctionResult, bool) {
 		return nil, false
 	}
 	path := s.pathOf(k)
-	data, err := os.ReadFile(path)
+	bp, data, mtime, err := readEntry(path)
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
 	}
 	fr, err := s.decodeEntry(data)
+	size := len(data)
+	entryBufPool.Put(bp)
 	if err != nil {
-		if err != errSchemaSkew {
+		if err == errSchemaSkew {
+			s.skew.Add(1)
+		} else {
 			// Corrupt: quarantine so the next lookup doesn't re-pay the
 			// failed decode. Schema skew is left in place — it may be a
 			// perfectly good entry written by a different binary version.
 			s.corrupt.Add(1)
 			if rmErr := os.Remove(path); rmErr == nil {
-				s.bytes.Add(-int64(len(data)))
+				s.bytes.Add(-int64(size))
 				s.entries.Add(-1)
 			}
 		}
@@ -138,10 +151,50 @@ func (s *Store) Get(k compcache.Key) (*eval.FunctionResult, bool) {
 		return nil, false
 	}
 	s.hits.Add(1)
-	now := time.Now()
-	os.Chtimes(path, now, now)
+	if now := time.Now(); now.Sub(mtime) > recencyGrain {
+		os.Chtimes(path, now, now)
+	}
 	return fr, true
 }
+
+// entryBufPool recycles the raw entry read buffer: decode copies everything
+// it keeps (record fields into slabs, strings via string conversion), so the
+// file bytes are dead the moment decodeEntry returns.
+var entryBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
+
+// readEntry reads path into a pooled buffer. On success the caller owns bp
+// until it returns it to entryBufPool; data aliases bp's backing array.
+func readEntry(path string) (bp *[]byte, data []byte, mtime time.Time, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, time.Time{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, time.Time{}, err
+	}
+	n := int(st.Size())
+	bp = entryBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	data = (*bp)[:n]
+	if _, err := io.ReadFull(f, data); err != nil {
+		entryBufPool.Put(bp)
+		return nil, nil, time.Time{}, err
+	}
+	return bp, data, st.ModTime(), nil
+}
+
+// recencyGrain bounds how stale an entry's mtime may go before a hit
+// refreshes it. GC evicts by whole-entry recency ordering, so refreshing a
+// file touched seconds ago buys nothing — skipping the utimes syscall on
+// every hot hit does.
+const recencyGrain = time.Hour
 
 // decodeEntry validates the header and decodes the payload, converting any
 // panic out of a hostile byte stream into an error.
@@ -152,13 +205,24 @@ func (s *Store) decodeEntry(data []byte) (fr *eval.FunctionResult, err error) {
 		}
 	}()
 	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		// An entry from the previous (gob) generation is schema skew, not
+		// corruption: it is a perfectly good artifact for an old binary, so
+		// it is left in place and read as a plain miss. There is no
+		// migration path — skew equals miss by policy.
+		if len(data) >= len(oldMagic) && string(data[:len(oldMagic)]) == oldMagic {
+			return nil, errSchemaSkew
+		}
 		return nil, fmt.Errorf("store: bad entry header")
 	}
 	return decode(data[len(magic):])
 }
 
 // magic heads every entry file; the digit is the header version.
-const magic = "tgart1\n"
+const magic = "tgart2\n"
+
+// oldMagic is the previous generation's header; entries carrying it decode
+// as schema skew (a miss), never corruption.
+const oldMagic = "tgart1\n"
 
 // Put encodes and writes the entry for k atomically (temp file + rename).
 // Re-putting an existing key only refreshes its recency: the store is
@@ -293,11 +357,19 @@ func (s *Store) Close() error {
 
 // Stats is a point-in-time snapshot of the store counters.
 type Stats struct {
-	Hits, Misses, Puts     int64
-	Evictions, Corrupt     int64
+	Hits, Misses, Puts        int64
+	Evictions, Corrupt        int64
+	SchemaSkew                int64
 	WriteErrors, EncodeErrors int64
-	Entries, Bytes, Budget int64
+	Entries, Bytes, Budget    int64
+
+	VerdictHits, VerdictMisses, VerdictPuts int64
 }
+
+// SchemaVersion is the payload schema this binary reads and writes; entries
+// carrying any other schema (or the old tgart1 header) count as SchemaSkew
+// misses.
+func (s *Store) SchemaVersion() int { return schemaVersion }
 
 // Stats snapshots the counters.
 func (s *Store) Stats() Stats {
@@ -305,16 +377,20 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:         s.hits.Load(),
-		Misses:       s.misses.Load(),
-		Puts:         s.puts.Load(),
-		Evictions:    s.evictions.Load(),
-		Corrupt:      s.corrupt.Load(),
-		WriteErrors:  s.writeErrs.Load(),
-		EncodeErrors: s.encodeErrs.Load(),
-		Entries:      s.entries.Load(),
-		Bytes:        s.bytes.Load(),
-		Budget:       s.budget,
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Puts:           s.puts.Load(),
+		Evictions:      s.evictions.Load(),
+		Corrupt:        s.corrupt.Load(),
+		SchemaSkew:     s.skew.Load(),
+		WriteErrors:    s.writeErrs.Load(),
+		EncodeErrors:   s.encodeErrs.Load(),
+		Entries:        s.entries.Load(),
+		Bytes:          s.bytes.Load(),
+		Budget:         s.budget,
+		VerdictHits:    s.verdictHits.Load(),
+		VerdictMisses:  s.verdictMisses.Load(),
+		VerdictPuts:    s.verdictPuts.Load(),
 	}
 }
 
@@ -326,7 +402,11 @@ func (s *Store) Register(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_store_puts_total", "Artifacts written to the disk store.", s.puts.Load)
 	reg.CounterFunc(prefix+"_store_evictions_total", "Artifacts removed by byte-budget GC.", s.evictions.Load)
 	reg.CounterFunc(prefix+"_store_corrupt_total", "Corrupt artifacts quarantined on read.", s.corrupt.Load)
+	reg.CounterFunc(prefix+"_store_schema_skew_total", "Artifacts skipped for carrying another schema version.", s.skew.Load)
 	reg.CounterFunc(prefix+"_store_write_errors_total", "Artifact writes that failed.", s.writeErrs.Load)
+	reg.CounterFunc(prefix+"_store_verdict_hits_total", "Verification verdicts served from the store.", s.verdictHits.Load)
+	reg.CounterFunc(prefix+"_store_verdict_misses_total", "Verdict lookups that missed.", s.verdictMisses.Load)
+	reg.CounterFunc(prefix+"_store_verdict_puts_total", "Verdicts written to the store.", s.verdictPuts.Load)
 	reg.GaugeFunc(prefix+"_store_entries", "Resident disk store entries.", s.entries.Load)
 	reg.GaugeFunc(prefix+"_store_bytes", "Resident disk store bytes.", s.bytes.Load)
 	reg.GaugeFunc(prefix+"_store_budget_bytes", "Configured disk store byte budget.", func() int64 { return s.budget })
@@ -340,12 +420,14 @@ func (s *Store) Journal() *Journal {
 	if s == nil {
 		return nil
 	}
-	return &Journal{store: s}
+	return &Journal{store: s, dir: s.journal}
 }
 
-// Journal is a flat namespace of small named blobs under the store.
+// Journal is a flat namespace of small named blobs under the store. The
+// store hosts one per namespace directory (job journal, verdicts).
 type Journal struct {
 	store *Store
+	dir   string
 }
 
 // blobPath validates the id (a single path element) and maps it to a file.
@@ -353,7 +435,7 @@ func (j *Journal) blobPath(id string) (string, error) {
 	if id == "" || strings.ContainsAny(id, "/\\") || id == "." || id == ".." {
 		return "", fmt.Errorf("store: bad journal id %q", id)
 	}
-	return filepath.Join(j.store.journal, id+".json"), nil
+	return filepath.Join(j.dir, id+".json"), nil
 }
 
 // Put writes the blob atomically.
@@ -404,7 +486,7 @@ func (j *Journal) List() (map[string][]byte, error) {
 	if j == nil {
 		return nil, nil
 	}
-	entries, err := os.ReadDir(j.store.journal)
+	entries, err := os.ReadDir(j.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -414,11 +496,60 @@ func (j *Journal) List() (map[string][]byte, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(j.store.journal, name))
+		data, err := os.ReadFile(filepath.Join(j.dir, name))
 		if err != nil {
 			continue
 		}
 		out[strings.TrimSuffix(name, ".json")] = data
 	}
 	return out, nil
+}
+
+// Verdicts returns the verdict namespace: small blobs recording the
+// verifier's judgment of an artifact, keyed by the artifact's content
+// address. Like journal blobs, verdicts are written atomically and are not
+// charged against the artifact byte budget (they are tiny and losing them
+// only costs a re-verify).
+func (s *Store) Verdicts() *Journal {
+	if s == nil {
+		return nil
+	}
+	return &Journal{store: s, dir: s.verdicts}
+}
+
+// GetVerdict reads the cached verification verdict for the artifact keyed
+// by k. A missing, malformed, or schema-skewed verdict is a miss — the
+// caller re-runs the verifier and re-puts.
+func (s *Store) GetVerdict(k compcache.Key) (*verify.Verdict, bool) {
+	if s == nil {
+		return nil, false
+	}
+	data, ok := s.Verdicts().Get(fmt.Sprintf("%x", k[:]))
+	if !ok {
+		s.verdictMisses.Add(1)
+		return nil, false
+	}
+	v, err := verify.DecodeVerdict(data)
+	if err != nil {
+		s.verdictMisses.Add(1)
+		return nil, false
+	}
+	s.verdictHits.Add(1)
+	return v, true
+}
+
+// PutVerdict persists the verdict for the artifact keyed by k.
+func (s *Store) PutVerdict(k compcache.Key, v *verify.Verdict) error {
+	if s == nil || v == nil {
+		return nil
+	}
+	data, err := v.Encode()
+	if err != nil {
+		return err
+	}
+	if err := s.Verdicts().Put(fmt.Sprintf("%x", k[:]), data); err != nil {
+		return err
+	}
+	s.verdictPuts.Add(1)
+	return nil
 }

@@ -1,8 +1,7 @@
 package store
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -15,22 +14,15 @@ import (
 )
 
 // encodeWithSchema re-encodes fr's payload under a different schema
-// version, modelling an entry written by a newer binary.
+// version, modelling an entry written by a newer binary. The schema is the
+// payload's leading u32.
 func encodeWithSchema(fr *eval.FunctionResult, schema int) ([]byte, error) {
 	body, err := encode(fr)
 	if err != nil {
 		return nil, err
 	}
-	var p payload
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&p); err != nil {
-		return nil, err
-	}
-	p.Schema = schema
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	binary.LittleEndian.PutUint32(body, uint32(schema))
+	return body, nil
 }
 
 // compiled builds one real compiled function plus its cache key.
@@ -239,7 +231,7 @@ func TestGarbageJSONReadsAsMiss(t *testing.T) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, []byte("tgart1\nnot a gob payload at all"), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte("tgart2\nnot a tgart2 payload at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := st.Get(k); ok {
@@ -247,6 +239,37 @@ func TestGarbageJSONReadsAsMiss(t *testing.T) {
 	}
 	if s := st.Stats(); s.Corrupt != 1 {
 		t.Fatalf("corrupt counter %d, want 1", s.Corrupt)
+	}
+}
+
+func TestOldGenerationEntryIsSkewNotCorruption(t *testing.T) {
+	dir := t.TempDir()
+	k, _ := compiled(t)
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := st.pathOf(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A tgart1 (gob-era) entry: perfectly valid for an old binary, so it
+	// reads as schema skew — a plain miss, left in place, never quarantined.
+	if err := os.WriteFile(path, []byte("tgart1\nsome old gob bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(k); ok {
+		t.Fatal("old-generation entry served as a hit")
+	}
+	s := st.Stats()
+	if s.Corrupt != 0 {
+		t.Fatal("old-generation entry miscounted as corruption")
+	}
+	if s.SchemaSkew != 1 {
+		t.Fatalf("schema skew counter %d, want 1", s.SchemaSkew)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("old-generation entry was quarantined")
 	}
 }
 

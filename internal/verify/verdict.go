@@ -1,0 +1,57 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// verdictSchema versions the persisted verdict blob. A blob carrying any
+// other schema decodes as an error, which verdict consumers treat as a
+// plain miss (re-verify), mirroring the artifact store's skew-equals-miss
+// policy.
+const verdictSchema = 1
+
+// Verdict is the cached outcome of verifying one compiled artifact. It is
+// keyed by the artifact's content address, so it is valid exactly as long
+// as the artifact is: same input IR, same profile, same configuration,
+// same result — same verdict. Failed verdicts are cached too (with their
+// diagnostics), so a persistently failing compile doesn't re-run the
+// verifier on every warm lookup.
+type Verdict struct {
+	Passed      bool
+	Diagnostics []Diagnostic
+}
+
+// verdictBlob is the JSON wire form.
+type verdictBlob struct {
+	Schema      int          `json:"schema"`
+	Passed      bool         `json:"passed"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// Encode serializes the verdict.
+func (v *Verdict) Encode() ([]byte, error) {
+	return json.Marshal(verdictBlob{
+		Schema:      verdictSchema,
+		Passed:      v.Passed,
+		Diagnostics: v.Diagnostics,
+	})
+}
+
+// DecodeVerdict parses a persisted verdict. Malformed bytes or a different
+// schema are errors; callers treat either as a miss.
+func DecodeVerdict(data []byte) (*Verdict, error) {
+	var b verdictBlob
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("verify: bad verdict: %w", err)
+	}
+	if b.Schema != verdictSchema {
+		return nil, fmt.Errorf("verify: verdict schema %d, want %d", b.Schema, verdictSchema)
+	}
+	for _, d := range b.Diagnostics {
+		if d.Severity > Error {
+			return nil, fmt.Errorf("verify: bad verdict severity %d", d.Severity)
+		}
+	}
+	return &Verdict{Passed: b.Passed, Diagnostics: b.Diagnostics}, nil
+}

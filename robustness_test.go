@@ -1,6 +1,7 @@
 package treegion
 
 import (
+	"context"
 	"testing"
 
 	"treegion/internal/eval"
@@ -33,11 +34,11 @@ func TestShapesHoldOnFreshSeeds(t *testing.T) {
 
 	speedup := func(i int, c Config) float64 {
 		t.Helper()
-		base, err := CompileProgram(progs[i], profs[i], BaselineConfig())
+		base, err := Compile(context.Background(), progs[i], profs[i], BaselineConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := CompileProgram(progs[i], profs[i], c)
+		res, err := Compile(context.Background(), progs[i], profs[i], c)
 		if err != nil {
 			t.Fatal(err)
 		}

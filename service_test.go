@@ -58,23 +58,23 @@ func TestCompileProgramDeterministicWorkers(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	one, err := CompileProgramWith(ctx, prog, profs, DefaultConfig(), CompileOptions{Workers: 1})
+	one, err := Compile(ctx, prog, profs, DefaultConfig(), WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseOne, err := CompileProgramWith(ctx, prog, profs, BaselineConfig(), CompileOptions{Workers: 1})
+	baseOne, err := Compile(ctx, prog, profs, BaselineConfig(), WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 16} {
-		many, err := CompileProgramWith(ctx, prog, profs, DefaultConfig(), CompileOptions{Workers: workers})
+		many, err := Compile(ctx, prog, profs, DefaultConfig(), WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(keyOf(one), keyOf(many)) {
 			t.Errorf("workers=%d: ProgramResult differs from 1-worker compile", workers)
 		}
-		baseMany, err := CompileProgramWith(ctx, prog, profs, BaselineConfig(), CompileOptions{Workers: workers})
+		baseMany, err := Compile(ctx, prog, profs, BaselineConfig(), WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func TestSuiteCacheSecondPass(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	for i := 0; i < 2; i++ {
-		if _, err := CompileProgramWith(context.Background(), s.Programs[i], s.Profiles[i], cfg, CompileOptions{Cache: suiteCache(s)}); err != nil {
+		if _, err := Compile(context.Background(), s.Programs[i], s.Profiles[i], cfg, WithCache(suiteCache(s))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -106,7 +106,7 @@ func TestSuiteCacheSecondPass(t *testing.T) {
 		t.Fatalf("first pass: %+v, want only misses", cold)
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := CompileProgramWith(context.Background(), s.Programs[i], s.Profiles[i], cfg, CompileOptions{Cache: suiteCache(s)}); err != nil {
+		if _, err := Compile(context.Background(), s.Programs[i], s.Profiles[i], cfg, WithCache(suiteCache(s))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -171,9 +171,11 @@ func TestSuiteConcurrentAccess(t *testing.T) {
 }
 
 // TestCompileWithVerify covers the pipeline's verify mode: a clean compile
-// passes with Verify on, verified results live under their own cache key
-// (a plain compile must not satisfy a verified request), and repeated
-// verified compiles hit the cache.
+// passes with Verify on, verified and plain compiles share one cache entry
+// (the verdict rides under the same key, so a verified request after a
+// plain compile reuses the artifact and only runs the verifier), and a
+// repeated verified compile hits both the result cache and the verdict
+// cache — the verifier runs exactly once per key.
 func TestCompileWithVerify(t *testing.T) {
 	prog, err := GenerateBenchmark("compress")
 	if err != nil {
@@ -195,8 +197,11 @@ func TestCompileWithVerify(t *testing.T) {
 	}
 	if _, cached, err := CompileOne(ctx, fn, prof, DefaultConfig(), WithCache(cache), WithMetrics(&metrics), WithVerify()); err != nil {
 		t.Fatalf("verified compile: %v", err)
-	} else if cached {
-		t.Error("verified compile served from the unverified cache entry")
+	} else if !cached {
+		t.Error("verified compile recompiled instead of reusing the plain artifact")
+	}
+	if n := metrics.VerifyRuns.Load(); n != 1 {
+		t.Errorf("verify runs = %d, want 1", n)
 	}
 	fr, cached, err := CompileOne(ctx, fn, prof, DefaultConfig(), WithCache(cache), WithMetrics(&metrics), WithVerify())
 	if err != nil {
@@ -204,6 +209,12 @@ func TestCompileWithVerify(t *testing.T) {
 	}
 	if !cached {
 		t.Error("repeated verified compile missed the cache")
+	}
+	if n := metrics.VerifyRuns.Load(); n != 1 {
+		t.Errorf("verify runs after warm verified compile = %d, want 1", n)
+	}
+	if n := metrics.VerdictHits.Load(); n != 1 {
+		t.Errorf("verdict hits = %d, want 1", n)
 	}
 	for _, d := range fr.Diagnostics {
 		t.Errorf("unexpected diagnostic: %s", d)

@@ -9,6 +9,7 @@ package treegion
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"treegion/internal/eval"
@@ -32,8 +33,10 @@ func TestWarmStoreSuiteCompileSkipsScheduler(t *testing.T) {
 	}
 
 	// runOnce models one process: its own memory cache and store handle,
-	// sharing only the store directory.
-	runOnce := func() (*CompileMetrics, []float64) {
+	// sharing only the store directory. Besides the aggregate times it
+	// renders every function and schedule to text, the byte-level identity
+	// witness compared across the cold and warm processes.
+	runOnce := func() (*CompileMetrics, []float64, []string) {
 		st, err := OpenArtifactStore(dir, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -43,6 +46,7 @@ func TestWarmStoreSuiteCompileSkipsScheduler(t *testing.T) {
 		cache.SetL2(st)
 		m := &CompileMetrics{}
 		var times []float64
+		var renders []string
 		for i := range progs {
 			res, err := Compile(context.Background(), progs[i], profs[i], DefaultConfig(),
 				WithCache(cache), WithMetrics(m))
@@ -50,11 +54,19 @@ func TestWarmStoreSuiteCompileSkipsScheduler(t *testing.T) {
 				t.Fatal(err)
 			}
 			times = append(times, res.Time)
+			for _, fr := range res.Funcs {
+				var sb strings.Builder
+				sb.WriteString(PrintFunction(fr.Fn))
+				for _, sc := range fr.Schedules {
+					sb.WriteString(sc.String())
+				}
+				renders = append(renders, sb.String())
+			}
 		}
-		return m, times
+		return m, times, renders
 	}
 
-	m1, t1 := runOnce()
+	m1, t1, r1 := runOnce()
 	if got := m1.Compiles.Load(); got == 0 {
 		t.Fatal("cold run compiled nothing")
 	}
@@ -62,7 +74,7 @@ func TestWarmStoreSuiteCompileSkipsScheduler(t *testing.T) {
 		t.Fatalf("cold run took %d store hits from an empty store", got)
 	}
 
-	m2, t2 := runOnce()
+	m2, t2, r2 := runOnce()
 	if got := m2.Compiles.Load(); got != 0 {
 		t.Fatalf("warm run invoked the scheduler %d times, want 0 (all %d functions should come from disk)", got, total)
 	}
@@ -77,12 +89,26 @@ func TestWarmStoreSuiteCompileSkipsScheduler(t *testing.T) {
 			t.Fatalf("%s: warm time %v != cold time %v", progs[i].Name, t2[i], t1[i])
 		}
 	}
+	// Bit-identical restore: every disk-revived function and schedule must
+	// render byte-for-byte equal to what the cold compile produced.
+	if len(r1) != len(r2) {
+		t.Fatalf("warm run produced %d function renderings, cold produced %d", len(r2), len(r1))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("function %d: warm rendering differs from cold compile:\n--- cold\n%s\n--- warm\n%s", i, r1[i], r2[i])
+		}
+	}
 }
 
 // TestWarmStoreServesVerifiedKeysDistinctly: entries cached by an
 // unverified run must not satisfy a verifying run (the verify bit is part
 // of the content address), and vice versa.
-func TestWarmStoreVerifyKeysDistinct(t *testing.T) {
+// TestWarmStoreVerdictsPersist covers the verdict cache across process
+// restarts: verified and plain compiles share one artifact per key, and the
+// verifier's verdict persists beside it, so a verified run over a warm
+// store reuses every artifact, and a second verified run re-checks nothing.
+func TestWarmStoreVerdictsPersist(t *testing.T) {
 	dir := t.TempDir()
 	prog, err := GenerateBenchmark("compress")
 	if err != nil {
@@ -115,18 +141,32 @@ func TestWarmStoreVerifyKeysDistinct(t *testing.T) {
 	if cold.Compiles.Load() == 0 {
 		t.Fatal("cold run compiled nothing")
 	}
-	// A verifying run must NOT be served by the unverified entries.
+	// A verifying run reuses the plain artifacts (same key) and only runs
+	// the verifier — once per function, persisting each verdict.
 	verified := run(true)
-	if verified.Compiles.Load() == 0 {
-		t.Fatal("verified run was served entirely from unverified store entries")
+	if got := verified.Compiles.Load(); got != 0 {
+		t.Fatalf("verified run compiled %d functions instead of reusing stored artifacts", got)
 	}
-	// But a second verifying run is all disk hits under the verified keys.
+	if verified.StoreHits.Load() == 0 {
+		t.Fatal("verified run took no store hits")
+	}
+	if verified.VerifyRuns.Load() == 0 {
+		t.Fatal("verified run never ran the verifier")
+	}
+	// A second verifying run finds both artifact and verdict on disk: no
+	// compiles, no verifier executions.
 	warm := run(true)
 	if got := warm.Compiles.Load(); got != 0 {
 		t.Fatalf("second verified run compiled %d functions, want 0", got)
 	}
 	if warm.StoreHits.Load() == 0 {
 		t.Fatal("second verified run took no store hits")
+	}
+	if got := warm.VerifyRuns.Load(); got != 0 {
+		t.Fatalf("second verified run ran the verifier %d times, want 0", got)
+	}
+	if warm.VerdictHits.Load() == 0 {
+		t.Fatal("second verified run took no verdict hits")
 	}
 }
 

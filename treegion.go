@@ -68,11 +68,6 @@ type (
 	Function = ir.Function
 	// ProfileData is block/edge execution counts for one function.
 	ProfileData = profile.Data
-	// CompileOptions configures the concurrent compilation pipeline.
-	//
-	// Deprecated: pass CompileOption functional options (WithWorkers,
-	// WithCache, WithMetrics, WithTelemetry) to Compile or CompileOne.
-	CompileOptions = pipeline.Options
 	// CompileMetrics holds the pipeline's activity counters.
 	CompileMetrics = pipeline.Metrics
 	// Telemetry is the metrics registry: counters, gauges and phase-latency
@@ -254,27 +249,6 @@ func CompileEach(ctx context.Context, fns []*Function, profs []*ProfileData, c C
 		opt(&o)
 	}
 	return pipeline.CompileEach(ctx, fns, profs, c, o, emit)
-}
-
-// CompileProgram compiles prog under c with default pipeline options.
-//
-// Deprecated: use Compile.
-func CompileProgram(prog *Program, profs Profiles, c Config) (*ProgramResult, error) {
-	return Compile(context.Background(), prog, profs, c)
-}
-
-// CompileProgramWith is CompileProgram with an explicit options struct.
-//
-// Deprecated: use Compile with functional options.
-func CompileProgramWith(ctx context.Context, prog *Program, profs Profiles, c Config, opts CompileOptions) (*ProgramResult, error) {
-	return pipeline.CompileProgram(ctx, prog, profs, c, opts)
-}
-
-// CompileFunctionWith compiles one function with an explicit options struct.
-//
-// Deprecated: use CompileOne with functional options.
-func CompileFunctionWith(ctx context.Context, fn *Function, prof *ProfileData, c Config, opts CompileOptions) (*FunctionResult, bool, error) {
-	return pipeline.CompileFunction(ctx, fn, prof, c, opts)
 }
 
 // NewCompileCache builds a content-addressed compilation result cache with

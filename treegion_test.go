@@ -1,6 +1,7 @@
 package treegion
 
 import (
+	"context"
 	"testing"
 
 	"treegion/internal/cfg"
@@ -39,11 +40,11 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := CompileProgram(prog, profs, BaselineConfig())
+	base, err := Compile(context.Background(), prog, profs, BaselineConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CompileProgram(prog, profs, DefaultConfig())
+	res, err := Compile(context.Background(), prog, profs, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	// Compilation must not mutate the cached program: recompiling gives the
 	// same numbers.
-	res2, err := CompileProgram(prog, profs, DefaultConfig())
+	res2, err := Compile(context.Background(), prog, profs, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
