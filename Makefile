@@ -10,11 +10,16 @@ all: build
 build:
 	$(GO) build ./...
 
+# vet runs the toolchain's analyzers, then treegion-vet: the repo's own
+# static-analysis suite over its determinism/atomicity/arena-escape/codec
+# invariants (see internal/analysis and DESIGN.md §14). Any finding fails
+# the target, and thereby lint, check and ci.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/treegion-vet ./...
 
-# Static analysis: go vet plus the schedule verifier over every example
-# program, across all five region formers.
+# Static analysis: go vet + treegion-vet plus the schedule verifier over
+# every example program, across all five region formers.
 lint: vet
 	$(GO) run ./cmd/treegion-lint -region all testdata/fig1.tir examples/tir/*.tir
 
@@ -53,14 +58,17 @@ bench-compare:
 
 # check is the fast gate: lint + build + full tests, plus the race detector
 # over the concurrency-heavy subsystems (artifact store with its tgart2
-# codec tests, job queue, singleflight cache, daemon endpoints) and one
-# racing pass over the hot-path micro-benchmarks (the scheduler's sync.Pool
-# scratch is shared across pipeline workers, so the bench bodies must be
-# race-clean too). The store runs with -short so the codec round-trip
-# matrix races a reduced preset slice; the full matrix runs in `test`.
+# codec tests, job queue, singleflight cache, daemon endpoints, telemetry
+# registry, and the eval.Arena/ddg.Scratch/sched.Scratch reuse paths that
+# pipeline workers share through sync.Pool) and one racing pass over the
+# hot-path micro-benchmarks (the scheduler's sync.Pool scratch is shared
+# across pipeline workers, so the bench bodies must be race-clean too).
+# The store and eval run with -short so their heavier matrices race a
+# reduced preset slice; the full matrices run in `test`.
 check: lint build test
-	$(GO) test -race -short ./internal/store/
+	$(GO) test -race -short ./internal/store/ ./internal/eval/
 	$(GO) test -race ./internal/jobs/ ./internal/compcache/ ./internal/pipeline/ ./internal/router/ ./cmd/treegiond/
+	$(GO) test -race ./internal/telemetry/ ./internal/ddg/ ./internal/sched/
 	$(GO) test -race -run NONE -bench 'BenchmarkColdCompile' -benchtime 1x .
 
 # loadtest boots the two-replica scale-out topology (2 treegiond + the

@@ -1,0 +1,92 @@
+// Command treegion-vet runs the repository's own static-analysis suite:
+// the determinism, atomicity, arena-escape, wallclock, API-error and
+// record-size invariants that back the byte-identical-schedule guarantee.
+// See internal/analysis and DESIGN.md §14.
+//
+// Usage:
+//
+//	treegion-vet [-json] [-v] [-tests=false] [packages...]
+//
+// Patterns default to ./... and are passed to `go list`. The exit status
+// is 1 when any finding is reported, so `make ci` fails on violations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"treegion/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	verbose := flag.Bool("v", false, "print per-package suppression debt (//det:ordered and //vet:ignore counts)")
+	tests := flag.Bool("tests", true, "include test files in the analysis")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: treegion-vet [-json] [-v] [-tests=false] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treegion-vet:", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, dir, patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(fset, pkgs, analysis.Analyzers())
+
+	if *verbose {
+		// Suppression debt: every annotation is a place the analyzer was
+		// told to stand down. Keep the list short and the reasons honest.
+		sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+		for _, pkg := range pkgs {
+			ordered, ignored := pkg.Dirs.OrderedCount(), pkg.Dirs.IgnoreCount()
+			if ordered == 0 && ignored == 0 {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "treegion-vet: %s: %d //det:ordered, %d //vet:ignore\n",
+				pkg.Path, ordered, ignored)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "treegion-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "treegion-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -64,9 +64,12 @@ func TestGoldenFig1(t *testing.T) {
 
 	// Orderings the paper's example implies: every region scheme beats
 	// basic blocks; tail-duplicated treegions are the best.
-	for name, r := range map[string]*FunctionResult{"slr": slr, "sb": sb, "tree": tree, "td": td} {
-		if r.Time >= bb.Time {
-			t.Errorf("%s (%v) does not beat basic blocks (%v)", name, r.Time, bb.Time)
+	for _, c := range []struct {
+		name string
+		r    *FunctionResult
+	}{{"slr", slr}, {"sb", sb}, {"tree", tree}, {"td", td}} {
+		if c.r.Time >= bb.Time {
+			t.Errorf("%s (%v) does not beat basic blocks (%v)", c.name, c.r.Time, bb.Time)
 		}
 	}
 	if td.Time > tree.Time {

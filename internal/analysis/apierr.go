@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// APIErrAnalyzer enforces the shared wire error schema: every HTTP surface
+// in this repo (daemon, router) answers failures with the structured body
+// from internal/api, written through api.WriteError. A call to http.Error
+// bypasses that schema — clients would see text/plain where every other
+// error is the {"error":{...}} envelope — so any http.Error call in
+// non-test code is a finding. Test files are exempt: tests stand up
+// deliberately broken backends.
+var APIErrAnalyzer = &Analyzer{
+	Name: "apierr",
+	Doc:  "HTTP handlers must emit errors via internal/api.WriteError, never http.Error",
+	Run:  runAPIErr,
+}
+
+func runAPIErr(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+				pass.Reportf(call.Pos(),
+					"http.Error bypasses the shared error schema — use api.WriteError so clients parse one error shape from every tier")
+			}
+			return true
+		})
+	}
+}

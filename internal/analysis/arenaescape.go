@@ -1,0 +1,382 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ScratchTypeNames are the named types that mark per-worker compile
+// scratch: buffers that are reused across compiles and must never alias
+// into a result that outlives the compile (the DESIGN §12 reuse boundary).
+// Matched by type name on any type declared inside the analyzed module.
+var ScratchTypeNames = map[string]bool{
+	"Scratch": true, // ddg.Scratch, sched.Scratch
+	"Arena":   true, // eval.Arena
+}
+
+// ArenaEscapeAnalyzer enforces the scratch reuse boundary from both ends:
+//
+//   - sync.Pool discipline: a function that calls (*sync.Pool).Get must
+//     also call Put (directly or deferred) in its own body, and the pooled
+//     value must not be returned, stored into a struct field of another
+//     value, or stored into a container. Cross-function ownership handoff
+//     is possible but must be annotated (//vet:ignore arenaescape <why>)
+//     so the transfer is visible and justified.
+//
+//   - Scratch/Arena escape: an expression rooted at a value of a scratch
+//     type (see ScratchTypeNames) must not be returned as a non-scratch
+//     type, stored into a field of a non-scratch value, or placed in a
+//     composite literal — those are exactly the stores that would leak a
+//     reused buffer into a Graph/Schedule/FunctionResult that escapes the
+//     compile. Passing scratch to calls is fine (the callee is analyzed on
+//     its own), as is storing back into the scratch itself.
+//
+// The tracking is intra-procedural with one level of local aliasing
+// (x := sc.buf taints x); values laundered through calls are assumed
+// copied, which matches the documented contract that builders copy what
+// they keep.
+var ArenaEscapeAnalyzer = &Analyzer{
+	Name: "arenaescape",
+	Doc:  "pooled buffers and compile scratch must not escape into results",
+	Run:  runArenaEscape,
+}
+
+func runArenaEscape(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolDiscipline(pass, fd)
+			checkScratchEscape(pass, fd)
+		}
+	}
+}
+
+// isPoolMethod reports whether call is pool.Get or pool.Put on sync.Pool.
+func isPoolMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// checkPoolDiscipline checks every sync.Pool Get in fd: a Put must exist in
+// the same function, and the pooled value must not escape.
+func checkPoolDiscipline(pass *Pass, fd *ast.FuncDecl) {
+	var gets []*ast.CallExpr
+	puts := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPoolMethod(pass, call, "Get") {
+			gets = append(gets, call)
+		}
+		if isPoolMethod(pass, call, "Put") {
+			puts++
+		}
+		return true
+	})
+	if len(gets) == 0 {
+		return
+	}
+	if puts == 0 {
+		for _, g := range gets {
+			pass.Reportf(g.Pos(),
+				"sync.Pool Get in %s without a Put in the same function (return the value on all paths, or annotate the ownership handoff with //vet:ignore arenaescape <why>)",
+				fd.Name.Name)
+		}
+	}
+	// Track the locals the Get results land in and flag escapes.
+	pooled := map[types.Object]bool{}
+	for _, g := range gets {
+		if obj := assignedTo(pass, fd.Body, g); obj != nil {
+			pooled[obj] = true
+		}
+	}
+	if len(pooled) > 0 {
+		flagEscapes(pass, fd, pooled, "sync.Pool-managed value")
+	}
+}
+
+// assignedTo finds the local variable the result of call (possibly behind a
+// type assertion) is assigned to within body.
+func assignedTo(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr) types.Object {
+	var out types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || out != nil {
+			return out == nil
+		}
+		for i, rhs := range asg.Rhs {
+			e := ast.Unparen(rhs)
+			if ta, ok := e.(*ast.TypeAssertExpr); ok {
+				e = ast.Unparen(ta.X)
+			}
+			if e != ast.Expr(call) || i >= len(asg.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident); ok {
+				out = pass.ObjectOf(id)
+			}
+		}
+		return out == nil
+	})
+	return out
+}
+
+// isScratchType reports whether t is (a pointer to) a module-declared type
+// whose name marks it as compile scratch.
+func isScratchType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	// Name-based: nothing in the stdlib we touch declares a Scratch/Arena,
+	// and matching by name keeps the analyzer honest across package moves.
+	return named.Obj().Pkg() != nil && ScratchTypeNames[named.Obj().Name()]
+}
+
+// checkScratchEscape flags scratch-rooted expressions escaping fd.
+func checkScratchEscape(pass *Pass, fd *ast.FuncDecl) {
+	roots := map[types.Object]bool{}
+	// Parameters and receiver of scratch type.
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := pass.ObjectOf(name)
+				if obj != nil && isScratchType(obj.Type()) {
+					roots[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	// Locals declared with a scratch type.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range d.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil && isScratchType(obj.Type()) {
+						roots[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range d.Names {
+				if obj := pass.Info.Defs[name]; obj != nil && isScratchType(obj.Type()) {
+					roots[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(roots) == 0 {
+		return
+	}
+	// One level of aliasing: x := sc.buf (or x := sc) taints x.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i := range asg.Rhs {
+			if rootedAt(pass, asg.Rhs[i], roots) == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil && pass.Info.Defs[id] != nil {
+					roots[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	flagEscapes(pass, fd, roots, "compile-scratch value")
+}
+
+// rootedAt returns the root object if e is an ident/selector/index chain
+// whose base resolves to one of roots.
+func rootedAt(pass *Pass, e ast.Expr, roots map[types.Object]bool) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(x)
+			if obj != nil && roots[obj] {
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// flagEscapes reports stores/returns that leak a rooted value out of fd.
+func flagEscapes(pass *Pass, fd *ast.FuncDecl, roots map[types.Object]bool, what string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) {
+					break
+				}
+				root := rootedAt(pass, s.Rhs[i], roots)
+				if root == nil {
+					continue
+				}
+				// Stores back into a rooted location (sc.cur = cur) keep the
+				// value inside the scratch; anything else leaks it.
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					// Local alias: already tracked (or a fresh local, fine).
+				case *ast.SelectorExpr:
+					if rootedAt(pass, l, roots) == nil {
+						pass.Reportf(s.Pos(),
+							"%s %s stored into %s, which outlives the scratch reuse boundary (copy what you keep)",
+							what, exprString(pass, s.Rhs[i]), exprString(pass, lhs))
+					}
+				case *ast.IndexExpr:
+					if rootedAt(pass, l, roots) == nil {
+						pass.Reportf(s.Pos(),
+							"%s %s stored into %s, which outlives the scratch reuse boundary (copy what you keep)",
+							what, exprString(pass, s.Rhs[i]), exprString(pass, lhs))
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				root := rootedAt(pass, res, roots)
+				if root == nil {
+					continue
+				}
+				if isScratchType(pass.TypeOf(res)) {
+					continue // scratch-to-scratch plumbing (accessors)
+				}
+				// A method on the scratch itself returning its internals is
+				// the scratch's own lending API — the borrower is checked at
+				// its own call sites. Only non-scratch functions leaking a
+				// scratch they were handed are findings here.
+				if recvIsScratch(pass, fd) {
+					continue
+				}
+				pass.Reportf(s.Pos(),
+					"%s %s returned from %s as a non-scratch type — callers would retain a reused buffer",
+					what, exprString(pass, res), fd.Name.Name)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range s.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if rootedAt(pass, e, roots) != nil && !isScratchType(pass.TypeOf(s)) {
+					pass.Reportf(e.Pos(),
+						"%s %s placed in composite literal of type %s — the literal may outlive the scratch",
+						what, exprString(pass, e), typeName(pass, s))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recvIsScratch reports whether fd is a method with a scratch-typed
+// receiver.
+func recvIsScratch(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	for _, name := range fd.Recv.List[0].Names {
+		if obj := pass.ObjectOf(name); obj != nil && isScratchType(obj.Type()) {
+			return true
+		}
+	}
+	// Unnamed receiver: fall back to the declared type.
+	if len(fd.Recv.List[0].Names) == 0 {
+		return isScratchType(pass.TypeOf(fd.Recv.List[0].Type))
+	}
+	return false
+}
+
+func exprString(pass *Pass, e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+// writeExpr renders the small expression forms diagnostics mention.
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, x.X)
+		b.WriteString("[...]")
+	case *ast.SliceExpr:
+		writeExpr(b, x.X)
+		b.WriteString("[:]")
+	case *ast.UnaryExpr:
+		b.WriteString(x.Op.String())
+		writeExpr(b, x.X)
+	case *ast.ParenExpr:
+		writeExpr(b, x.X)
+	default:
+		b.WriteString("expression")
+	}
+}
+
+func typeName(pass *Pass, e ast.Expr) string {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}

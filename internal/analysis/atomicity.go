@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicityAnalyzer enforces the atomics discipline: a variable or struct
+// field that is touched through sync/atomic's function API anywhere in the
+// program must never be plain-loaded or plain-stored anywhere else. Mixing
+// the two is a data race the race detector only catches when both sides
+// execute in one run; statically, any plain mention of an atomic location
+// outside an atomic call is a finding. (Fields of type atomic.Int64 & co
+// are safe by construction and outside this analyzer's scope.)
+//
+// The analyzer is global: the atomic-location set is collected across every
+// loaded package first, then every plain access is checked against it, so
+// an exported counter atomically updated in one package and read plainly in
+// another is still caught.
+var AtomicityAnalyzer = &Analyzer{
+	Name:      "atomicity",
+	Doc:       "locations accessed via sync/atomic must never be plain-accessed",
+	RunGlobal: runAtomicity,
+}
+
+func runAtomicity(passes []*Pass) {
+	// Locations are keyed by declaration position, not object identity: the
+	// loader type-checks a package twice (plain, then test-augmented), and
+	// the two builds yield distinct types.Object values for one declaration
+	// — but they share parsed ASTs, so the declaration Pos is identical.
+	type loc struct {
+		name  string
+		first token.Pos // first atomic use
+	}
+	atomicLoc := map[token.Pos]loc{}
+	blessed := map[ast.Node]bool{} // selector/ident nodes inside atomic call args
+
+	// Phase 1: collect every &x.f (or &x) passed to a sync/atomic function.
+	for _, pass := range passes {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := pass.CalleeFunc(call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				obj, node := resolveLoc(pass, addr.X)
+				if obj == nil || !obj.Pos().IsValid() {
+					return true
+				}
+				if _, seen := atomicLoc[obj.Pos()]; !seen {
+					atomicLoc[obj.Pos()] = loc{name: obj.Name(), first: call.Pos()}
+				}
+				blessed[node] = true
+				return true
+			})
+		}
+	}
+	if len(atomicLoc) == 0 {
+		return
+	}
+
+	// Phase 2: any other mention of an atomic location is a plain access.
+	for _, pass := range passes {
+		for _, f := range pass.Files {
+			// The Sel ident inside a selector is subsumed by the selector
+			// node itself; collect them so each access reports once.
+			subsumed := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					subsumed[sel.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				var obj types.Object
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					obj = pass.ObjectOf(e.Sel)
+				case *ast.Ident:
+					if subsumed[e] {
+						return true
+					}
+					// Uses only: the declaration of the location is not an
+					// access.
+					obj = pass.Info.Uses[e]
+				default:
+					return true
+				}
+				if obj == nil || blessed[n] || !obj.Pos().IsValid() {
+					return true
+				}
+				l, isAtomic := atomicLoc[obj.Pos()]
+				if !isAtomic {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"plain access to %s, which is accessed with sync/atomic at %s (use the atomic API everywhere)",
+					l.name, pass.Fset.Position(l.first))
+				return true
+			})
+		}
+	}
+}
+
+// resolveLoc resolves the operand of &... to the variable/field object it
+// addresses and the AST node that mentions it.
+func resolveLoc(pass *Pass, e ast.Expr) (types.Object, ast.Node) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(x.Sel), x
+	case *ast.Ident:
+		return pass.ObjectOf(x), x
+	}
+	return nil, nil
+}

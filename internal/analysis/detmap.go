@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetmapCriticalPackages are the determinism-critical import paths: the
+// packages whose output bytes (schedules, printed IR, codec payloads,
+// telemetry Counts, pipeline emission order) must be a pure function of
+// the compilation inputs. A `range` over a map in one of these packages
+// injects Go's randomized iteration order straight into that contract.
+// The root package rides along because it assembles the experiment tables
+// and golden results the paper comparisons are checked against.
+var DetmapCriticalPackages = []string{
+	"treegion",
+	"treegion/internal/sched",
+	"treegion/internal/region",
+	"treegion/internal/irtext",
+	"treegion/internal/store",
+	"treegion/internal/telemetry",
+	"treegion/internal/pipeline",
+}
+
+// DetmapAnalyzer flags `range` over a map in a determinism-critical
+// package. Two escapes exist: the collect-then-sort idiom (a loop that
+// only appends keys/values to slices which a later statement in the same
+// block sorts) is recognized structurally, and a justified //det:ordered
+// annotation suppresses the finding for loops whose order provably cannot
+// reach an output (e.g. commutative folds).
+var DetmapAnalyzer = &Analyzer{
+	Name: "detmap",
+	Doc:  "no map iteration in determinism-critical packages unless sorted or //det:ordered",
+	Run:  runDetmap,
+}
+
+// pathIsCritical matches exactly: listing the module root must not drag
+// every subpackage (cmd tools, jobs, router) into the policy.
+func pathIsCritical(path string, critical []string) bool {
+	for _, c := range critical {
+		if path == c {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetmap(pass *Pass) {
+	if !pathIsCritical(pass.CriticalPath(), DetmapCriticalPackages) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if detmapCollectThenSort(pass, rng, block.List[i+1:]) {
+					continue
+				}
+				pass.Reportf(rng.For,
+					"range over %s is iteration-order dependent in determinism-critical package %s (sort the keys first, or annotate //det:ordered <why>)",
+					types.TypeString(t, types.RelativeTo(pass.Pkg)), pass.CriticalPath())
+			}
+			return true
+		})
+	}
+}
+
+// detmapCollectThenSort recognizes the blessed idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//	...
+//	slices.Sort(keys)            // or sort.Slice, slices.SortFunc, ...
+//
+// The loop body may only append to local slices (no other side effects),
+// and every append target must be sorted by a call later in the same
+// enclosing block.
+func detmapCollectThenSort(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) bool {
+	var targets []types.Object
+	for _, stmt := range rng.Body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || pass.ObjectOf(arg0) != pass.ObjectOf(lhs) {
+			return false
+		}
+		obj := pass.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	// Every collected slice must be sorted later in the block.
+	for _, obj := range targets {
+		if !sortedLater(pass, obj, rest) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLater reports whether some statement in rest calls a sort function
+// mentioning obj.
+func sortedLater(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+	found := false
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			if !strings.Contains(fn.Name(), "Sort") && !sortHelperName(fn.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// sortHelperName covers the sort-package entry points that do not contain
+// "Sort" in their name.
+func sortHelperName(name string) bool {
+	switch name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Stable":
+		return true
+	}
+	return false
+}

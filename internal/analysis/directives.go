@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The three directive comments treegion-vet understands. Each must be a
+// line comment starting exactly with the marker (no space after //, the
+// same convention as //go: directives):
+//
+//	//det:ordered <why>          suppress detmap on the next statement;
+//	                             the justification is mandatory
+//	//vet:ignore <analyzer> <why> suppress the named analyzer likewise
+//	//rec:size <constName>       declare the fixed-width record size the
+//	                             next loop must statically sum to
+//
+// A directive covers its own line, the statement that starts on the same
+// or the following line, and everything lexically inside that statement.
+const (
+	dirOrdered = "det:ordered"
+	dirIgnore  = "vet:ignore"
+	dirRecSize = "rec:size"
+)
+
+// Directive is one parsed annotation.
+type Directive struct {
+	Kind string // dirOrdered, dirIgnore or dirRecSize
+	// Analyzer is the suppression target (dirIgnore only).
+	Analyzer string
+	// Arg is the justification text (suppressions) or the record-size
+	// constant name (rec:size).
+	Arg  string
+	File string
+	Pos  token.Pos
+	Line int
+	// EndLine is the last line the directive covers (the end of the
+	// statement it attaches to; == Line when it attaches to nothing).
+	EndLine int
+}
+
+// Directives indexes every annotation of one package.
+type Directives struct {
+	All []Directive
+}
+
+// ParseDirectives scans the package's comments and attaches each directive
+// to the statement or declaration that starts on its line or the line
+// below, extending its coverage to that node's extent.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{}
+	for _, f := range files {
+		var dirs []Directive
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok { // block comments cannot carry directives
+					continue
+				}
+				var kind string
+				switch {
+				case strings.HasPrefix(text, dirOrdered):
+					kind = dirOrdered
+				case strings.HasPrefix(text, dirIgnore):
+					kind = dirIgnore
+				case strings.HasPrefix(text, dirRecSize):
+					kind = dirRecSize
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				arg := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(text, kind), ":"))
+				dir := Directive{
+					Kind: kind,
+					Arg:  arg,
+					File: pos.Filename,
+					Pos:  c.Pos(),
+					Line: pos.Line,
+				}
+				if kind == dirIgnore {
+					dir.Analyzer, dir.Arg, _ = strings.Cut(arg, " ")
+					dir.Arg = strings.TrimSpace(dir.Arg)
+				}
+				dir.EndLine = dir.Line
+				dirs = append(dirs, dir)
+			}
+		}
+		if len(dirs) == 0 {
+			continue
+		}
+		// Attach: a directive at line L covers any statement/decl starting
+		// at L or L+1, out to the largest such node's end line.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case ast.Stmt, ast.Decl:
+			default:
+				return true
+			}
+			start := fset.Position(n.Pos()).Line
+			end := fset.Position(n.End()).Line
+			for i := range dirs {
+				if dirs[i].Line == start || dirs[i].Line == start-1 {
+					if end > dirs[i].EndLine {
+						dirs[i].EndLine = end
+					}
+				}
+			}
+			return true
+		})
+		d.All = append(d.All, dirs...)
+	}
+	return d
+}
+
+// Suppresses reports whether a directive shields the given analyzer at
+// (file, line). detmap answers to //det:ordered; every analyzer answers to
+// a //vet:ignore naming it.
+func (d *Directives) Suppresses(analyzer, file string, line int) bool {
+	if d == nil {
+		return false
+	}
+	for i := range d.All {
+		dir := &d.All[i]
+		if dir.File != file || line < dir.Line || line > dir.EndLine {
+			continue
+		}
+		switch dir.Kind {
+		case dirOrdered:
+			if analyzer == "detmap" {
+				return true
+			}
+		case dirIgnore:
+			if dir.Analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RecSizeFor returns the rec:size constant name covering the loop that
+// starts at (file, line), if any.
+func (d *Directives) RecSizeFor(file string, line int) (string, bool) {
+	for i := range d.All {
+		dir := &d.All[i]
+		if dir.Kind == dirRecSize && dir.File == file &&
+			(dir.Line == line || dir.Line == line-1) {
+			return dir.Arg, true
+		}
+	}
+	return "", false
+}
+
+// OrderedCount returns the number of //det:ordered annotations in the
+// package — the suppression debt `treegion-vet -v` surfaces.
+func (d *Directives) OrderedCount() int {
+	n := 0
+	for i := range d.All {
+		if d.All[i].Kind == dirOrdered {
+			n++
+		}
+	}
+	return n
+}
+
+// IgnoreCount returns the number of //vet:ignore annotations.
+func (d *Directives) IgnoreCount() int {
+	n := 0
+	for i := range d.All {
+		if d.All[i].Kind == dirIgnore {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidateDirectives enforces the annotation contract itself: every
+// suppression must carry a justification, and //vet:ignore must name a
+// known analyzer. Findings are attributed to the pseudo-analyzer
+// "annotation" (not suppressible — a malformed suppression cannot excuse
+// itself).
+func ValidateDirectives(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	report := func(dir *Directive, msg string) {
+		out = append(out, Diagnostic{
+			Analyzer: "annotation",
+			File:     dir.File,
+			Line:     dir.Line,
+			Col:      1,
+			Message:  msg,
+		})
+	}
+	for i := range pkg.Dirs.All {
+		dir := &pkg.Dirs.All[i]
+		switch dir.Kind {
+		case dirOrdered:
+			if dir.Arg == "" {
+				report(dir, "//det:ordered requires a justification (//det:ordered <why>)")
+			}
+		case dirIgnore:
+			if !known[dir.Analyzer] {
+				report(dir, "//vet:ignore names unknown analyzer "+quoteName(dir.Analyzer))
+			} else if dir.Arg == "" {
+				report(dir, "//vet:ignore "+dir.Analyzer+" requires a justification (//vet:ignore "+dir.Analyzer+" <why>)")
+			}
+		case dirRecSize:
+			if dir.Arg == "" {
+				report(dir, "//rec:size requires a record-size constant name")
+			}
+		}
+	}
+	return out
+}
+
+func quoteName(s string) string {
+	if s == "" {
+		return `""`
+	}
+	return `"` + s + `"`
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked unit of analysis. In-package test
+// files are checked together with the package proper; an external test
+// package (package foo_test) loads as its own unit with Path suffixed
+// "_test".
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Dirs  *Directives
+}
+
+// listing is the subset of `go list -json` treegion-vet consumes.
+type listing struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Incomplete   bool
+	Error        *struct{ Err string }
+}
+
+// Load discovers the packages matching patterns with `go list`, parses and
+// type-checks them from source in dependency order, and returns them ready
+// for analysis. dir is the module root the go command runs in; tests are
+// included unless includeTests is false. The loader is stdlib-only: module
+// packages are checked from source and served to importers from the
+// in-memory cache, everything else resolves through the standard gc
+// importer (with a source-importer fallback).
+func Load(fset *token.FileSet, dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	module, err := goList(dir, "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return nil, fmt.Errorf("treegion-vet: resolving module: %w", err)
+	}
+	modPath := strings.TrimSpace(string(module))
+
+	args := append([]string{"-json", "--"}, patterns...)
+	listings, err := goListJSON(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(listings) == 0 {
+		return nil, fmt.Errorf("treegion-vet: no packages match %v", patterns)
+	}
+	// roots are the packages the patterns matched — the ones analyzed and
+	// reported on. byPath grows below to the module-local import closure,
+	// which is only type-checked so the roots' imports resolve.
+	roots := map[string]bool{}
+	byPath := map[string]*listing{}
+	for _, l := range listings {
+		roots[l.ImportPath] = true
+		byPath[l.ImportPath] = l
+	}
+
+	// When the patterns name a subset of the module (`./internal/ddg/`
+	// rather than `./...`), module-local dependencies are absent from the
+	// listing. Resolve them with supplemental go list rounds until the
+	// closure is complete; each round can surface new deps of the deps.
+	isLocal := func(p string) bool {
+		return p == modPath || strings.HasPrefix(p, modPath+"/")
+	}
+	for {
+		missing := map[string]bool{}
+		for _, l := range byPath {
+			deps := append([]string{}, l.Imports...)
+			if includeTests {
+				deps = append(deps, l.TestImports...)
+				deps = append(deps, l.XTestImports...)
+			}
+			for _, dep := range deps {
+				if isLocal(dep) && byPath[dep] == nil {
+					missing[dep] = true
+				}
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		extra := make([]string, 0, len(missing))
+		for p := range missing {
+			extra = append(extra, p)
+		}
+		sort.Strings(extra)
+		more, err := goListJSON(dir, append([]string{"-json", "--"}, extra...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range more {
+			byPath[l.ImportPath] = l
+		}
+	}
+
+	imp := &moduleImporter{
+		module: modPath,
+		local:  map[string]*types.Package{},
+		std:    importer.Default(),
+		fset:   fset,
+	}
+
+	// Phase 1: type-check every package WITHOUT its test files, in
+	// non-test dependency order (a DAG by construction). Test imports are
+	// allowed to be cyclic at package granularity (cfg's tests import
+	// progen, progen's tests import cfg) — Go links a test binary against
+	// the plain build of each dependency, and this phase materialises
+	// exactly those plain builds.
+	checked := map[string]bool{}
+	plain := map[string]*Package{}
+	asts := &astCache{fset: fset, files: map[string]*ast.File{}}
+	var order []string // DFS postorder over the non-test import DAG
+	var visit func(path string) error
+	visit = func(path string) error {
+		l, ok := byPath[path]
+		if !ok || checked[path] {
+			return nil
+		}
+		checked[path] = true
+		for _, dep := range l.Imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		files := append(append([]string{}, l.GoFiles...), l.CgoFiles...)
+		pkg, err := checkPackage(fset, asts, imp, l.ImportPath, l.Dir, files)
+		if err != nil {
+			return err
+		}
+		imp.local[l.ImportPath] = pkg.Types
+		plain[path] = pkg
+		order = append(order, path)
+		return nil
+	}
+	// Deterministic order: visit the whole closure sorted (not just the
+	// roots — a dependency reachable only through test imports is not on
+	// any root's non-test DAG, yet its plain build must exist for phase 2).
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: re-check each package with its in-package test files merged
+	// (test files reference unexported identifiers, so they must be checked
+	// together with the package proper), then its external test package.
+	// The plain builds stay in the import cache: every dependent sees the
+	// non-test build, exactly as the go tool links test binaries. The
+	// augmented build shares the plain build's parsed ASTs (astCache), so
+	// an object declared in a non-test file has the same token.Pos in both
+	// builds — the identity global analyzers pair accesses by.
+	var pkgs []*Package
+	for _, path := range order {
+		if !roots[path] {
+			continue // closure-only dependency: type-checked, not analyzed
+		}
+		l := byPath[path]
+		pkg := plain[path]
+		if includeTests && len(l.TestGoFiles) > 0 {
+			files := append(append([]string{}, l.GoFiles...), l.CgoFiles...)
+			files = append(files, l.TestGoFiles...)
+			aug, err := checkPackage(fset, asts, imp, l.ImportPath, l.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			pkg = aug
+		}
+		pkgs = append(pkgs, pkg)
+		if includeTests && len(l.XTestGoFiles) > 0 {
+			// foo_test compiles against the test-augmented foo; swap it into
+			// the cache for this one check, then restore the plain build.
+			imp.local[l.ImportPath] = pkg.Types
+			xpkg, err := checkPackage(fset, asts, imp, l.ImportPath+"_test", l.Dir, l.XTestGoFiles)
+			imp.local[l.ImportPath] = plain[path].Types
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xpkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// astCache parses each file at most once, so the plain and test-augmented
+// builds of a package share AST nodes and token positions.
+type astCache struct {
+	fset  *token.FileSet
+	files map[string]*ast.File
+}
+
+func (c *astCache) parse(filename string) (*ast.File, error) {
+	if f, ok := c.files[filename]; ok {
+		return f, nil
+	}
+	f, err := parser.ParseFile(c.fset, filename, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	c.files[filename] = f
+	return f, nil
+}
+
+// checkPackage parses and type-checks one file set as a package.
+func checkPackage(fset *token.FileSet, cache *astCache, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("treegion-vet: %s: no Go files", path)
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := cache.parse(filepath.Join(dir, f))
+		if err != nil {
+			return nil, fmt.Errorf("treegion-vet: %w", err)
+		}
+		asts = append(asts, af)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("treegion-vet: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+		Dirs:  ParseDirectives(fset, asts),
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// moduleImporter resolves module-local import paths from the already
+// type-checked cache and everything else through the gc importer, falling
+// back to type-checking stdlib from source where no export data exists.
+type moduleImporter struct {
+	module  string
+	local   map[string]*types.Package
+	std     types.Importer
+	fset    *token.FileSet
+	srcOnce sync.Once
+	src     types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	if path == m.module || strings.HasPrefix(path, m.module+"/") {
+		return nil, fmt.Errorf("import cycle or unlisted module package %q", path)
+	}
+	if p, err := m.std.Import(path); err == nil {
+		return p, nil
+	}
+	m.srcOnce.Do(func() { m.src = importer.ForCompiler(m.fset, "source", nil) })
+	return m.src.Import(path)
+}
+
+// goListJSON runs `go list` with the given args and decodes the JSON
+// stream of package listings, failing on the first listing-level error.
+func goListJSON(dir string, args ...string) ([]*listing, error) {
+	out, err := goList(dir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("treegion-vet: go list: %w", err)
+	}
+	var listings []*listing
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		l := &listing{}
+		if err := dec.Decode(l); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("treegion-vet: decoding go list output: %w", err)
+		}
+		if l.Error != nil {
+			return nil, fmt.Errorf("treegion-vet: %s: %s", l.ImportPath, l.Error.Err)
+		}
+		listings = append(listings, l)
+	}
+	return listings, nil
+}
+
+func goList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%v: %s", err, bytes.TrimSpace(stderr.Bytes()))
+	}
+	return out, nil
+}

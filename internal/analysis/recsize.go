@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RecSizeAnalyzer proves the store codec's fixed-width record layouts. The
+// tgart2 payload is a sequence of fixed-width little-endian records whose
+// sizes are declared as named constants (opRecSize = 38, ...); the encode
+// loop appends fields with typed writer calls (w.u8, w.i32, w.f64) and the
+// decode loop reads them at explicit byte offsets (le.Uint32(rec[4:]),
+// rec[16]). If anyone adds a field to one side without bumping the
+// constant — or bumps the constant without adding the field — the entry
+// silently corrupts on the next round trip.
+//
+// A loop annotated //rec:size <constName> is checked statically:
+//
+//   - encode form: the byte widths of the writer calls in the loop body
+//     must sum exactly to the constant (u8/bool = 1, u32/i32 = 4,
+//     u64/i64/f64 = 8). Variable-width writes (str) and control flow make
+//     the loop unsizable and are findings themselves.
+//   - decode form: the byte intervals read off the record — rec[off],
+//     le.Uint16/32/64(rec[off:]) and the strided form raw[i*K+off:] — must
+//     tile [0, K) exactly: no gaps, no overlaps, no reads past the end.
+//
+// In internal/store/codec.go the analyzer additionally requires that every
+// record-size argument of reader.count/reader.take is a named constant, so
+// a bare magic number can never drift away from its loop.
+var RecSizeAnalyzer = &Analyzer{
+	Name: "recsize",
+	Doc:  "fixed-width codec records must statically sum to their declared size constants",
+	Run:  runRecSize,
+}
+
+// writerWidths are the byte widths of the fixed-width writer methods.
+var writerWidths = map[string]int{
+	"u8": 1, "bool": 1,
+	"u16": 2,
+	"u32": 4, "i32": 4,
+	"u64": 8, "i64": 8, "f64": 8,
+}
+
+// readerWidths are the byte widths of the little-endian accessor calls.
+var readerWidths = map[string]int{
+	"Uint16": 2, "Uint32": 4, "Uint64": 8,
+	"PutUint16": 2, "PutUint32": 4, "PutUint64": 8,
+}
+
+func runRecSize(pass *Pass) {
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		hasDirective := false
+		for i := range pass.Dirs.All {
+			d := &pass.Dirs.All[i]
+			if d.Kind == "rec:size" && d.File == fname {
+				hasDirective = true
+				break
+			}
+		}
+		if !hasDirective {
+			continue
+		}
+		checkRecSizeFile(pass, f, fname)
+	}
+	// The codec itself must carry the annotations: a codec.go without any
+	// //rec:size directive means the wiring rotted away.
+	if strings.HasSuffix(pass.CriticalPath(), "internal/store") {
+		for _, f := range pass.Files {
+			fname := pass.Fset.Position(f.Pos()).Filename
+			if !strings.HasSuffix(fname, "/codec.go") {
+				continue
+			}
+			found := false
+			for i := range pass.Dirs.All {
+				d := &pass.Dirs.All[i]
+				if d.Kind == "rec:size" && d.File == fname {
+					found = true
+					break
+				}
+			}
+			if !found {
+				pass.Reportf(f.Pos(),
+					"codec.go declares fixed-width records but carries no //rec:size annotations — the record layouts are unverified")
+			}
+		}
+	}
+}
+
+func checkRecSizeFile(pass *Pass, f *ast.File, fname string) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var pos token.Pos
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body, pos = l.Body, l.For
+		case *ast.RangeStmt:
+			body, pos = l.Body, l.For
+		default:
+			return true
+		}
+		line := pass.Fset.Position(pos).Line
+		constName, ok := pass.Dirs.RecSizeFor(fname, line)
+		if !ok {
+			return true
+		}
+		want, ok := lookupIntConst(pass, constName)
+		if !ok {
+			pass.Reportf(pos, "//rec:size names %q, which is not an integer constant in this package", constName)
+			return true
+		}
+		checkRecLoop(pass, body, pos, constName, want)
+		return true
+	})
+
+	// In the codec, reader.count/reader.take record sizes must be named
+	// constants so the loop annotations cannot drift from the byte math.
+	if strings.HasSuffix(fname, "/codec.go") {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "count" && sel.Sel.Name != "take") || len(call.Args) != 1 {
+				return true
+			}
+			if !isReaderRecv(pass, sel.X) {
+				return true
+			}
+			// take is also the primitive field reader (take(4) inside u32),
+			// so only its strided n*K record form is held to the rule.
+			if sel.Sel.Name == "take" {
+				if bin, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr); !ok || bin.Op != token.MUL {
+					return true
+				}
+			}
+			reportBareSizeLiterals(pass, call.Args[0], sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isReaderRecv reports whether e has the codec's *reader type.
+func isReaderRecv(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "reader"
+}
+
+// reportBareSizeLiterals flags integer literals in a count/take size
+// expression; every record size must be a named constant.
+func reportBareSizeLiterals(pass *Pass, e ast.Expr, callee string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.INT {
+			return true
+		}
+		pass.Reportf(lit.Pos(),
+			"bare record size %s in r.%s — declare a named *RecSize constant and annotate its loop with //rec:size",
+			lit.Value, callee)
+		return true
+	})
+}
+
+// lookupIntConst resolves a package-level integer constant by name.
+func lookupIntConst(pass *Pass, name string) (int64, bool) {
+	obj := pass.Pkg.Scope().Lookup(name)
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(c.Val())
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// interval is one [lo, hi) byte range read off a record.
+type interval struct {
+	lo, hi int
+	pos    token.Pos
+}
+
+// checkRecLoop verifies one annotated loop against its size constant. The
+// loop is encode-form if it contains fixed-width writer calls, decode-form
+// if it contains byte reads; a loop with neither (or both) is a finding.
+func checkRecLoop(pass *Pass, body *ast.BlockStmt, pos token.Pos, constName string, want int64) {
+	writeSum := 0
+	writeCalls := 0
+	var reads []interval
+	unsizable := ""
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if wWidth, ok := writerWidths[name]; ok && isWriterRecv(pass, sel.X) {
+				writeSum += wWidth
+				writeCalls++
+				return true
+			}
+			if name == "str" && isWriterRecv(pass, sel.X) {
+				unsizable = "variable-width str write"
+				return true
+			}
+			if rWidth, ok := readerWidths[name]; ok && len(x.Args) >= 1 {
+				if iv, ok := recOffset(pass, x.Args[0]); ok {
+					reads = append(reads, interval{lo: iv, hi: iv + rWidth, pos: x.Pos()})
+				} else {
+					unsizable = fmt.Sprintf("unrecognized offset expression in %s", name)
+				}
+				return true
+			}
+		case *ast.IndexExpr:
+			// rec[k] single-byte read — only when indexing a []byte with a
+			// constant (or strided-constant) offset and not the index side
+			// of an assignment into another array (handled by parent walk).
+			if isByteSlice(pass.TypeOf(x.X)) {
+				if off, ok := recIndexOffset(pass, x); ok {
+					reads = append(reads, interval{lo: off, hi: off + 1, pos: x.Pos()})
+				}
+			}
+		}
+		return true
+	})
+
+	switch {
+	case unsizable != "":
+		pass.Reportf(pos, "loop annotated //rec:size %s is not statically sizable: %s", constName, unsizable)
+	case writeCalls > 0 && len(reads) > 0:
+		pass.Reportf(pos, "loop annotated //rec:size %s mixes writer calls and byte reads — split the loop", constName)
+	case writeCalls > 0:
+		if int64(writeSum) != want {
+			pass.Reportf(pos,
+				"record writes sum to %d bytes but %s = %d — the encode loop and the size constant disagree",
+				writeSum, constName, want)
+		}
+	case len(reads) > 0:
+		checkTiling(pass, pos, reads, constName, want)
+	default:
+		pass.Reportf(pos, "loop annotated //rec:size %s contains no recognizable record accesses", constName)
+	}
+}
+
+// checkTiling verifies the read intervals tile [0, want) exactly.
+func checkTiling(pass *Pass, pos token.Pos, reads []interval, constName string, want int64) {
+	sort.Slice(reads, func(i, j int) bool { return reads[i].lo < reads[j].lo })
+	next := 0
+	for _, iv := range reads {
+		switch {
+		case iv.lo > next:
+			pass.Reportf(iv.pos,
+				"record read at offset %d leaves bytes [%d,%d) of %s unread — gap in the decode", iv.lo, next, iv.lo, constName)
+			next = iv.hi
+		case iv.lo < next:
+			pass.Reportf(iv.pos,
+				"record read at offset %d overlaps the previous field ending at %d in a //rec:size %s loop", iv.lo, next, constName)
+			if iv.hi > next {
+				next = iv.hi
+			}
+		default:
+			next = iv.hi
+		}
+	}
+	if int64(next) != want {
+		pass.Reportf(pos,
+			"record reads cover %d bytes but %s = %d — the decode loop and the size constant disagree",
+			next, constName, want)
+	}
+}
+
+// isWriterRecv reports whether e has the codec's *writer type.
+func isWriterRecv(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "writer"
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// recOffset extracts the constant byte offset from the argument of a
+// little-endian accessor: rec[4:], rec (offset 0), or the strided form
+// raw[i*K+off:] / raw[i*K:].
+func recOffset(pass *Pass, e ast.Expr) (int, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		if x.Low == nil {
+			return 0, true
+		}
+		return exprByteOffset(pass, x.Low)
+	case *ast.Ident:
+		return 0, true
+	}
+	return 0, false
+}
+
+// recIndexOffset extracts the offset of a single-byte read rec[k] or the
+// strided raw[i*K+off].
+func recIndexOffset(pass *Pass, x *ast.IndexExpr) (int, bool) {
+	return exprByteOffset(pass, x.Index)
+}
+
+// exprByteOffset evaluates an index/slice offset of the forms: constant c,
+// i*K, i*K+c — returning the per-record offset (c, or 0 for the bare
+// stride).
+func exprByteOffset(pass *Pass, e ast.Expr) (int, bool) {
+	e = ast.Unparen(e)
+	if c, ok := intConstValue(pass, e); ok {
+		return int(c), true
+	}
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return 0, false
+	}
+	switch bin.Op {
+	case token.MUL:
+		// i*K: offset 0 within the record.
+		if _, ok := intConstValue(pass, bin.Y); ok {
+			return 0, true
+		}
+		if _, ok := intConstValue(pass, bin.X); ok {
+			return 0, true
+		}
+	case token.ADD:
+		// i*K + c  (or c + i*K)
+		if c, ok := intConstValue(pass, bin.Y); ok {
+			if isStride(pass, bin.X) {
+				return int(c), true
+			}
+		}
+		if c, ok := intConstValue(pass, bin.X); ok {
+			if isStride(pass, bin.Y) {
+				return int(c), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// isStride reports whether e has the form i*K with K constant.
+func isStride(pass *Pass, e ast.Expr) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.MUL {
+		return false
+	}
+	_, xc := intConstValue(pass, bin.X)
+	_, yc := intConstValue(pass, bin.Y)
+	return xc != yc // exactly one side constant
+}
+
+// intConstValue returns e's compile-time integer value, if it has one.
+func intConstValue(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,19 @@
+// Fixture for the apierr analyzer: handlers must answer failures through
+// the shared error schema, never http.Error.
+package apierr
+
+import "net/http"
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "nope", http.StatusMethodNotAllowed) // want apierr "bypasses the shared error schema"
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func writeJSONError(w http.ResponseWriter, status int) {
+	// The schema-conforming path (stand-in for api.WriteError).
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(`{"error":{}}`))
+}

@@ -1,0 +1,61 @@
+// Fixture for the arenaescape analyzer: pooled buffers and compile
+// scratch must not escape into results.
+package arenaescape
+
+import "sync"
+
+type Scratch struct {
+	buf   []int
+	stack []int
+}
+
+type result struct {
+	rows []int
+}
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func leakToField(sc *Scratch, out *result) {
+	out.rows = sc.buf // want arenaescape "outlives the scratch reuse boundary"
+}
+
+func leakByReturn(sc *Scratch) []int {
+	return sc.buf // want arenaescape "callers would retain a reused buffer"
+}
+
+func leakViaLiteral(sc *Scratch) *result {
+	r := &result{rows: sc.stack} // want arenaescape "composite literal"
+	return r
+}
+
+func leakAlias(sc *Scratch) []int {
+	b := sc.buf
+	return b // want arenaescape "callers would retain a reused buffer"
+}
+
+func getWithoutPut() []byte {
+	bp := pool.Get().(*[]byte) // want arenaescape "without a Put in the same function"
+	return append((*bp)[:0], 1, 2, 3)
+}
+
+func disciplined() int {
+	bp := pool.Get().(*[]byte)
+	defer pool.Put(bp)
+	return len(*bp)
+}
+
+func storeBack(sc *Scratch) {
+	// Stores into the scratch itself stay inside the boundary.
+	sc.stack = sc.buf[:0]
+}
+
+func copied(sc *Scratch, out *result) {
+	// Laundering through a call is the documented copy contract.
+	out.rows = cloneInts(sc.buf)
+}
+
+func cloneInts(v []int) []int {
+	out := make([]int, len(v))
+	copy(out, v)
+	return out
+}

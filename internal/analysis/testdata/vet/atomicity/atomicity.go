@@ -1,0 +1,36 @@
+// Fixture for the atomicity analyzer: locations touched via sync/atomic
+// must never be plain-accessed.
+package atomicity
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+}
+
+var global int64
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&global, 1)
+}
+
+func read(c *counters) int64 {
+	return c.hits + // want atomicity "plain access to hits"
+		atomic.LoadInt64(&global)
+}
+
+func plainGlobal() int64 {
+	return global // want atomicity "plain access to global"
+}
+
+func coldPath(c *counters) {
+	// cold is never touched atomically; plain access is fine.
+	c.cold++
+}
+
+func blessedUses(c *counters) int64 {
+	// Atomic API uses of an atomic location are not findings.
+	return atomic.SwapInt64(&c.hits, 0)
+}

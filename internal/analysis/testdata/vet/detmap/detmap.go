@@ -1,0 +1,48 @@
+// Fixture for the detmap analyzer. Loaded by the harness under the
+// determinism-critical import path treegion/internal/sched.
+package detmap
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	var out []string
+	// The blessed collect-then-sort idiom: no finding.
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func emit(m map[string]int, sink func(string, int)) {
+	for k, v := range m { // want detmap "iteration-order dependent"
+		sink(k, v)
+	}
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	//det:ordered commutative sum over values; order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func unjustified(m map[string]int) int {
+	total := 0
+	// want annotation "requires a justification"
+	//det:ordered
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func collectNoSort(m map[string]int, sink func([]string)) {
+	var out []string
+	for k := range m { // want detmap "iteration-order dependent"
+		out = append(out, k)
+	}
+	sink(out)
+}

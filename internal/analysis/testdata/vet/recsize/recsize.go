@@ -1,0 +1,85 @@
+// Fixture for the recsize analyzer: fixed-width record loops must
+// statically sum to their declared size constants.
+package recsize
+
+import "encoding/binary"
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, 0)
+	_ = v
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type rec struct {
+	id   int32
+	kind uint8
+	val  float64
+}
+
+const (
+	goodRecSize = 13 // i32 id + u8 kind + f64 val
+	// Deliberately wrong: the loop below writes 13 bytes.
+	badRecSize = 10
+	gapRecSize = 13
+)
+
+func encodeGood(w *writer, recs []rec) {
+	//rec:size goodRecSize
+	for _, r := range recs {
+		w.i32(r.id)
+		w.u8(r.kind)
+		w.f64(r.val)
+	}
+}
+
+func encodeBad(w *writer, recs []rec) {
+	//rec:size badRecSize
+	for _, r := range recs { // want recsize "sum to 13 bytes but badRecSize = 10"
+		w.i32(r.id)
+		w.u8(r.kind)
+		w.f64(r.val)
+	}
+}
+
+func decodeGood(raw []byte, n int) []rec {
+	le := binary.LittleEndian
+	out := make([]rec, n)
+	//rec:size goodRecSize
+	for i := range out {
+		r := raw[i*goodRecSize : i*goodRecSize+goodRecSize]
+		out[i].id = int32(le.Uint32(r[0:]))
+		out[i].kind = r[4]
+		out[i].val = float64(le.Uint64(r[5:]))
+	}
+	return out
+}
+
+func decodeGap(raw []byte, n int) []rec {
+	le := binary.LittleEndian
+	out := make([]rec, n)
+	//rec:size gapRecSize
+	for i := range out {
+		r := raw[i*gapRecSize : i*gapRecSize+gapRecSize]
+		out[i].id = int32(le.Uint32(r[0:]))
+		// kind at offset 4 is never read: bytes [4,5) are a gap.
+		out[i].val = float64(le.Uint64(r[5:])) // want recsize "leaves bytes \[4,5\)"
+	}
+	return out
+}
+
+func encodeUnsizable(w *writer, names []string) {
+	//rec:size goodRecSize
+	for _, s := range names { // want recsize "not statically sizable"
+		w.str(s)
+	}
+}

@@ -1,0 +1,44 @@
+// Fixture for the wallclock analyzer. Loaded under the deterministic
+// import path treegion/internal/sched: results there must be a pure
+// function of the inputs, so no wall-clock reading may feed them.
+package wallclock
+
+import "time"
+
+type Result struct {
+	Cycles  int
+	Elapsed int64
+}
+
+var lastRun int64
+
+func timed(work func()) *Result {
+	t0 := time.Now()
+	work()
+	d := time.Since(t0)
+	r := &Result{Cycles: 10}
+	r.Elapsed = d.Nanoseconds() // want wallclock "stored into r.Elapsed"
+	return r
+}
+
+func toGlobal() {
+	lastRun = time.Now().UnixNano() // want wallclock "stored in package-level state"
+}
+
+func inLiteral(work func()) Result {
+	t0 := time.Now()
+	work()
+	return Result{Elapsed: int64(time.Since(t0))} // want wallclock "composite literal"
+}
+
+func durationFlowsFreely(work func()) {
+	// time-typed values may move through locals and into ordinary calls
+	// (the callee is analyzed on its own); only a naked scalar derived from
+	// them is restricted, and returning any reading is a finding.
+	t0 := time.Now()
+	work()
+	d := time.Since(t0)
+	observe(d)
+}
+
+func observe(time.Duration) {}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixturePaths assigns each golden fixture the import path it is analyzed
+// under. The policy lists (DetmapCriticalPackages, WallclockCriticalPackages)
+// match import paths, so fixtures for policy-scoped analyzers borrow a
+// critical path; the rest run under neutral paths.
+var fixturePaths = map[string]string{
+	"detmap":      "treegion/internal/sched",
+	"wallclock":   "treegion/internal/sched",
+	"recsize":     "treegion/internal/store",
+	"atomicity":   "treegion/internal/fixture/atomicity",
+	"arenaescape": "treegion/internal/fixture/arenaescape",
+	"apierr":      "treegion/internal/fixture/apierr",
+}
+
+// TestFixtures runs the full analyzer suite over each package under
+// testdata/vet and checks the findings against the fixture's // want
+// annotations:
+//
+//	x := f() // want analyzer "regex"     expectation on this line
+//	// want analyzer "regex"              expectation on the next line
+//
+// Every expectation must be matched by a finding and every finding by an
+// expectation, so a fixture fails both when its analyzer goes blind and
+// when it over-reports.
+func TestFixtures(t *testing.T) {
+	dirs, err := os.ReadDir(filepath.Join("testdata", "vet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		seen[d.Name()] = true
+		t.Run(d.Name(), func(t *testing.T) { runFixture(t, d.Name()) })
+	}
+	// Every analyzer must have a fixture (the ci gate for the gate).
+	for _, a := range Analyzers() {
+		if !seen[a.Name] {
+			t.Errorf("analyzer %s has no fixture under testdata/vet", a.Name)
+		}
+	}
+}
+
+func runFixture(t *testing.T, name string) {
+	dir := filepath.Join("testdata", "vet", name)
+	path, ok := fixturePaths[name]
+	if !ok {
+		t.Fatalf("no import path registered for fixture %q", name)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var fnames []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fname := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		fnames = append(fnames, fname)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Dirs:  ParseDirectives(fset, files),
+	}
+	diags := Run(fset, []*Package{pkg}, Analyzers())
+
+	wants := parseWants(t, fnames)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i := range wants {
+			w := &wants[i]
+			if matched[i] || w.file != d.File || w.line != d.Line || w.analyzer != d.Analyzer {
+				continue
+			}
+			if !w.re.MatchString(d.Message) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for i := range wants {
+		if !matched[i] {
+			w := &wants[i]
+			t.Errorf("%s:%d: expected %s finding matching %q, got none",
+				w.file, w.line, w.analyzer, w.re)
+		}
+	}
+}
+
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`want ([a-z]+) "((?:[^"\\]|\\.)*)"`)
+
+// parseWants scans fixture sources for // want annotations. A comment that
+// is the whole line anchors its expectation to the following line (used
+// when the finding lands on a directive line, which cannot carry a second
+// comment); a trailing comment anchors to its own line.
+func parseWants(t *testing.T, fnames []string) []want {
+	var out []want
+	for _, fname := range fnames {
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			ms := wantRE.FindAllStringSubmatch(line, -1)
+			if len(ms) == 0 {
+				continue
+			}
+			target := i + 1 // 1-based line of this line
+			if strings.HasPrefix(strings.TrimSpace(line), "//") {
+				target++ // standalone want comment: expectation is for the next line
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", fname, i+1, m[2], err)
+				}
+				out = append(out, want{file: fname, line: target, analyzer: m[1], re: re})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WallclockCriticalPackages are the packages whose outputs must be
+// byte-comparable across runs: the compile core that produces results, and
+// the tiers that serialize or emit them. Wall-clock readings there may feed
+// exactly one sink — telemetry — and nothing else. The serving layer
+// (daemon, router, jobs) legitimately reports latencies and deadlines and
+// is out of scope, as is internal/telemetry itself (the sink) and
+// internal/store (whose wall-clock use is file mtimes for GC recency,
+// never payload bytes — the codec is covered by recsize and detmap).
+var WallclockCriticalPackages = []string{
+	"treegion",
+	"treegion/internal/ir",
+	"treegion/internal/irtext",
+	"treegion/internal/cfg",
+	"treegion/internal/core",
+	"treegion/internal/ddg",
+	"treegion/internal/region",
+	"treegion/internal/linear",
+	"treegion/internal/hyper",
+	"treegion/internal/sched",
+	"treegion/internal/regalloc",
+	"treegion/internal/vlsim",
+	"treegion/internal/interp",
+	"treegion/internal/eval",
+	"treegion/internal/profile",
+	"treegion/internal/machine",
+	"treegion/internal/progen",
+	"treegion/internal/compcache",
+	"treegion/internal/pipeline",
+}
+
+// TelemetrySinkPath is the one package wall-clock readings may flow into.
+var TelemetrySinkPath = "treegion/internal/telemetry"
+
+// WallclockAnalyzer keeps wall-clock readings out of deterministic results.
+// Inside a critical package it taints every time.Now/Since/Until call and
+// tracks the taint through locals:
+//
+//   - time-typed taint (time.Time, time.Duration) may flow through locals
+//     and call arguments — the callee is analyzed on its own — but must not
+//     be stored into a field, a container or a composite literal, or be
+//     returned: that is a wall-clock reading persisted into a result.
+//   - the moment taint leaves the time domain (d.Seconds(), float64(d),
+//     a comparison) it becomes a naked scalar, and a naked scalar may only
+//     be an argument to a telemetry call. Any other use — storing,
+//     returning, branching on it, passing it elsewhere — is a finding.
+//
+// Test files are exempt: tests legitimately measure wall time.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no wall clock feeding deterministic result fields",
+	Run:  runWallclock,
+}
+
+type taint uint8
+
+const (
+	clean taint = iota
+	timeTaint
+	nakedTaint
+)
+
+func runWallclock(pass *Pass) {
+	if !pathIsCritical(pass.CriticalPath(), WallclockCriticalPackages) {
+		return
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if isTestFile(name) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &wallclockWalker{pass: pass, tainted: map[types.Object]taint{}}
+				w.block(fd.Body)
+			}
+		}
+	}
+}
+
+func isTestFile(name string) bool {
+	return len(name) > 8 && name[len(name)-8:] == "_test.go"
+}
+
+type wallclockWalker struct {
+	pass    *Pass
+	tainted map[types.Object]taint
+}
+
+// block walks statements in order so taint assignments are seen before
+// uses (Go's happy path; back-edges in loops are covered by walking the
+// loop body twice).
+func (w *wallclockWalker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *wallclockWalker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(st)
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			if w.expr(res) != clean {
+				w.pass.Reportf(res.Pos(),
+					"wall-clock derived value returned — results must be byte-comparable, route timings through telemetry")
+			}
+		}
+	case *ast.ExprStmt:
+		w.expr(st.X)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if w.expr(st.Cond) != clean {
+			w.pass.Reportf(st.Cond.Pos(), "branching on wall clock makes results time-dependent")
+		}
+		w.block(st.Body)
+		if st.Else != nil {
+			w.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		// Twice: taint introduced late in the body reaches uses earlier in
+		// the next iteration.
+		for i := 0; i < 2; i++ {
+			if st.Cond != nil && w.expr(st.Cond) != clean {
+				w.pass.Reportf(st.Cond.Pos(), "looping on wall clock makes results time-dependent")
+				break
+			}
+			if st.Post != nil {
+				w.stmt(st.Post)
+			}
+			w.block(st.Body)
+		}
+	case *ast.RangeStmt:
+		w.expr(st.X)
+		for i := 0; i < 2; i++ {
+			w.block(st.Body)
+		}
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Tag != nil && w.expr(st.Tag) != clean {
+			w.pass.Reportf(st.Tag.Pos(), "switching on wall clock makes results time-dependent")
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e)
+				}
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.stmt(st.Assign)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(st)
+	case *ast.DeferStmt:
+		w.expr(st.Call)
+	case *ast.GoStmt:
+		w.expr(st.Call)
+	case *ast.SendStmt:
+		if w.expr(st.Value) != clean {
+			w.pass.Reportf(st.Value.Pos(), "wall-clock derived value sent on a channel out of this compile")
+		}
+		w.expr(st.Chan)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						t := w.expr(v)
+						if t != clean && i < len(vs.Names) {
+							if obj := w.pass.Info.Defs[vs.Names[i]]; obj != nil {
+								w.tainted[obj] = t
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				for _, s := range cc.Body {
+					w.stmt(s)
+				}
+			}
+		}
+	}
+}
+
+func (w *wallclockWalker) assign(st *ast.AssignStmt) {
+	for i, rhs := range st.Rhs {
+		t := w.expr(rhs)
+		if i >= len(st.Lhs) {
+			break
+		}
+		lhs := ast.Unparen(st.Lhs[i])
+		if t == clean {
+			// A clean overwrite clears a previously tainted local.
+			if id, ok := lhs.(*ast.Ident); ok && st.Tok == token.ASSIGN {
+				if obj := w.pass.ObjectOf(id); obj != nil {
+					delete(w.tainted, obj)
+				}
+			}
+			continue
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj := w.pass.ObjectOf(l)
+			if obj == nil {
+				continue
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() != v.Pkg().Scope() {
+				w.tainted[obj] = t // local: track
+				continue
+			}
+			w.pass.Reportf(st.Pos(),
+				"wall-clock derived value stored in package-level state — results must be byte-comparable")
+		default:
+			w.pass.Reportf(st.Pos(),
+				"wall-clock derived value stored into %s — results must be byte-comparable, route timings through telemetry",
+				exprString(w.pass, st.Lhs[i]))
+		}
+	}
+}
+
+// expr evaluates e's taint, reporting disallowed consumptions as it goes.
+func (w *wallclockWalker) expr(e ast.Expr) taint {
+	switch x := ast.Unparen(e).(type) {
+	case nil:
+		return clean
+	case *ast.Ident:
+		if obj := w.pass.ObjectOf(x); obj != nil {
+			return w.tainted[obj]
+		}
+		return clean
+	case *ast.CallExpr:
+		return w.call(x)
+	case *ast.SelectorExpr:
+		// Field read off a tainted value stays tainted in-kind.
+		return w.expr(x.X)
+	case *ast.BinaryExpr:
+		lt, rt := w.expr(x.X), w.expr(x.Y)
+		t := max(lt, rt)
+		if t == clean {
+			return clean
+		}
+		switch x.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return nakedTaint // comparison result carries the wall clock as a bool
+		}
+		return t
+	case *ast.UnaryExpr:
+		return w.expr(x.X)
+	case *ast.StarExpr:
+		return w.expr(x.X)
+	case *ast.IndexExpr:
+		w.expr(x.Index)
+		return w.expr(x.X)
+	case *ast.SliceExpr:
+		return w.expr(x.X)
+	case *ast.TypeAssertExpr:
+		return w.expr(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if w.expr(v) != clean {
+				w.pass.Reportf(v.Pos(),
+					"wall-clock derived value placed in composite literal — results must be byte-comparable")
+			}
+		}
+		return clean
+	case *ast.FuncLit:
+		// Closures see the enclosing taint (deferred telemetry observers).
+		w.block(x.Body)
+		return clean
+	case *ast.KeyValueExpr:
+		return w.expr(x.Value)
+	default:
+		return clean
+	}
+}
+
+// call classifies a call: wall-clock source, telemetry sink, time-domain
+// operation, conversion out of the time domain, or an ordinary call that
+// must not receive naked wall-clock scalars.
+func (w *wallclockWalker) call(call *ast.CallExpr) taint {
+	// Conversions: T(x). A conversion of time taint to a scalar type goes
+	// naked; time->time (time.Duration(n)) keeps kind.
+	if w.isConversion(call) && len(call.Args) == 1 {
+		argT := w.expr(call.Args[0])
+		if argT == clean {
+			return clean
+		}
+		if isTimeType(w.pass.TypeOf(call)) {
+			return timeTaint
+		}
+		return nakedTaint
+	}
+
+	fn := w.pass.CalleeFunc(call)
+
+	// Receiver taint for method calls.
+	recvTaint := clean
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recvTaint = w.expr(sel.X)
+	}
+
+	// Argument taints (evaluated regardless, for nested violations).
+	argTaint := clean
+	for _, a := range call.Args {
+		argTaint = max(argTaint, w.expr(a))
+	}
+
+	switch {
+	case fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return timeTaint
+		}
+		// Other time-package helpers keep the kind of their inputs.
+		t := max(recvTaint, argTaint)
+		if t == clean {
+			return clean
+		}
+		if isTimeType(w.pass.TypeOf(call)) {
+			return t
+		}
+		return nakedTaint
+	case fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == TelemetrySinkPath:
+		return clean // the one legitimate sink
+	case recvTaint != clean:
+		// Method on a tainted value (t0.Add, d.Seconds, d.String).
+		if isTimeType(w.pass.TypeOf(call)) {
+			return timeTaint
+		}
+		return nakedTaint
+	case argTaint == nakedTaint:
+		name := "function"
+		if fn != nil {
+			name = fn.Name()
+		}
+		w.pass.Reportf(call.Pos(),
+			"wall-clock scalar passed to %s — only telemetry may consume wall-clock readings in this package", name)
+		return clean
+	default:
+		// Time-typed arguments may enter ordinary calls: the callee is
+		// itself analyzed. The call result is clean (copied/derived).
+		return clean
+	}
+}
+
+func (w *wallclockWalker) isConversion(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		_, isType := w.pass.ObjectOf(fun).(*types.TypeName)
+		return isType
+	case *ast.SelectorExpr:
+		_, isType := w.pass.ObjectOf(fun.Sel).(*types.TypeName)
+		return isType
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.InterfaceType, *ast.StructType, *ast.FuncType:
+		return true
+	}
+	return false
+}
+
+// isTimeType reports whether t is time.Time or time.Duration (possibly
+// behind a pointer).
+func isTimeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Time" || obj.Name() == "Duration"
+}

@@ -258,7 +258,9 @@ func Build(fn *ir.Function, r *region.Region, opts Options) (*Graph, error) {
 func BuildScratch(fn *ir.Function, r *region.Region, opts Options, sc *Scratch) (*Graph, error) {
 	g := &Graph{Fn: fn, Region: r}
 	bound := fn.OpIDBound()
+	//vet:ignore arenaescape the builder borrows sc for exactly one Build; release() below hands every buffer back before return
 	b := &builder{g: g, opts: opts, sc: sc}
+	//vet:ignore arenaescape borrowed buffers flow back to sc via release() on every exit path of this function
 	if sc != nil {
 		b.home = grow(sc.home, bound)
 		b.gone = growClear(sc.gone, bound)

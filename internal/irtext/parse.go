@@ -281,6 +281,7 @@ func (p *parser) target(tok string) (ir.BlockID, error) {
 
 var opcodeByName = func() map[string]ir.Opcode {
 	m := make(map[string]ir.Opcode, len(mnemonics))
+	//det:ordered inverting an injective table; the resulting map is the same under any insertion order
 	for o, s := range mnemonics {
 		m[s] = o
 	}
@@ -289,6 +290,7 @@ var opcodeByName = func() map[string]ir.Opcode {
 
 var condByName = func() map[string]ir.Cond {
 	m := make(map[string]ir.Cond, len(condNames))
+	//det:ordered inverting an injective table; the resulting map is the same under any insertion order
 	for c, s := range condNames {
 		m[s] = c
 	}

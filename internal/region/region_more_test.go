@@ -11,16 +11,19 @@ import (
 )
 
 func TestRegionKindStrings(t *testing.T) {
-	want := map[Kind]string{
-		KindBasicBlock: "bb",
-		KindSLR:        "slr",
-		KindSuperblock: "sb",
-		KindTreegion:   "tree",
-		KindTreegionTD: "tree-td",
+	want := []struct {
+		k Kind
+		s string
+	}{
+		{KindBasicBlock, "bb"},
+		{KindSLR, "slr"},
+		{KindSuperblock, "sb"},
+		{KindTreegion, "tree"},
+		{KindTreegionTD, "tree-td"},
 	}
-	for k, s := range want {
-		if k.String() != s {
-			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+	for _, c := range want {
+		if c.k.String() != c.s {
+			t.Errorf("%d.String() = %q, want %q", c.k, c.k.String(), c.s)
 		}
 	}
 }

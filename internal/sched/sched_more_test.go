@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"sort"
 	"testing"
 
 	"treegion/internal/core"
@@ -45,8 +46,13 @@ func TestCopiesAreSlotFree(t *testing.T) {
 			perCycle[s.Cycle[n.Index]]++
 		}
 	}
-	for c, k := range perCycle {
-		if k > 4 {
+	cycles := make([]int, 0, len(perCycle))
+	for c := range perCycle {
+		cycles = append(cycles, c)
+	}
+	sort.Ints(cycles)
+	for _, c := range cycles {
+		if k := perCycle[c]; k > 4 {
 			t.Fatalf("cycle %d issues %d real ops", c, k)
 		}
 	}

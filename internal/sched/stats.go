@@ -39,6 +39,7 @@ func (s *Schedule) Stats() Stats {
 			branchesAt[s.Cycle[nd.Index]]++
 		}
 	}
+	//det:ordered commutative fold: counts and a max over map values, no key reaches the output
 	for _, k := range branchesAt {
 		st.BranchCycles++
 		if k > 1 {

@@ -77,6 +77,35 @@ const (
 	resultStatsN = 8 // scalar fields of FunctionResult in the stats section
 )
 
+// Fixed-width record sizes. Each constant is the byte width of one record
+// in its bulk array; the encode and decode loops for a record are annotated
+// //rec:size <const> and treegion-vet statically proves the writer-call sum
+// (encode) and the byte-offset tiling (decode) both equal the constant.
+// Changing a layout means touching the loop AND the constant — the vet gate
+// fails on either half alone.
+const (
+	blockRecSize = 12 // i32 orig + i32 fallthrough + u32 numOps
+	opRecSize    = 38 // i32 id + i32 orig + u8 opcode + u8 cond + bool renamed + u8 guard class + i32 guard num + u8 ndests + u8 nsrcs + i64 imm + i32 target + f64 prob
+	regRecSize   = 5  // u8 class + i32 num
+	nodeRecSize  = 29 // i32 block + i32 op index + i32 home + u8 flags + i32 height + i32 exit count + f64 weight
+	edgeRecSize  = 13 // u32 from + u32 to + i32 latency + u8 kind
+	cycleRecSize = 4  // i32 issue cycle
+	// Region block-list pair records.
+	regionBlockRecSize = 8 // i32 block + i32 parent
+)
+
+// Minimum byte widths of the variable-width records, used only to bound
+// reader.count against the remaining payload (a record can be larger than
+// its minimum — strings — but never smaller, so count*min > remaining is
+// proof of corruption without decoding).
+const (
+	profBlockRecSize = 12 // i32 block + f64 weight
+	profEdgeRecSize  = 16 // i32 from + i32 to + f64 weight
+	regionRecMin     = 7  // u8 kind + bool fromTrace + u32 nblocks + blocks
+	schedRecMin      = 24 // u32 region + str model + i32 width + 3×i32 + node/edge counts
+	diagRecMin       = 15 // 3×str (u32 len each) + u8 severity + i32 block + i32 op, minimum
+)
+
 // errSchemaSkew marks an entry written under a different payload schema: a
 // clean miss, not corruption.
 var errSchemaSkew = fmt.Errorf("store: schema skew")
@@ -263,12 +292,14 @@ func encodeFunc(w *writer, s *ir.FuncSnapshot) {
 	w.u32(uint32(len(s.Blocks)))
 	w.u32(uint32(len(s.Ops)))
 	w.u32(uint32(len(s.Regs)))
+	//rec:size blockRecSize
 	for i := range s.Blocks {
 		b := &s.Blocks[i]
 		w.i32(int32(b.Orig))
 		w.i32(int32(b.FallThrough))
 		w.u32(uint32(b.NumOps))
 	}
+	//rec:size opRecSize
 	for i := range s.Ops {
 		op := &s.Ops[i]
 		w.i32(op.ID)
@@ -284,6 +315,7 @@ func encodeFunc(w *writer, s *ir.FuncSnapshot) {
 		w.i32(int32(op.Target))
 		w.f64(op.Prob)
 	}
+	//rec:size regRecSize
 	for _, r := range s.Regs {
 		w.u8(uint8(r.Class))
 		w.i32(int32(r.Num))
@@ -316,22 +348,23 @@ func decodeFunc(data []byte) (*ir.Function, error) {
 	for c := range s.NextReg {
 		s.NextReg[c] = r.i32()
 	}
-	nblocks := r.count(12)
-	nops := r.count(38)
-	nregs := r.count(5)
+	nblocks := r.count(blockRecSize)
+	nops := r.count(opRecSize)
+	nregs := r.count(regRecSize)
 	// Bulk-take each fixed-width record array: one bounds check per array
 	// instead of one per field keeps the op loop branch-free.
-	blockRaw := r.take(nblocks * 12)
-	opRaw := r.take(nops * 38)
-	regRaw := r.take(nregs * 5)
+	blockRaw := r.take(nblocks * blockRecSize)
+	opRaw := r.take(nops * opRecSize)
+	regRaw := r.take(nregs * regRecSize)
 	r.done("func")
 	if r.err != nil {
 		return nil, r.err
 	}
 	le := binary.LittleEndian
 	s.Blocks = growRecs(s.Blocks, nblocks)
+	//rec:size blockRecSize
 	for i := range s.Blocks {
-		rec := blockRaw[i*12 : i*12+12]
+		rec := blockRaw[i*blockRecSize : i*blockRecSize+blockRecSize]
 		s.Blocks[i] = ir.BlockSnap{
 			Orig:        ir.BlockID(int32(le.Uint32(rec[0:]))),
 			FallThrough: ir.BlockID(int32(le.Uint32(rec[4:]))),
@@ -339,8 +372,9 @@ func decodeFunc(data []byte) (*ir.Function, error) {
 		}
 	}
 	s.Ops = growRecs(s.Ops, nops)
+	//rec:size opRecSize
 	for i := range s.Ops {
-		rec := opRaw[i*38 : i*38+38]
+		rec := opRaw[i*opRecSize : i*opRecSize+opRecSize]
 		op := &s.Ops[i]
 		op.ID = int32(le.Uint32(rec[0:]))
 		op.Orig = int32(le.Uint32(rec[4:]))
@@ -356,8 +390,9 @@ func decodeFunc(data []byte) (*ir.Function, error) {
 		op.Prob = math.Float64frombits(le.Uint64(rec[30:]))
 	}
 	s.Regs = growRecs(s.Regs, nregs)
+	//rec:size regRecSize
 	for i := range s.Regs {
-		rec := regRaw[i*5 : i*5+5]
+		rec := regRaw[i*regRecSize : i*regRecSize+regRecSize]
 		s.Regs[i] = ir.Reg{Class: ir.RegClass(rec[0]), Num: int(int32(le.Uint32(rec[1:])))}
 	}
 	if r.err != nil {
@@ -417,7 +452,7 @@ func decodeProfile(data []byte) (*profile.Data, error) {
 		r.done("profile")
 		return nil, r.err
 	}
-	nb := r.count(12)
+	nb := r.count(profBlockRecSize)
 	prof := &profile.Data{
 		Block: make(map[ir.BlockID]float64, nb),
 		Edge:  nil, // sized below once the edge count is known
@@ -426,7 +461,7 @@ func decodeProfile(data []byte) (*profile.Data, error) {
 		b := ir.BlockID(r.i32())
 		prof.Block[b] = r.f64()
 	}
-	ne := r.count(16)
+	ne := r.count(profEdgeRecSize)
 	prof.Edge = make(map[profile.Edge]float64, ne)
 	for i := 0; i < ne && r.err == nil; i++ {
 		from := ir.BlockID(r.i32())
@@ -447,6 +482,7 @@ func encodeRegions(w *writer, regions []*region.Region) {
 		w.bool(r.FromTrace)
 		parents := r.Parents()
 		w.u32(uint32(len(r.Blocks)))
+		//rec:size regionBlockRecSize
 		for i, b := range r.Blocks {
 			w.i32(int32(b))
 			w.i32(int32(parents[i]))
@@ -456,7 +492,7 @@ func encodeRegions(w *writer, regions []*region.Region) {
 
 func decodeRegions(data []byte, fn *ir.Function) ([]*region.Region, error) {
 	r := &reader{b: data}
-	n := r.count(7)
+	n := r.count(regionRecMin)
 	out := make([]*region.Region, 0, n)
 	// Rebuild copies both lists into the region's own tables, so one pair of
 	// buffers serves every region in the entry.
@@ -464,17 +500,18 @@ func decodeRegions(data []byte, fn *ir.Function) ([]*region.Region, error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		kind := region.Kind(r.u8())
 		fromTrace := r.bool()
-		nb := r.count(8)
-		raw := r.take(nb * 8)
+		nb := r.count(regionBlockRecSize)
+		raw := r.take(nb * regionBlockRecSize)
 		if r.err != nil {
 			break
 		}
 		le := binary.LittleEndian
 		blocks = growRecs(blocks, nb)
 		parents = growRecs(parents, nb)
+		//rec:size regionBlockRecSize
 		for j := 0; j < nb; j++ {
-			blocks[j] = ir.BlockID(int32(le.Uint32(raw[j*8:])))
-			parents[j] = ir.BlockID(int32(le.Uint32(raw[j*8+4:])))
+			blocks[j] = ir.BlockID(int32(le.Uint32(raw[j*regionBlockRecSize:])))
+			parents[j] = ir.BlockID(int32(le.Uint32(raw[j*regionBlockRecSize+4:])))
 		}
 		reg, err := region.Rebuild(fn, kind, blocks, parents, fromTrace)
 		if err != nil {
@@ -524,6 +561,7 @@ func encodeSchedules(w *writer, fr *eval.FunctionResult) error {
 		}
 		w.u32(uint32(len(s.Graph.Nodes)))
 		w.u32(uint32(nedges))
+		//rec:size nodeRecSize
 		for _, n := range s.Graph.Nodes {
 			ref, ok := refOf[n.Op]
 			if !ok {
@@ -545,6 +583,7 @@ func encodeSchedules(w *writer, fr *eval.FunctionResult) error {
 			w.f64(n.Weight)
 		}
 		for _, n := range s.Graph.Nodes {
+			//rec:size edgeRecSize
 			for _, e := range n.Succs {
 				w.u32(uint32(n.Index))
 				w.u32(uint32(e.To.Index))
@@ -556,6 +595,7 @@ func encodeSchedules(w *writer, fr *eval.FunctionResult) error {
 		if len(s.Cycle) != len(s.Graph.Nodes) {
 			return fmt.Errorf("store: %d cycles for %d nodes", len(s.Cycle), len(s.Graph.Nodes))
 		}
+		//rec:size cycleRecSize
 		for _, c := range s.Cycle {
 			w.i32(int32(c))
 		}
@@ -565,7 +605,7 @@ func encodeSchedules(w *writer, fr *eval.FunctionResult) error {
 
 func decodeSchedules(data []byte, fn *ir.Function, regions []*region.Region) ([]*sched.Schedule, error) {
 	r := &reader{b: data}
-	n := r.count(24)
+	n := r.count(schedRecMin)
 	out := make([]*sched.Schedule, 0, n)
 	// The spec slices and graph scratch are reused across every schedule in
 	// the entry: Restore copies what it keeps, so only the revived graphs
@@ -583,12 +623,12 @@ func decodeSchedules(data []byte, fn *ir.Function, regions []*region.Region) ([]
 		renamed := int(r.i32())
 		copies := int(r.i32())
 		merged := int(r.i32())
-		nnodes := r.count(29)
-		nedges := r.count(13)
-		nodeRaw := r.take(nnodes * 29)
-		edgeRaw := r.take(nedges * 13)
+		nnodes := r.count(nodeRecSize)
+		nedges := r.count(edgeRecSize)
+		nodeRaw := r.take(nnodes * nodeRecSize)
+		edgeRaw := r.take(nedges * edgeRecSize)
 		length := int(r.i32())
-		cycleRaw := r.take(nnodes * 4)
+		cycleRaw := r.take(nnodes * cycleRecSize)
 		if r.err != nil {
 			break
 		}
@@ -604,8 +644,9 @@ func decodeSchedules(data []byte, fn *ir.Function, regions []*region.Region) ([]
 		} else {
 			nodes = nodes[:nnodes]
 		}
+		//rec:size nodeRecSize
 		for i := range nodes {
-			rec := nodeRaw[i*29 : i*29+29]
+			rec := nodeRaw[i*nodeRecSize : i*nodeRecSize+nodeRecSize]
 			blockID := ir.BlockID(int32(le.Uint32(rec[0:])))
 			opIdx := int(int32(le.Uint32(rec[4:])))
 			if blockID < 0 || int(blockID) >= len(fn.Blocks) {
@@ -631,8 +672,9 @@ func decodeSchedules(data []byte, fn *ir.Function, regions []*region.Region) ([]
 		} else {
 			edges = edges[:nedges]
 		}
+		//rec:size edgeRecSize
 		for i := range edges {
-			rec := edgeRaw[i*13 : i*13+13]
+			rec := edgeRaw[i*edgeRecSize : i*edgeRecSize+edgeRecSize]
 			edges[i] = ddg.EdgeSpec{
 				From:    int(le.Uint32(rec[0:])),
 				To:      int(le.Uint32(rec[4:])),
@@ -641,8 +683,9 @@ func decodeSchedules(data []byte, fn *ir.Function, regions []*region.Region) ([]
 			}
 		}
 		cycles := make([]int, nnodes)
+		//rec:size cycleRecSize
 		for i := range cycles {
-			cycles[i] = int(int32(le.Uint32(cycleRaw[i*4:])))
+			cycles[i] = int(int32(le.Uint32(cycleRaw[i*cycleRecSize:])))
 		}
 		g, err := ddg.RestoreScratch(fn, regions[ri], nodes, edges, renamed, copies, merged, &sc)
 		if err != nil {
@@ -779,7 +822,7 @@ func encodeDiagnostics(w *writer, ds []verify.Diagnostic) {
 
 func decodeDiagnostics(data []byte) ([]verify.Diagnostic, error) {
 	r := &reader{b: data}
-	n := r.count(15)
+	n := r.count(diagRecMin)
 	out := make([]verify.Diagnostic, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
 		d := verify.Diagnostic{

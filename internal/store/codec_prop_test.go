@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"treegion/internal/core"
@@ -171,7 +172,13 @@ func TestCorruptSectionFixtures(t *testing.T) {
 		},
 	}
 
-	for name, mutate := range fixtures {
+	names := make([]string, 0, len(fixtures))
+	for name := range fixtures {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mutate := fixtures[name]
 		t.Run(name, func(t *testing.T) {
 			mutated := mutate(bytes.Clone(body))
 

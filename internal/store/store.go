@@ -187,6 +187,7 @@ func readEntry(path string) (bp *[]byte, data []byte, mtime time.Time, err error
 		entryBufPool.Put(bp)
 		return nil, nil, time.Time{}, err
 	}
+	//vet:ignore arenaescape ownership handoff: the caller (Store.Get) returns bp to entryBufPool on every path, including decode errors
 	return bp, data, st.ModTime(), nil
 }
 

@@ -4,11 +4,13 @@ import (
 	"encoding/binary"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
 	"treegion/internal/compcache"
 	"treegion/internal/eval"
+	"treegion/internal/ir"
 	"treegion/internal/irtext"
 	"treegion/internal/progen"
 )
@@ -116,9 +118,15 @@ func requireEquivalent(t *testing.T, want, got *eval.FunctionResult) {
 		if got.Prof == nil {
 			t.Fatal("profile dropped")
 		}
-		for b, w := range want.Prof.Block {
-			if got.Prof.Block[b] != w {
-				t.Fatalf("block bb%d weight %v != %v", b, got.Prof.Block[b], w)
+		blocks := make([]int, 0, len(want.Prof.Block))
+		for b := range want.Prof.Block {
+			blocks = append(blocks, int(b))
+		}
+		sort.Ints(blocks)
+		for _, bi := range blocks {
+			b := ir.BlockID(bi)
+			if got.Prof.Block[b] != want.Prof.Block[b] {
+				t.Fatalf("block bb%d weight %v != %v", b, got.Prof.Block[b], want.Prof.Block[b])
 			}
 		}
 	}
