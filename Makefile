@@ -19,9 +19,12 @@ vet:
 	$(GO) run ./cmd/treegion-vet ./...
 
 # Static analysis: go vet + treegion-vet plus the schedule verifier over
-# every example program, across all five region formers.
+# every example program, across all five region formers — once with calls
+# as barriers, once with inline-on-absorb splicing them (the CL rules and
+# call-executing SEM certification run in both passes).
 lint: vet
 	$(GO) run ./cmd/treegion-lint -region all testdata/fig1.tir examples/tir/*.tir
+	$(GO) run ./cmd/treegion-lint -region all -inline examples/tir/*.tir
 
 test:
 	$(GO) test ./...
@@ -32,21 +35,23 @@ race:
 	$(GO) test -race ./...
 
 # Suite compiles (serial/parallel/cached/verified/warm-store/verified-warm),
-# the stress preset at 8 workers, plus the per-phase micro-benchmarks of the
-# compiler core (liveness, DDG build, list scheduling), with allocation
-# counts. The raw `go test -json` stream is captured in BENCH_7.json for
-# machine comparison against earlier runs (BENCH_6.json holds the pre-tgart2
-# gob-codec baseline). The parallel and stress benchmarks report
-# speedup-vs-serial; on a single-core box that metric caps at ~1x by physics.
+# the stress preset at 8 workers, the interprocedural presets with inlining
+# off and on (BenchmarkCompileSuiteInline), plus the per-phase
+# micro-benchmarks of the compiler core (liveness, DDG build, list
+# scheduling), with allocation counts. The raw `go test -json` stream is
+# captured in BENCH_8.json for machine comparison against earlier runs
+# (BENCH_7.json holds the pre-interprocedural baseline). The parallel and
+# stress benchmarks report speedup-vs-serial; on a single-core box that
+# metric caps at ~1x by physics.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkCompileStress|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_7.json
+	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkCompileStress|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_8.json
 
 # bench-compare diffs two bench captures. benchstat is used when installed
 # (fed plain text extracted from the JSON captures); otherwise the bundled
 # dependency-free cmd/benchdiff prints the old/new/delta table. Override the
 # endpoints with BENCH_OLD= / BENCH_NEW=.
-BENCH_OLD ?= BENCH_6.json
-BENCH_NEW ?= BENCH_7.json
+BENCH_OLD ?= BENCH_7.json
+BENCH_NEW ?= BENCH_8.json
 bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		$(GO) run ./cmd/benchdiff -extract $(BENCH_OLD) > /tmp/benchdiff_old.txt; \
@@ -63,12 +68,15 @@ bench-compare:
 # pipeline workers share through sync.Pool) and one racing pass over the
 # hot-path micro-benchmarks (the scheduler's sync.Pool scratch is shared
 # across pipeline workers, so the bench bodies must be race-clean too).
+# The inliner and the call-executing interpreter race here because pipeline
+# workers run splices concurrently across functions of one program.
 # The store and eval run with -short so their heavier matrices race a
 # reduced preset slice; the full matrices run in `test`.
 check: lint build test
 	$(GO) test -race -short ./internal/store/ ./internal/eval/
 	$(GO) test -race ./internal/jobs/ ./internal/compcache/ ./internal/pipeline/ ./internal/router/ ./cmd/treegiond/
 	$(GO) test -race ./internal/telemetry/ ./internal/ddg/ ./internal/sched/
+	$(GO) test -race ./internal/inline/ ./internal/interp/
 	$(GO) test -race -run NONE -bench 'BenchmarkColdCompile' -benchtime 1x .
 
 # loadtest boots the two-replica scale-out topology (2 treegiond + the

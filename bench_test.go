@@ -477,3 +477,48 @@ func BenchmarkCompileSuiteVerifiedWarm(b *testing.B) {
 	}
 	b.ReportMetric(float64(m.VerdictHits.Load())/float64(b.N), "verdict-hits/op")
 }
+
+// BenchmarkCompileSuiteInline compiles the two interprocedural presets
+// (callhot: 90/10 hot-callee skew; calldeep: depth-3 chains) under the
+// tail-duplicating former with inlining off and on. The off legs are the
+// barrier-call baseline; the on legs time demand-driven inline-on-absorb
+// end to end (splice + formation through the spliced body) and report the
+// splice count and the speedup over the 1-issue basic-block baseline, the
+// EXPERIMENTS.md inline table's headline numbers.
+func BenchmarkCompileSuiteInline(b *testing.B) {
+	for _, preset := range []string{"callhot", "calldeep"} {
+		prog, err := GenerateBenchmark(preset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profs, err := ProfileProgram(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Kind = TreegionTD
+		base, err := Compile(context.Background(), prog, profs, BaselineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, inl := range []bool{false, true} {
+			mode := "off"
+			opts := []CompileOption{}
+			if inl {
+				mode = "on"
+				opts = append(opts, WithInline(DefaultInlineConfig()))
+			}
+			b.Run(fmt.Sprintf("%s/inline=%s", preset, mode), func(b *testing.B) {
+				var res *ProgramResult
+				for i := 0; i < b.N; i++ {
+					res, err = Compile(context.Background(), prog, profs, cfg, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(Speedup(base.Time, res.Time), "speedup")
+				b.ReportMetric(float64(res.Inline.Inlined), "splices")
+			})
+		}
+	}
+}

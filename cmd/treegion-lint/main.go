@@ -1,20 +1,25 @@
 // Command treegion-lint statically verifies compiled schedules. It parses
-// each textual-IR file, compiles it under the requested configurations and
-// runs the internal/verify rule set — IR well-formedness (IR001-IR009),
-// region invariants (RG001-RG005), schedule legality (SC001-SC008, MC001)
+// each textual-IR file (single- or multi-function), compiles it under the
+// requested configurations and runs the internal/verify rule set — IR
+// well-formedness (IR001-IR009), region invariants (RG001-RG005), schedule
+// legality (SC001-SC008, MC001), call/interprocedural rules (CL001-CL003)
 // and differential semantics (SEM001-SEM002) — over every result.
 //
 // Usage:
 //
 //	treegion-lint [-region all] [-heuristic globalweight] [-machine 4U]
-//	              [-limit 2.0] [-seed 1] [-trips 100] [-q] file.tir...
+//	              [-limit 2.0] [-seed 1] [-trips 100] [-inline] [-q] file.tir...
 //
-// -region/-heuristic accept "all" to sweep every former or heuristic. Each
-// diagnostic prints as "file [config]: severity RULE fn/bb/op: message".
-// The exit status is non-zero iff any Error-severity diagnostic fired.
+// -region/-heuristic accept "all" to sweep every former or heuristic.
+// -inline additionally compiles with demand-driven inline-on-absorb, so the
+// splice-integrity rules check real inliner output. Each diagnostic prints
+// as "file [config]: severity RULE fn/bb/op: message". The exit status is
+// non-zero iff any Error-severity diagnostic fired.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +37,7 @@ func main() {
 	limit := flag.Float64("limit", 2.0, "code expansion limit for tree-td")
 	seed := flag.Uint64("seed", 1, "profiling seed")
 	trips := flag.Int("trips", 100, "profiling trips")
+	inlineFlag := flag.Bool("inline", false, "also splice eligible callees during formation (exercises CL002/CL003 on real splices)")
 	quiet := flag.Bool("q", false, "print Error-severity diagnostics only")
 	flag.Parse()
 
@@ -64,16 +70,26 @@ func main() {
 			failed = true
 			continue
 		}
-		fn, err := treegion.ParseFunction(string(src))
+		irprog, err := treegion.ParseIRProgram(string(src))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: parse: %v\n", path, err)
 			failed = true
 			continue
 		}
-		prof, err := treegion.ProfileFunction(fn, *seed, *trips)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: profile: %v\n", path, err)
-			failed = true
+		prog := &treegion.Program{Name: path, Funcs: irprog.Funcs}
+		var profs treegion.Profiles
+		profileOK := true
+		for i, fn := range irprog.Funcs {
+			prof, err := treegion.ProfileFunction(fn, *seed+uint64(i), *trips)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: profile %s: %v\n", path, fn.Name, err)
+				failed = true
+				profileOK = false
+				break
+			}
+			profs = append(profs, prof)
+		}
+		if !profileOK {
 			continue
 		}
 		files++
@@ -98,7 +114,7 @@ func main() {
 					TD:                   treegion.TDConfig{ExpansionLimit: *limit, PathLimit: 20, MergeLimit: 4},
 				}
 				configs++
-				if lintOne(path, fn, prof, cfg, *quiet) {
+				if lintOne(path, prog, profs, cfg, *inlineFlag, *quiet) {
 					failed = true
 				}
 			}
@@ -112,24 +128,39 @@ func main() {
 	}
 }
 
-// lintOne compiles fn under cfg and renders every diagnostic the verifier
-// produces. It reports whether an Error-severity diagnostic (or a compile
+// lintOne compiles prog under cfg through the verifying pipeline (which
+// resolves the file's call graph when inlining is on) and renders every
+// diagnostic. It reports whether an Error-severity diagnostic (or a compile
 // failure) occurred.
-func lintOne(path string, fn *treegion.Function, prof *treegion.ProfileData, cfg treegion.Config, quiet bool) bool {
+func lintOne(path string, prog *treegion.Program, profs treegion.Profiles, cfg treegion.Config, inlineOn, quiet bool) bool {
 	tag := fmt.Sprintf("%s/%s/%s", cfg.Kind, cfg.Heuristic, cfg.Machine.Name)
-	fr, err := treegion.CompileFunction(fn.Clone(), prof.Clone(), cfg)
+	opts := []treegion.CompileOption{treegion.WithVerify()}
+	if inlineOn {
+		tag += "/inline"
+		opts = append(opts, treegion.WithInline(treegion.DefaultInlineConfig()))
+	}
+	res, err := treegion.Compile(context.Background(), prog, profs, cfg, opts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s [%s]: compile: %v\n", path, tag, err)
+		var vf *treegion.VerifyFailure
+		if errors.As(err, &vf) {
+			for _, d := range vf.Diagnostics {
+				fmt.Fprintf(os.Stderr, "%s [%s]: %s\n", path, tag, d)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "%s [%s]: compile: %v\n", path, tag, err)
+		}
 		return true
 	}
 	failed := false
-	for _, d := range treegion.VerifyFunction(fn, fr, cfg) {
-		if d.Severity >= treegion.SeverityError {
-			failed = true
-		} else if quiet {
-			continue
+	for _, fr := range res.Funcs {
+		for _, d := range fr.Diagnostics {
+			if d.Severity >= treegion.SeverityError {
+				failed = true
+			} else if quiet {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "%s [%s]: %s\n", path, tag, d)
 		}
-		fmt.Fprintf(os.Stderr, "%s [%s]: %s\n", path, tag, d)
 	}
 	return failed
 }

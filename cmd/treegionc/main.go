@@ -1,12 +1,16 @@
 // Command treegionc is the compiler driver: it generates one synthetic
-// benchmark, profiles it, compiles it under a chosen region former /
-// heuristic / machine, and reports estimated performance. With -dump it
-// prints the schedules of the hottest regions.
+// benchmark (or reads a single- or multi-function textual-IR file via
+// -input), profiles it, compiles it under a chosen region former /
+// heuristic / machine, and reports estimated performance. With -inline,
+// treegion formation splices eligible callees into the growing regions
+// (demand-driven inline-on-absorb); with -dump it prints the schedules of
+// the hottest regions.
 //
 // Usage:
 //
 //	treegionc [-bench gcc] [-region tree] [-heuristic globalweight]
 //	          [-machine 4U] [-limit 2.0] [-dump 3] [-workers 0] [-stats]
+//	treegionc -input prog.tir [-inline] [-verify] ...
 //
 // -stats prints the per-phase compile trace (calls, ops, wall time per
 // phase) for the whole program and for each function, plus scheduling
@@ -28,8 +32,9 @@ import (
 func main() {
 	bench := flag.String("bench", "compress", "benchmark to compile (see -list)")
 	workers := flag.Int("workers", 0, "concurrent function compiles (0 = GOMAXPROCS)")
-	input := flag.String("input", "", "compile a single function from a textual-IR file instead of a benchmark")
+	input := flag.String("input", "", "compile a textual-IR file (single- or multi-function) instead of a benchmark")
 	trips := flag.Int("trips", 100, "profiling trips for -input functions")
+	inlineFlag := flag.Bool("inline", false, "demand-driven inline-on-absorb: splice eligible callees into growing treegions")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	regionKind := flag.String("region", "tree", "region former: bb, slr, tree, sb, tree-td")
 	heuristic := flag.String("heuristic", "globalweight", "depheight, exitcount, globalweight, weightedcount")
@@ -72,16 +77,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fn, err := treegion.ParseFunction(string(src))
+		irprog, err := treegion.ParseIRProgram(string(src))
 		if err != nil {
 			log.Fatal(err)
 		}
-		prof, err := treegion.ProfileFunction(fn, 1, *trips)
-		if err != nil {
-			log.Fatal(err)
+		prog = &treegion.Program{Name: irprog.Funcs[0].Name, Funcs: irprog.Funcs}
+		for i, fn := range irprog.Funcs {
+			prof, err := treegion.ProfileFunction(fn, uint64(1+i), *trips)
+			if err != nil {
+				log.Fatal(err)
+			}
+			profs = append(profs, prof)
 		}
-		prog = &treegion.Program{Name: fn.Name, Funcs: []*treegion.Function{fn}}
-		profs = treegion.Profiles{prof}
 	} else {
 		var err error
 		prog, err = treegion.GenerateBenchmark(*bench)
@@ -118,7 +125,14 @@ func main() {
 		cache.SetL2(st)
 		copts = append(copts, treegion.WithCache(cache))
 	}
-	res, err := treegion.Compile(ctx, prog, profs, cfg, copts...)
+	// The baseline compiles without inlining: the speedup denominator is the
+	// untransformed program on the scalar machine.
+	mainOpts := copts
+	if *inlineFlag {
+		mainOpts = append(append([]treegion.CompileOption(nil), copts...),
+			treegion.WithInline(treegion.DefaultInlineConfig()))
+	}
+	res, err := treegion.Compile(ctx, prog, profs, cfg, mainOpts...)
 	if err != nil {
 		fatalCompile(err)
 	}
@@ -155,6 +169,12 @@ func main() {
 	}
 	fmt.Printf("speculated %d ops; renamed %d dests (%d copies); merged %d duplicates\n",
 		spec, ren, cop, mer)
+	if *inlineFlag {
+		il := res.Inline
+		fmt.Printf("inlining:       %d calls spliced (%d ops); declined %d (depth %d, size %d, budget %d, guarded %d, shape %d)\n",
+			il.Inlined, il.InlinedOps, il.Declined(),
+			il.DeclinedDepth, il.DeclinedSize, il.DeclinedBudget, il.DeclinedGuarded, il.DeclinedShape)
+	}
 
 	if *stats {
 		fmt.Printf("\nscheduling:     %d ops in %d cycles; %d speculated; %.2f branches/cycle (max %d); %d predicated branch cycles\n",

@@ -44,6 +44,11 @@ type batchRequest struct {
 	Trips          int     `json:"trips"`
 	Schedules      bool    `json:"schedules"`
 	Verify         bool    `json:"verify"`
+	// Inline resolves the batch's functions into one program and splices
+	// eligible callees into the growing treegions. The batch must form a
+	// valid program: function names unique, every named callee present in
+	// the batch, call arities matching the callee signatures.
+	Inline bool `json:"inline"`
 }
 
 // batchFunction is one function of a batch.
@@ -56,6 +61,7 @@ type batchFunction struct {
 var batchRequestFields = []string{
 	"functions", "region", "heuristic", "machine", "rename", "dompar",
 	"ifconvert", "expansion_limit", "seed", "trips", "schedules", "verify",
+	"inline",
 }
 
 // maxBatchFunctions bounds one batch; bigger workloads belong on several
@@ -105,6 +111,7 @@ func (br *batchRequest) compileRequestFor(ir string) *compileRequest {
 		Trips:          br.Trips,
 		Schedules:      br.Schedules,
 		Verify:         br.Verify,
+		Inline:         br.Inline,
 	}
 }
 
@@ -172,6 +179,15 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		fns[i], profs[i] = fn, prof
 	}
+	// An inlining batch must resolve into a program; reject an unresolvable
+	// one here, while a clean HTTP error status is still possible (the
+	// pipeline would re-derive the same failure after the 200 header).
+	if req.Inline {
+		if _, err := treegion.ResolveProgram(fns); err != nil {
+			s.writeError(w, apiErr(http.StatusBadRequest, "bad_program", err))
+			return
+		}
+	}
 	s.reg.Counter("treegiond_http_compile_batch_functions_total",
 		"Functions received on /v1/compile-batch.").Add(int64(n))
 
@@ -203,7 +219,7 @@ func (s *server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return rc.Flush()
 	}
-	err = treegion.CompileEach(r.Context(), fns, profs, cfg, emit, s.compileOptions(req.Verify)...)
+	err = treegion.CompileEach(r.Context(), fns, profs, cfg, emit, s.compileOptions(req.Verify, req.Inline)...)
 	if err != nil {
 		// The client is gone (write failure or disconnect-driven cancel);
 		// there is nobody left to send a summary to.

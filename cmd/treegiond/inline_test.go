@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+)
+
+func callpair(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../examples/tir/callpair.tir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+// TestCompileEndpointProgram: a multi-function "ir" body compiles as a
+// program; with "inline": true the call splices and the response carries
+// the inline record; with "verify" the whole rule set (including the CL
+// call rules and differential semantics over real calls) must stay silent.
+func TestCompileEndpointProgram(t *testing.T) {
+	_, ts := testServer(t)
+	src := callpair(t)
+
+	// Without inline: the program compiles, the call stays a barrier.
+	req, _ := json.Marshal(map[string]any{"ir": src, "region": "tree-td", "verify": true})
+	resp, cr := postCompile(t, ts, string(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if cr.Functions != 2 || cr.Inlined != 0 {
+		t.Fatalf("functions = %d, inlined = %d; want 2, 0", cr.Functions, cr.Inlined)
+	}
+	if len(cr.Diagnostics) != 0 {
+		t.Fatalf("verify diagnostics: %v", cr.Diagnostics)
+	}
+
+	// With inline: the callee splices, and verification still proves the
+	// result against the original program's call-executing semantics.
+	reqIn, _ := json.Marshal(map[string]any{"ir": src, "region": "tree-td", "verify": true, "inline": true})
+	respIn, crIn := postCompile(t, ts, string(reqIn))
+	if respIn.StatusCode != http.StatusOK {
+		t.Fatalf("inline status = %d, want 200", respIn.StatusCode)
+	}
+	if crIn.Inlined == 0 || crIn.InlinedOps == 0 {
+		t.Fatalf("inline response records no splices: %+v", crIn)
+	}
+	if len(crIn.Diagnostics) != 0 {
+		t.Fatalf("inline verify diagnostics: %v", crIn.Diagnostics)
+	}
+	if crIn.Time >= cr.Time {
+		t.Errorf("inlined time %v not better than %v with the call barrier", crIn.Time, cr.Time)
+	}
+
+	// An unresolvable program with inline on is a 400, not a compile error.
+	bad, _ := json.Marshal(map[string]any{"ir": "func solo\nbb0:\n  r2 = call @missing r0, r1\n  ret", "inline": true})
+	respBad, _ := postCompile(t, ts, string(bad))
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unresolvable program: status = %d, want 400", respBad.StatusCode)
+	}
+}
+
+// TestCompileBatchInline: the batch endpoint resolves its function list
+// into one program when "inline" is set; each caller's line reports its own
+// splices, and an unresolvable batch is rejected before the stream starts.
+func TestCompileBatchInline(t *testing.T) {
+	_, ts := testServer(t)
+	src := callpair(t)
+	// Split the example into its two functions for the batch shape.
+	i := strings.Index(src, "func pair_mix")
+	caller, callee := src[:i], src[i:]
+
+	body, _ := json.Marshal(map[string]any{
+		"functions": []map[string]string{{"ir": caller}, {"ir": callee}},
+		"region":    "tree-td",
+		"verify":    true,
+		"inline":    true,
+	})
+	resp, err := http.Post(ts.URL+"/v1/compile-batch", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var lines []batchLine
+	var summary batchSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "\"done\"") {
+			if err := json.Unmarshal(sc.Bytes(), &summary); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var ln batchLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !summary.Done || summary.Errors != 0 || len(lines) != 2 {
+		t.Fatalf("summary %+v, %d lines", summary, len(lines))
+	}
+	if lines[0].Result == nil || lines[0].Result.Inlined == 0 {
+		t.Fatalf("caller line records no splices: %+v", lines[0].Result)
+	}
+	if lines[1].Result == nil || lines[1].Result.Inlined != 0 {
+		t.Fatalf("leaf callee line claims splices: %+v", lines[1].Result)
+	}
+
+	// A batch that does not resolve (missing callee) fails up front.
+	badBody, _ := json.Marshal(map[string]any{
+		"functions": []map[string]string{{"ir": caller}},
+		"inline":    true,
+	})
+	respBad, err := http.Post(ts.URL+"/v1/compile-batch", "application/json", strings.NewReader(string(badBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := decodeError(t, respBad)
+	if respBad.StatusCode != http.StatusBadRequest || er.Error.Code != "bad_program" {
+		t.Fatalf("status = %d code = %q, want 400 bad_program", respBad.StatusCode, er.Error.Code)
+	}
+}

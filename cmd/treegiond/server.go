@@ -178,13 +178,18 @@ type compileRequest struct {
 	// error listing the violated rule IDs; advisory diagnostics ride along
 	// in the response.
 	Verify bool `json:"verify"`
+	// Inline enables demand-driven inline-on-absorb: the request's functions
+	// are resolved into a program and calls whose callee fits the default
+	// budgets are spliced into the growing treegions. Requires the "ir" field
+	// to resolve as a program (callees defined, arities matching).
+	Inline bool `json:"inline"`
 }
 
 // compileRequestFields lists the accepted body fields, quoted in the
 // structured 400 a request with an unknown field receives.
 var compileRequestFields = []string{
 	"ir", "region", "heuristic", "machine", "rename", "dompar", "ifconvert",
-	"expansion_limit", "seed", "trips", "schedules", "trace", "verify",
+	"expansion_limit", "seed", "trips", "schedules", "trace", "verify", "inline",
 }
 
 // tracePhase is one row of the optional per-phase trace in the response.
@@ -210,7 +215,15 @@ type compileResponse struct {
 	Merged          int                   `json:"merged"`
 	BranchCycles    int                   `json:"branch_cycles"`
 	Cached          bool                  `json:"cached"`
-	ElapsedMS       float64               `json:"elapsed_ms"`
+	// Functions is the function count of a multi-function compile (omitted
+	// for the single-function requests the endpoint has always served).
+	Functions int `json:"functions,omitempty"`
+	// Inline statistics, present when the request enabled inlining and the
+	// compile consulted the inliner.
+	Inlined        int     `json:"inlined,omitempty"`
+	InlinedOps     int     `json:"inlined_ops,omitempty"`
+	InlineDeclined int     `json:"inline_declined,omitempty"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
 	Schedules       []string              `json:"schedules,omitempty"`
 	Trace           map[string]tracePhase `json:"trace,omitempty"`
 	// Verified is true when the request asked for verification and every
@@ -345,8 +358,9 @@ func (s *server) parseAndProfile(req *compileRequest) (*treegion.Function, *tree
 
 // compileOptions assembles the pipeline options every compile on this
 // daemon shares: the worker pool bound, the tiered cache/store, metrics and
-// telemetry — plus verification when the request asks for it.
-func (s *server) compileOptions(verify bool) []treegion.CompileOption {
+// telemetry — plus verification and inline-on-absorb when the request asks
+// for them.
+func (s *server) compileOptions(verify, inlineOn bool) []treegion.CompileOption {
 	copts := []treegion.CompileOption{
 		treegion.WithWorkers(s.workers),
 		treegion.WithCache(s.cache),
@@ -355,6 +369,9 @@ func (s *server) compileOptions(verify bool) []treegion.CompileOption {
 	}
 	if verify {
 		copts = append(copts, treegion.WithVerify())
+	}
+	if inlineOn {
+		copts = append(copts, treegion.WithInline(treegion.DefaultInlineConfig()))
 	}
 	return copts
 }
@@ -375,21 +392,105 @@ func compileError(err error) *apiError {
 
 // compile is the request core shared by the synchronous handler and the
 // async job runner: parse, profile, compile through the tiered cache,
-// shape the response. ElapsedMS is left for the caller.
+// shape the response. ElapsedMS is left for the caller. A single-function
+// request without inlining takes exactly the historical path (same cache
+// keys, same response bytes); a multi-function "ir" or "inline": true
+// compiles the resolved program as one unit.
 func (s *server) compile(ctx context.Context, req *compileRequest) (*compileResponse, *apiError) {
 	cfg, err := s.configFrom(req)
 	if err != nil {
 		return nil, apiErr(http.StatusBadRequest, "bad_config", err)
 	}
+	// Inline requests and multi-function sources (the single-function parser
+	// rejects a second `func` declaration) go through the program path.
+	if req.Inline {
+		return s.compileProgram(ctx, req, cfg)
+	}
 	fn, prof, aerr := s.parseAndProfile(req)
 	if aerr != nil {
+		if _, perr := treegion.ParseIRProgram(req.IR); perr == nil {
+			return s.compileProgram(ctx, req, cfg)
+		}
 		return nil, aerr
 	}
-	fr, cached, err := treegion.CompileOne(ctx, fn, prof, cfg, s.compileOptions(req.Verify)...)
+	fr, cached, err := treegion.CompileOne(ctx, fn, prof, cfg, s.compileOptions(req.Verify, false)...)
 	if err != nil {
 		return nil, compileError(err)
 	}
 	return s.shapeResponse(req, fr, cached), nil
+}
+
+// compileProgram serves the interprocedural request shape: the "ir" field
+// holds a whole program, whose call graph must resolve; with "inline" set,
+// eligible callees splice into the growing treegions.
+func (s *server) compileProgram(ctx context.Context, req *compileRequest, cfg treegion.Config) (*compileResponse, *apiError) {
+	irprog, err := treegion.ParseIRProgram(req.IR)
+	if err != nil {
+		return nil, apiErr(http.StatusBadRequest, "bad_ir", fmt.Errorf("parse ir: %w", err))
+	}
+	seed, trips := req.Seed, req.Trips
+	if seed == 0 {
+		seed = 1
+	}
+	if trips <= 0 {
+		trips = 100
+	}
+	prog := &treegion.Program{Name: irprog.Funcs[0].Name, Funcs: irprog.Funcs}
+	var profs treegion.Profiles
+	for i, fn := range irprog.Funcs {
+		prof, err := treegion.ProfileFunction(fn, seed+uint64(i), trips)
+		if err != nil {
+			return nil, apiErr(http.StatusUnprocessableEntity, "profile_failed", fmt.Errorf("profile %s: %w", fn.Name, err))
+		}
+		profs = append(profs, prof)
+	}
+	res, err := treegion.Compile(ctx, prog, profs, cfg, s.compileOptions(req.Verify, req.Inline)...)
+	if err != nil {
+		return nil, compileError(err)
+	}
+	return s.shapeProgramResponse(req, res), nil
+}
+
+// shapeProgramResponse renders a whole-program compile: aggregate time,
+// code size, scheduling counters and the inline record, with the
+// per-function details (schedules, traces) concatenated in function order.
+func (s *server) shapeProgramResponse(req *compileRequest, res *treegion.ProgramResult) *compileResponse {
+	resp := &compileResponse{
+		Function:  res.Name,
+		Functions: len(res.Funcs),
+		Time:      res.Time,
+	}
+	for _, fr := range res.Funcs {
+		resp.TimeWithCopies += fr.Copies
+		resp.OpsBefore += fr.OpsBefore
+		resp.OpsAfter += fr.OpsAfter
+		resp.Regions += len(fr.Regions)
+		resp.Speculated += fr.NumSpeculated
+		resp.Renamed += fr.NumRenamed
+		resp.Copies += fr.NumCopies
+		resp.Merged += fr.NumMerged
+		resp.BranchCycles += fr.Sched.BranchCycles
+		for _, sc := range fr.Schedules {
+			resp.ScheduleLengths = append(resp.ScheduleLengths, sc.Length)
+			if req.Schedules {
+				resp.Schedules = append(resp.Schedules, sc.String())
+			}
+		}
+		if req.Verify {
+			for _, d := range fr.Diagnostics {
+				resp.Diagnostics = append(resp.Diagnostics, d.String())
+			}
+		}
+	}
+	if req.Verify {
+		resp.Verified = true
+	}
+	if req.Inline {
+		resp.Inlined = res.Inline.Inlined
+		resp.InlinedOps = res.Inline.InlinedOps
+		resp.InlineDeclined = res.Inline.Declined()
+	}
+	return resp
 }
 
 // shapeResponse renders one compiled function as the API response body
@@ -414,6 +515,11 @@ func (s *server) shapeResponse(req *compileRequest, fr *treegion.FunctionResult,
 		for _, d := range fr.Diagnostics {
 			resp.Diagnostics = append(resp.Diagnostics, d.String())
 		}
+	}
+	if req.Inline {
+		resp.Inlined = fr.Inline.Inlined
+		resp.InlinedOps = fr.Inline.InlinedOps
+		resp.InlineDeclined = fr.Inline.Declined()
 	}
 	for _, sc := range fr.Schedules {
 		resp.ScheduleLengths = append(resp.ScheduleLengths, sc.Length)

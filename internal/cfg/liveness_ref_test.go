@@ -112,11 +112,16 @@ func TestLivenessMatchesReferenceExamples(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fn, err := irtext.Parse(string(src))
+		// Examples may be multi-function programs; diff every function.
+		prog, err := irtext.ParseProgram(string(src))
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
-		t.Run(filepath.Base(p), func(t *testing.T) { diffLiveness(t, fn) })
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			for _, fn := range prog.Funcs {
+				diffLiveness(t, fn)
+			}
+		})
 	}
 }
 

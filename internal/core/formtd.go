@@ -38,6 +38,17 @@ func FormTD(fn *ir.Function, prof *profile.Data, td TDConfig) []*region.Region {
 // FormTDTraced is FormTD recording each tail duplication's wall time and
 // duplicated op count on tr as the tail-dup phase (nil disables tracing).
 func FormTDTraced(fn *ir.Function, prof *profile.Data, td TDConfig, tr *telemetry.CompileTrace) []*region.Region {
+	return FormTDInlineTraced(fn, prof, td, tr, nil)
+}
+
+// FormTDInlineTraced is FormTDTraced with a demand-driven block rewriter
+// (the inliner) consulted for every block as it joins a region — including
+// blocks a splice itself appended, so inlined bodies absorb and tail
+// duplicate like original code. Blocks created by tail duplication are NOT
+// offered to the rewriter: residual calls in a duplicate stay residual,
+// keeping the duplicate's semantics byte-for-byte those of its original. A
+// nil rewriter reproduces FormTDTraced exactly.
+func FormTDInlineTraced(fn *ir.Function, prof *profile.Data, td TDConfig, tr *telemetry.CompileTrace, rw BlockRewriter) []*region.Region {
 	if td.PathLimit <= 0 {
 		td.PathLimit = 20
 	}
@@ -49,6 +60,7 @@ func FormTDTraced(fn *ir.Function, prof *profile.Data, td TDConfig, tr *telemetr
 	}
 	g := cfg.New(fn)
 	f := newFormer(fn, g)
+	f.rw = rw
 	e := &expander{f: f, prof: prof, td: td, tr: tr}
 	return f.form(region.KindTreegionTD, e.expand)
 }
@@ -64,8 +76,20 @@ type expander struct {
 
 // size is the growth measure used for the expansion limit: ops plus one per
 // block, so duplicating even an empty block consumes budget (termination).
+// Copy ops are excluded: they ride free in the machine model (see
+// ListSchedule), and the inliner binds arguments and returns with copies
+// while formation is underway — without the exclusion those bindings would
+// inflate a tree's recorded original size and let tail duplication overshoot
+// the post-hoc RG005 invariant. Legacy formation never sees a Copy (renaming
+// inserts them after formation), so the exclusion is exact there.
 func blockSize(fn *ir.Function, b ir.BlockID) int {
-	return len(fn.Block(b).Ops) + 1
+	n := 1
+	for _, op := range fn.Block(b).Ops {
+		if op.Opcode != ir.Copy {
+			n++
+		}
+	}
+	return n
 }
 
 // expand applies tail duplication to one freshly absorbed treegion until no
@@ -113,6 +137,7 @@ func (e *expander) expand(r *region.Region) {
 			p := f.preds[sap][0]
 			r.Add(sap, p)
 			f.inRegion[sap] = true
+			f.entered(sap)
 			f.absorb(r, sap)
 		}
 	}

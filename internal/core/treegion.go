@@ -17,13 +17,33 @@ import (
 //
 // Formation is profile-independent, as the paper emphasizes.
 func Form(fn *ir.Function, g *cfg.Graph) []*region.Region {
+	return FormInline(fn, g, nil)
+}
+
+// FormInline is Form with a demand-driven block rewriter (typically the
+// inliner, see internal/inline) consulted for every block the moment it joins
+// a region. A nil rewriter reproduces Form exactly.
+func FormInline(fn *ir.Function, g *cfg.Graph, rw BlockRewriter) []*region.Region {
 	f := newFormer(fn, g)
+	f.rw = rw
 	return f.form(region.KindTreegion, nil)
+}
+
+// BlockRewriter is the demand-driven hook treegion formation offers the
+// inliner: RewriteBlock is called once for each block right after it joins a
+// region (and before its successors are considered for absorption), and may
+// splice new blocks onto the function — splitting b and appending fresh
+// blocks, but never touching blocks that already belong to regions. It
+// returns whether it mutated the function, in which case the former refreshes
+// its predecessor bookkeeping from b's new out-edges and the appended blocks.
+type BlockRewriter interface {
+	RewriteBlock(b ir.BlockID) bool
 }
 
 type former struct {
 	fn       *ir.Function
 	g        *cfg.Graph
+	rw       BlockRewriter
 	inRegion map[ir.BlockID]bool
 	// preds is maintained incrementally so treeform-td sees merge counts
 	// that reflect its own tail duplications.
@@ -48,6 +68,39 @@ func newFormer(fn *ir.Function, g *cfg.Graph) *former {
 // isMerge consults the live predecessor bookkeeping.
 func (f *former) isMerge(b ir.BlockID) bool { return len(f.preds[b]) >= 2 }
 
+// entered gives the rewriter its shot at a block that just joined a region,
+// then reconciles the predecessor bookkeeping with the mutation: b's old
+// out-edges are retired (a splice moves them onto the continuation block) and
+// the appended blocks' out-edges are registered, so merge detection keeps
+// seeing accurate counts mid-formation.
+func (f *former) entered(b ir.BlockID) {
+	if f.rw == nil {
+		return
+	}
+	old := f.fn.Block(b).Succs()
+	n0 := len(f.fn.Blocks)
+	if !f.rw.RewriteBlock(b) {
+		return
+	}
+	for _, s := range old {
+		lst := f.preds[s]
+		for i, q := range lst {
+			if q == b {
+				f.preds[s] = append(lst[:i:i], lst[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, nb := range f.fn.Blocks[n0:] {
+		for _, s := range nb.Succs() {
+			f.preds[s] = append(f.preds[s], nb.ID)
+		}
+	}
+	for _, s := range f.fn.Block(b).Succs() {
+		f.preds[s] = append(f.preds[s], b)
+	}
+}
+
 // form runs the treeform worklist. If expand is non-nil it is invoked after
 // each tree's initial absorption to apply tail duplication (treeform-td).
 func (f *former) form(kind region.Kind, expand func(*region.Region)) []*region.Region {
@@ -67,6 +120,7 @@ func (f *former) form(kind region.Kind, expand func(*region.Region)) []*region.R
 		}
 		r := region.New(f.fn, kind, root)
 		f.inRegion[root] = true
+		f.entered(root)
 		f.absorb(r, root)
 		if expand != nil {
 			expand(r)
@@ -105,6 +159,7 @@ func (f *former) absorb(r *region.Region, start ir.BlockID) {
 		}
 		r.Add(c.node, c.parent)
 		f.inRegion[c.node] = true
+		f.entered(c.node)
 		push(c.node)
 	}
 }

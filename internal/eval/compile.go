@@ -8,6 +8,7 @@ import (
 	"treegion/internal/core"
 	"treegion/internal/ddg"
 	"treegion/internal/hyper"
+	"treegion/internal/inline"
 	"treegion/internal/interp"
 	"treegion/internal/ir"
 	"treegion/internal/linear"
@@ -80,6 +81,15 @@ type Config struct {
 	// duplication); Hyper bounds it.
 	IfConvert bool
 	Hyper     hyper.Config
+	// Inline enables demand-driven inline-on-absorb during treegion
+	// formation (Treegion and TreegionTD kinds): calls whose callee fits the
+	// budgets are spliced into the growing region. Requires InlineEnv.
+	Inline inline.Config
+	// InlineEnv is the interprocedural context (resolved program plus
+	// per-function profiles) the inliner clones callee bodies from. It is
+	// input content, not configuration — the pipeline hashes the reachable
+	// callees into cache keys separately — so it is not fingerprinted.
+	InlineEnv *inline.Env
 }
 
 // Fingerprint returns a canonical string covering every field of the
@@ -87,12 +97,18 @@ type Config struct {
 // and memoization keys: two Configs compile identically iff their
 // fingerprints match.
 func (c Config) Fingerprint() string {
-	return fmt.Sprintf("k%s/h%s/m%s-%d/r%t/d%t/td%g-%d-%d/sb%d-%g/ic%t-%d-%d",
+	fp := fmt.Sprintf("k%s/h%s/m%s-%d/r%t/d%t/td%g-%d-%d/sb%d-%g/ic%t-%d-%d",
 		c.Kind, c.Heuristic, c.Machine.Name, c.Machine.IssueWidth,
 		c.Rename, c.DominatorParallelism,
 		c.TD.ExpansionLimit, c.TD.PathLimit, c.TD.MergeLimit,
 		c.SB.MaxTraceLen, c.SB.ExpansionLimit,
 		c.IfConvert, c.Hyper.MaxArmOps, c.Hyper.MaxPasses)
+	// The inline segment appears only when inlining is on, keeping every
+	// pre-existing fingerprint (and cache key derived from it) byte-stable.
+	if c.Inline.Enabled {
+		fp += "/il" + c.Inline.Fingerprint()
+	}
+	return fp
 }
 
 // DefaultConfig returns the paper's headline configuration: treegion
@@ -130,6 +146,9 @@ type FunctionResult struct {
 	Trace *telemetry.CompileTrace
 	// If-conversion statistics (when Config.IfConvert was set).
 	Hyper hyper.Stats
+	// Inline records the demand-driven inlining performed during formation
+	// (when Config.Inline.Enabled was set): splices, added ops, declines.
+	Inline inline.Stats
 	// Diagnostics holds the static verifier's findings when verification
 	// ran (see VerifyResult); nil when it did not.
 	Diagnostics []verify.Diagnostic
@@ -164,6 +183,14 @@ func CompileFunctionArena(fn *ir.Function, prof *profile.Data, c Config, ar *Are
 	// phase totals add up without double counting.
 	t0 := time.Now()
 	a0 := telemetry.AllocMark()
+	// Demand-driven inlining hooks into the treegion formers. New returns
+	// nil when disabled or without program context; the typed nil must not
+	// reach the interface, or the formers would see a non-nil rewriter.
+	in := inline.New(c.Inline, c.InlineEnv, fn, prof)
+	var rw core.BlockRewriter
+	if in != nil {
+		rw = in
+	}
 	g := cfg.New(fn)
 	switch c.Kind {
 	case BasicBlocks:
@@ -171,7 +198,7 @@ func CompileFunctionArena(fn *ir.Function, prof *profile.Data, c Config, ar *Are
 	case SLR:
 		res.Regions = linear.SLRs(fn, g, prof)
 	case Treegion:
-		res.Regions = core.Form(fn, g)
+		res.Regions = core.FormInline(fn, g, rw)
 	case Superblock:
 		sb := c.SB
 		if sb.MaxTraceLen == 0 && sb.ExpansionLimit == 0 {
@@ -183,9 +210,12 @@ func CompileFunctionArena(fn *ir.Function, prof *profile.Data, c Config, ar *Are
 		if td.ExpansionLimit == 0 {
 			td = core.DefaultTDConfig()
 		}
-		res.Regions = core.FormTDTraced(fn, prof, td, tr)
+		res.Regions = core.FormTDInlineTraced(fn, prof, td, tr, rw)
 	default:
 		return nil, fmt.Errorf("eval: unknown region kind %d", c.Kind)
+	}
+	if in != nil {
+		res.Inline = in.Stats()
 	}
 	res.OpsAfter = fn.NumOps()
 	tr.ObserveAllocs(telemetry.PhaseTreeform, a0)
@@ -249,6 +279,8 @@ type ProgramResult struct {
 	RegionStats region.Stats
 	// Sched aggregates schedule statistics over every function.
 	Sched sched.Stats
+	// Inline aggregates the per-function inlining statistics.
+	Inline inline.Stats
 	// Trace merges the per-function compile traces. Its call and op counts
 	// are deterministic in the inputs and the worker count.
 	Trace *telemetry.CompileTrace
@@ -276,8 +308,18 @@ func ProfileProgram(prog *progen.Program) (Profiles, error) {
 }
 
 // CompileProgram compiles every function of prog under c, on fresh clones of
-// the functions and profiles, and aggregates the results.
+// the functions and profiles, and aggregates the results. When c enables
+// inlining without supplying an InlineEnv, the env is resolved from prog
+// itself (the original functions — the inliner clones out of them while the
+// compilation mutates its own copies).
 func CompileProgram(prog *progen.Program, profs Profiles, c Config) (*ProgramResult, error) {
+	if c.Inline.Enabled && c.InlineEnv == nil {
+		p, err := ir.NewProgram(prog.Funcs)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", prog.Name, err)
+		}
+		c.InlineEnv = &inline.Env{Prog: p, Profiles: profs}
+	}
 	frs := make([]*FunctionResult, len(prog.Funcs))
 	for i, orig := range prog.Funcs {
 		fn := orig.Clone()
@@ -300,10 +342,10 @@ func Aggregate(name string, c Config, frs []*FunctionResult) *ProgramResult {
 	var statParts []region.Stats
 	for _, fr := range frs {
 		res.Funcs = append(res.Funcs, fr)
-		res.Time += fr.Time
 		before += fr.OpsBefore
 		after += fr.OpsAfter
 		res.Sched = res.Sched.Add(fr.Sched)
+		res.Inline = res.Inline.Add(fr.Inline)
 		res.Trace.Merge(fr.Trace)
 		switch c.Kind {
 		case Superblock:
@@ -323,7 +365,120 @@ func Aggregate(name string, c Config, frs []*FunctionResult) *ProgramResult {
 		res.CodeExpansion = float64(after) / float64(before)
 	}
 	res.RegionStats = region.Merge(statParts)
+	res.Time = aggregateTime(frs)
 	return res
+}
+
+// aggregateTime folds per-function times into an estimated program time.
+//
+// For call-free programs it is the plain function-order sum the serial
+// pipeline has always produced (bit-identical floats). When functions call
+// each other — resolved residual calls left in the compiled code, or calls
+// the inliner absorbed (recorded as splices) — the standalone sum would count
+// a callee twice: once in its caller's profile-weighted time (the call's own
+// latency, or the spliced body) and once standalone. Instead, each function's
+// total time charges every residual callsite with the callee's
+// per-invocation time (its total time divided by its profiled entry weight),
+// and the program time sums only the roots — functions no other function
+// references. Inlined callsites charge nothing: the spliced body is already
+// inside the caller's schedule and profile.
+func aggregateTime(frs []*FunctionResult) float64 {
+	idx := make(map[string]int, len(frs))
+	for i, fr := range frs {
+		idx[fr.Fn.Name] = i
+	}
+	// Reference edges: residual resolved calls in the compiled bodies, plus
+	// splices (calls that existed in the source and were absorbed).
+	called := make([]bool, len(frs))
+	anyCalls := false
+	for _, fr := range frs {
+		for _, b := range fr.Fn.Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode != ir.Call || op.Callee == "" {
+					continue
+				}
+				if j, ok := idx[op.Callee]; ok {
+					called[j] = true
+					anyCalls = true
+				}
+			}
+		}
+		for _, sp := range fr.Inline.Splices {
+			if j, ok := idx[sp.Callee]; ok {
+				called[j] = true
+				anyCalls = true
+			}
+		}
+	}
+	if !anyCalls {
+		var sum float64
+		for _, fr := range frs {
+			sum += fr.Time
+		}
+		return sum
+	}
+	// tt(i): fr.Time plus the residual-call charges, memoized; on-stack
+	// cycle detection breaks recursion deterministically by charging the
+	// cycle edge nothing (generated programs are acyclic; hand-written
+	// recursive inputs still get a stable, finite estimate).
+	const (
+		unvisited = iota
+		onstack
+		doneState
+	)
+	state := make([]int, len(frs))
+	memo := make([]float64, len(frs))
+	var tt func(i int) float64
+	tt = func(i int) float64 {
+		switch state[i] {
+		case doneState:
+			return memo[i]
+		case onstack:
+			return 0
+		}
+		state[i] = onstack
+		fr := frs[i]
+		t := fr.Time
+		for _, b := range fr.Fn.Blocks {
+			w := fr.Prof.BlockWeight(b.ID)
+			if w == 0 {
+				continue
+			}
+			for _, op := range b.Ops {
+				if op.Opcode != ir.Call || op.Callee == "" {
+					continue
+				}
+				j, ok := idx[op.Callee]
+				if !ok {
+					continue
+				}
+				ew := frs[j].Prof.BlockWeight(frs[j].Fn.Entry)
+				if ew <= 0 {
+					continue
+				}
+				t += w * (tt(j) / ew)
+			}
+		}
+		state[i] = doneState
+		memo[i] = t
+		return t
+	}
+	var sum float64
+	roots := 0
+	for i := range frs {
+		if !called[i] {
+			sum += tt(i)
+			roots++
+		}
+	}
+	// Degenerate fully-cyclic programs have no roots; fall back to summing
+	// everything so the estimate never collapses to zero.
+	if roots == 0 {
+		for i := range frs {
+			sum += tt(i)
+		}
+	}
+	return sum
 }
 
 // BaselineConfig is the speedup denominator: basic-block scheduling on the

@@ -22,12 +22,24 @@ func VerifyDiagnostics(orig *ir.Function, fr *FunctionResult, c Config) []verify
 			td = core.DefaultTDConfig()
 		}
 	}
-	return verify.Compiled(fr.Fn, fr.Regions, fr.Schedules, verify.Options{
+	opts := verify.Options{
 		Machine:   c.Machine,
 		TD:        td,
 		IfConvert: c.IfConvert,
 		Orig:      orig,
-	})
+	}
+	// Interprocedural context: with a resolved program the differential
+	// check executes calls and CL001 re-derives residual call conventions;
+	// with inlining on, the splice records enable CL002/CL003 and the
+	// region checks' continuation handling.
+	if c.InlineEnv != nil {
+		opts.Prog = c.InlineEnv.Prog
+	}
+	if c.Inline.Enabled {
+		st := fr.Inline
+		opts.Inline = &st
+	}
+	return verify.Compiled(fr.Fn, fr.Regions, fr.Schedules, opts)
 }
 
 // VerifyResult is VerifyDiagnostics plus recording the diagnostics on fr.

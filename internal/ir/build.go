@@ -105,6 +105,18 @@ func (f *Function) EmitBru(b *Block, btr Reg, target BlockID) *Op {
 	return op
 }
 
+// EmitCall appends "dests = CALL @callee srcs". The srcs are matched
+// positionally to the callee's Params and the dests to its Rets; the call
+// remains a scheduling barrier unless the inliner splices the callee in.
+func (f *Function) EmitCall(b *Block, callee string, dests, srcs []Reg) *Op {
+	op := f.NewOp(Call)
+	op.Callee = callee
+	op.Dests = append([]Reg(nil), dests...)
+	op.Srcs = append([]Reg(nil), srcs...)
+	b.Ops = append(b.Ops, op)
+	return op
+}
+
 // EmitRet appends a RET, marking the block as a function exit.
 func (f *Function) EmitRet(b *Block) *Op {
 	op := f.NewOp(Ret)

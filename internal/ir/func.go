@@ -13,6 +13,14 @@ type Function struct {
 	Blocks []*Block
 	Entry  BlockID
 
+	// Params and Rets define the function's call convention: Params are the
+	// registers that receive the caller's arguments (positionally matched to
+	// a Call op's Srcs), Rets are the registers whose values are live at RET
+	// and are copied into the Call op's Dests. Both are empty for the legacy
+	// single-function programs.
+	Params []Reg
+	Rets   []Reg
+
 	nextOpID  int
 	nextReg   [5]int // per-RegClass next virtual register number
 	nextBlock BlockID
@@ -111,6 +119,8 @@ func (f *Function) Clone() *Function {
 	c := &Function{
 		Name:      f.Name,
 		Entry:     f.Entry,
+		Params:    append([]Reg(nil), f.Params...),
+		Rets:      append([]Reg(nil), f.Rets...),
 		nextOpID:  f.nextOpID,
 		nextReg:   f.nextReg,
 		nextBlock: f.nextBlock,

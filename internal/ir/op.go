@@ -98,11 +98,16 @@ func (o Opcode) IsMemory() bool { return o == Ld || o == St }
 
 // Speculatable reports whether an op with this opcode may be hoisted above a
 // branch it is control-dependent on. Stores must not speculate (no predicated
-// stores in this study), calls are barriers, branches and copies stay put,
-// and Ret terminates the function.
+// stores in this study), branches and copies stay put, and Ret terminates the
+// function.
 func (o Opcode) Speculatable() bool {
 	switch o {
-	case St, Call, Ret, Brct, Brcf, Bru, Copy:
+	case St, Ret, Brct, Brcf, Bru, Copy:
+		return false
+	case Call:
+		// A call is a scheduling barrier with its own latency (see
+		// machine.Model.Latency): it clobbers memory and transfers control,
+		// so it never moves above a branch.
 		return false
 	}
 	return true
@@ -157,6 +162,10 @@ type Op struct {
 	// branch is taken given that it executes (conditional branches only).
 	// The stochastic interpreter draws against it to produce profiles.
 	Prob float64
+	// Callee names the function a Call op targets ("" for the legacy opaque
+	// call). Srcs carry the argument registers, matched positionally to the
+	// callee's Params; Dests receive the callee's Rets on return.
+	Callee string
 	// Renamed marks ops whose destination was renamed by the scheduler to
 	// permit speculation; used only for reporting.
 	Renamed bool
@@ -219,6 +228,10 @@ func (op *Op) base() string {
 	case St:
 		fmt.Fprintf(&b, " [%s+%d], %s", op.Srcs[0], op.Imm, op.Srcs[1])
 		return b.String()
+	case Call:
+		if op.Callee != "" {
+			fmt.Fprintf(&b, " @%s", op.Callee)
+		}
 	}
 	for i, s := range op.Srcs {
 		if i > 0 {

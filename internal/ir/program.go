@@ -1,0 +1,142 @@
+package ir
+
+import "fmt"
+
+// OrigStride partitions the Orig ID space of a multi-function program into
+// per-function namespaces. Function k of a Program owns the block/op Orig
+// range [(k+1)*OrigStride, (k+2)*OrigStride); the root function a body is
+// spliced into keeps its native Origs below OrigStride. The inliner stamps
+// spliced clones with namespaced Origs and the interpreter keys its branch
+// oracle and block traces the same way, so an inlined program replays the
+// exact oracle decisions of the original and the SEM differential rules can
+// compare traces block for block. No function approaches a million blocks or
+// ops, so the stride never collides with native IDs.
+const OrigStride = 1 << 20
+
+// Program is a multi-function compilation unit with a resolved call graph.
+// Function order is the program's canonical order: it fixes each function's
+// Orig namespace (OrigBase) and the iteration order of every interprocedural
+// pass, keeping compilation deterministic.
+type Program struct {
+	Funcs []*Function
+
+	byName map[string]int
+}
+
+// NewProgram builds a program from funcs, resolving the call graph by name.
+// It rejects duplicate function names and calls to functions outside the
+// program (a Call with an empty Callee stays a legal opaque barrier).
+func NewProgram(funcs []*Function) (*Program, error) {
+	p := &Program{Funcs: funcs, byName: make(map[string]int, len(funcs))}
+	for i, f := range funcs {
+		if _, dup := p.byName[f.Name]; dup {
+			return nil, fmt.Errorf("program: duplicate function %q", f.Name)
+		}
+		p.byName[f.Name] = i
+	}
+	for _, f := range funcs {
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode != Call || op.Callee == "" {
+					continue
+				}
+				ci, ok := p.byName[op.Callee]
+				if !ok {
+					return nil, fmt.Errorf("program: %s calls undefined function %q", f.Name, op.Callee)
+				}
+				callee := funcs[ci]
+				if len(op.Srcs) != len(callee.Params) || len(op.Dests) != len(callee.Rets) {
+					return nil, fmt.Errorf("program: %s calls %q with %d args/%d results, want %d/%d",
+						f.Name, op.Callee, len(op.Srcs), len(op.Dests),
+						len(callee.Params), len(callee.Rets))
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Lookup returns the function named name, or nil.
+func (p *Program) Lookup(name string) *Function {
+	if p == nil {
+		return nil
+	}
+	if i, ok := p.byName[name]; ok {
+		return p.Funcs[i]
+	}
+	return nil
+}
+
+// Index returns the program index of the function named name, or -1.
+func (p *Program) Index(name string) int {
+	if p == nil {
+		return -1
+	}
+	if i, ok := p.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// OrigBase returns the base of the Orig namespace owned by function index i.
+func (p *Program) OrigBase(i int) int { return (i + 1) * OrigStride }
+
+// CallSite is one resolved call: op Op in block Block of function Caller
+// targets function Callee (both program indices).
+type CallSite struct {
+	Caller int
+	Block  BlockID
+	OpIdx  int
+	Op     *Op
+	Callee int
+}
+
+// CallSites returns every resolved call site in program order: functions in
+// program order, blocks in ID order, ops in block order. Unresolved opaque
+// calls (empty Callee) are skipped.
+func (p *Program) CallSites() []CallSite {
+	var out []CallSite
+	for fi, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for oi, op := range b.Ops {
+				if op.Opcode != Call || op.Callee == "" {
+					continue
+				}
+				if ci, ok := p.byName[op.Callee]; ok {
+					out = append(out, CallSite{Caller: fi, Block: b.ID, OpIdx: oi, Op: op, Callee: ci})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Callees returns the program indices of the functions that fn (by program
+// index) calls, transitively, in first-reached program order. fn itself is
+// included only if it is reachable from itself (recursion). The result is
+// the set of bodies whose content can influence compiling fn with inlining
+// enabled, so content-addressed cache keys hash exactly this slice.
+func (p *Program) Callees(fn int) []int {
+	var out []int
+	seen := make(map[int]bool)
+	work := []int{fn}
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		for _, b := range p.Funcs[cur].Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode != Call || op.Callee == "" {
+					continue
+				}
+				ci, ok := p.byName[op.Callee]
+				if !ok || seen[ci] {
+					continue
+				}
+				seen[ci] = true
+				out = append(out, ci)
+				work = append(work, ci)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoFuncs builds main -> add with a matching two-arg one-ret convention.
+func twoFuncs(t *testing.T) (*Function, *Function) {
+	t.Helper()
+	add := NewFunction("add")
+	pa := add.NewReg(ClassGPR)
+	pb := add.NewReg(ClassGPR)
+	add.Params = []Reg{pa, pb}
+	ab := add.NewBlock()
+	s := add.NewReg(ClassGPR)
+	add.EmitALU(ab, Add, s, pa, pb)
+	add.Rets = []Reg{s}
+	add.EmitRet(ab)
+
+	main := NewFunction("main")
+	mb := main.NewBlock()
+	r0 := main.NewReg(ClassGPR)
+	r1 := main.NewReg(ClassGPR)
+	r2 := main.NewReg(ClassGPR)
+	main.EmitMovI(mb, r0, 7)
+	main.EmitMovI(mb, r1, 5)
+	main.EmitCall(mb, "add", []Reg{r2}, []Reg{r0, r1})
+	main.EmitSt(mb, r0, 0, r2)
+	main.EmitRet(mb)
+	return main, add
+}
+
+func TestNewProgramResolvesCalls(t *testing.T) {
+	main, add := twoFuncs(t)
+	p, err := NewProgram([]*Function{main, add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookup("add") != add || p.Lookup("nope") != nil {
+		t.Fatal("Lookup wrong")
+	}
+	if p.Index("main") != 0 || p.Index("add") != 1 || p.Index("nope") != -1 {
+		t.Fatal("Index wrong")
+	}
+	if p.OrigBase(0) != OrigStride || p.OrigBase(1) != 2*OrigStride {
+		t.Fatal("OrigBase wrong")
+	}
+	sites := p.CallSites()
+	if len(sites) != 1 || sites[0].Caller != 0 || sites[0].Callee != 1 {
+		t.Fatalf("CallSites = %+v", sites)
+	}
+	if cs := p.Callees(0); len(cs) != 1 || cs[0] != 1 {
+		t.Fatalf("Callees(main) = %v", cs)
+	}
+	if cs := p.Callees(1); len(cs) != 0 {
+		t.Fatalf("Callees(add) = %v", cs)
+	}
+}
+
+func TestNewProgramRejections(t *testing.T) {
+	main, add := twoFuncs(t)
+	if _, err := NewProgram([]*Function{main, main}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate names: err = %v", err)
+	}
+	if _, err := NewProgram([]*Function{main}); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("undefined callee: err = %v", err)
+	}
+	// Arity mismatch: drop one argument from the call.
+	for _, b := range main.Blocks {
+		for _, op := range b.Ops {
+			if op.Opcode == Call {
+				op.Srcs = op.Srcs[:1]
+			}
+		}
+	}
+	if _, err := NewProgram([]*Function{main, add}); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Fatalf("arity mismatch: err = %v", err)
+	}
+}
+
+func TestNewProgramOpaqueCallAllowed(t *testing.T) {
+	f := NewFunction("solo")
+	b := f.NewBlock()
+	r := f.NewReg(ClassGPR)
+	f.EmitMovI(b, r, 1)
+	f.EmitCall(b, "", nil, []Reg{r})
+	f.EmitRet(b)
+	if _, err := NewProgram([]*Function{f}); err != nil {
+		t.Fatalf("opaque call rejected: %v", err)
+	}
+}
+
+func TestCalleesTransitive(t *testing.T) {
+	// chain: a -> b -> c; Callees(a) must surface both, first-reached order.
+	mk := func(name, callee string) *Function {
+		f := NewFunction(name)
+		p0 := f.NewReg(ClassGPR)
+		p1 := f.NewReg(ClassGPR)
+		f.Params = []Reg{p0, p1}
+		b := f.NewBlock()
+		r := f.NewReg(ClassGPR)
+		if callee != "" {
+			f.EmitCall(b, callee, []Reg{r}, []Reg{p0, p1})
+		} else {
+			f.EmitALU(b, Add, r, p0, p1)
+		}
+		f.Rets = []Reg{r}
+		f.EmitRet(b)
+		return f
+	}
+	a, bf, cf := mk("a", "b"), mk("b", "c"), mk("c", "")
+	p, err := NewProgram([]*Function{a, bf, cf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := p.Callees(0)
+	if len(cs) != 2 || cs[0] != 1 || cs[1] != 2 {
+		t.Fatalf("Callees(a) = %v, want [1 2]", cs)
+	}
+}
+
+func TestSnapshotKeepsConvention(t *testing.T) {
+	_, add := twoFuncs(t)
+	got, err := add.Snapshot().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Params) != 2 || got.Params[0] != add.Params[0] {
+		t.Fatalf("Params lost: %v", got.Params)
+	}
+	if len(got.Rets) != 1 || got.Rets[0] != add.Rets[0] {
+		t.Fatalf("Rets lost: %v", got.Rets)
+	}
+}

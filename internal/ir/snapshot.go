@@ -15,12 +15,19 @@ type FuncSnapshot struct {
 	NextBlock int32
 	NextReg   [5]int32
 
+	// Params and Rets mirror the function's call convention registers.
+	Params []Reg
+	Rets   []Reg
+
 	Blocks []BlockSnap
 	// Ops holds every op in block order (Blocks[0]'s ops first).
 	Ops []OpSnap
 	// Regs holds every operand register in op order: each op's Dests
 	// followed by its Srcs.
 	Regs []Reg
+	// Syms is the callee symbol table: Call ops reference it through
+	// OpSnap.Callee, in first-use order.
+	Syms []string
 }
 
 // BlockSnap is one block's row in a FuncSnapshot. The block ID is implicit
@@ -44,6 +51,8 @@ type OpSnap struct {
 	Imm      int64
 	Target   BlockID
 	Prob     float64
+	// Callee indexes FuncSnapshot.Syms for a resolved Call, -1 otherwise.
+	Callee int32
 }
 
 // Snapshot flattens f. The snapshot aliases nothing in f.
@@ -57,6 +66,9 @@ func (f *Function) Snapshot() *FuncSnapshot {
 	for c, n := range f.nextReg {
 		s.NextReg[c] = int32(n)
 	}
+	s.Params = append([]Reg(nil), f.Params...)
+	s.Rets = append([]Reg(nil), f.Rets...)
+	symIdx := map[string]int32{}
 	nops, nregs := 0, 0
 	for _, b := range f.Blocks {
 		nops += len(b.Ops)
@@ -70,6 +82,16 @@ func (f *Function) Snapshot() *FuncSnapshot {
 	for i, b := range f.Blocks {
 		s.Blocks[i] = BlockSnap{Orig: b.Orig, FallThrough: b.FallThrough, NumOps: int32(len(b.Ops))}
 		for _, op := range b.Ops {
+			callee := int32(-1)
+			if op.Callee != "" {
+				idx, ok := symIdx[op.Callee]
+				if !ok {
+					idx = int32(len(s.Syms))
+					s.Syms = append(s.Syms, op.Callee)
+					symIdx[op.Callee] = idx
+				}
+				callee = idx
+			}
 			s.Ops = append(s.Ops, OpSnap{
 				ID:       int32(op.ID),
 				Orig:     int32(op.Orig),
@@ -82,6 +104,7 @@ func (f *Function) Snapshot() *FuncSnapshot {
 				Imm:      op.Imm,
 				Target:   op.Target,
 				Prob:     op.Prob,
+				Callee:   callee,
 			})
 			s.Regs = append(s.Regs, op.Dests...)
 			s.Regs = append(s.Regs, op.Srcs...)
@@ -121,6 +144,8 @@ func (s *FuncSnapshot) Build() (*Function, error) {
 	f := &Function{
 		Name:      s.Name,
 		Entry:     s.Entry,
+		Params:    append([]Reg(nil), s.Params...),
+		Rets:      append([]Reg(nil), s.Rets...),
 		nextOpID:  int(s.NextOp),
 		nextBlock: BlockID(s.NextBlock),
 	}
@@ -154,6 +179,12 @@ func (s *FuncSnapshot) Build() (*Function, error) {
 			no.Imm = os.Imm
 			no.Target = os.Target
 			no.Prob = os.Prob
+			if os.Callee >= 0 {
+				if int(os.Callee) >= len(s.Syms) {
+					return nil, fmt.Errorf("ir: snapshot op %d: callee symbol %d out of range", oi, os.Callee)
+				}
+				no.Callee = s.Syms[os.Callee]
+			}
 			if n := int(os.NumDests); n > 0 {
 				no.Dests = regSlab[ri : ri+n : ri+n]
 				ri += n

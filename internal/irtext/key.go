@@ -53,5 +53,46 @@ func AppendFuncKey(buf []byte, fn *ir.Function) []byte {
 			buf = le.AppendUint64(buf, math.Float64bits(op.Prob))
 		}
 	}
+	// Interprocedural tail: call convention registers and callee symbols.
+	// It is appended only when the function actually has them, so call-free
+	// functions keep their legacy key bytes (and store/cache entries). The
+	// base layout is fully count-prefixed and therefore prefix-free, so
+	// adding a conditional tail cannot collide with any base-only encoding.
+	interproc := len(fn.Params) > 0 || len(fn.Rets) > 0
+	if !interproc {
+	scan:
+		for _, b := range fn.Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode == ir.Call && op.Callee != "" {
+					interproc = true
+					break scan
+				}
+			}
+		}
+	}
+	if interproc {
+		buf = le.AppendUint32(buf, uint32(len(fn.Params)))
+		for _, r := range fn.Params {
+			buf = append(buf, byte(r.Class))
+			buf = le.AppendUint32(buf, uint32(r.Num))
+		}
+		buf = le.AppendUint32(buf, uint32(len(fn.Rets)))
+		for _, r := range fn.Rets {
+			buf = append(buf, byte(r.Class))
+			buf = le.AppendUint32(buf, uint32(r.Num))
+		}
+		// One entry per Call op in block/op order (empty string for opaque
+		// calls), keeping callee symbols positionally aligned with the base
+		// encoding's opcodes.
+		for _, b := range fn.Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode != ir.Call {
+					continue
+				}
+				buf = le.AppendUint32(buf, uint32(len(op.Callee)))
+				buf = append(buf, op.Callee...)
+			}
+		}
+	}
 	return buf
 }

@@ -23,6 +23,55 @@ func Parse(src string) (*ir.Function, error) {
 	return fn, nil
 }
 
+// ParseProgram reads a multi-function file: each `func` line starts a new
+// function. Functions are parsed and validated individually, then resolved
+// into an ir.Program, which rejects duplicate names, calls to undefined
+// functions, and arity-mismatched call sites.
+func ParseProgram(src string) (*ir.Program, error) {
+	var chunks []string
+	var starts []int // 1-based line offsets, for error messages
+	cur := strings.Builder{}
+	lineNo, curStart := 0, 1
+	curHasFunc := false
+	for rest := src; len(rest) > 0 || lineNo == 0; {
+		var raw string
+		raw, rest = nextLine(rest)
+		lineNo++
+		if strings.HasPrefix(clean(raw), "func ") {
+			// Start a new chunk only once the current one holds a function;
+			// leading comments and blank lines attach to the first function.
+			if curHasFunc {
+				chunks = append(chunks, cur.String())
+				starts = append(starts, curStart)
+				cur.Reset()
+				curStart = lineNo
+			}
+			curHasFunc = true
+		}
+		cur.WriteString(raw)
+		cur.WriteByte('\n')
+	}
+	chunks = append(chunks, cur.String())
+	starts = append(starts, curStart)
+
+	funcs := make([]*ir.Function, 0, len(chunks))
+	for i, chunk := range chunks {
+		fn, err := Parse(chunk)
+		if err != nil {
+			if len(chunks) > 1 {
+				return nil, fmt.Errorf("irtext: function starting at line %d: %w", starts[i], err)
+			}
+			return nil, err
+		}
+		funcs = append(funcs, fn)
+	}
+	prog, err := ir.NewProgram(funcs)
+	if err != nil {
+		return nil, fmt.Errorf("irtext: %w", err)
+	}
+	return prog, nil
+}
+
 // ParseUnchecked is Parse without the final ir.Function.Validate call. It
 // exists for the verifier's adversarial fixtures: structurally broken
 // functions (an op after a branch, a RET with successors) must be loadable
@@ -38,6 +87,7 @@ func ParseUnchecked(src string) (*ir.Function, error) {
 	// follow declaration order (Print/Parse round-trips preserve layout),
 	// counting the op lines per block for the slab carve.
 	var fnName string
+	var fnParams, fnRets []ir.Reg
 	var labels, labelLines, opsPerLabel []int
 	nops := 0
 	lineNo := 0
@@ -50,13 +100,13 @@ func ParseUnchecked(src string) (*ir.Function, error) {
 		case line == "":
 		case strings.HasPrefix(line, "func "):
 			if fnName != "" {
-				return nil, fmt.Errorf("irtext: line %d: duplicate func declaration", lineNo)
+				return nil, fmt.Errorf("irtext: line %d: duplicate func declaration (use ParseProgram for multi-function files)", lineNo)
 			}
-			name := strings.TrimSpace(strings.TrimPrefix(line, "func "))
-			if name == "" {
-				return nil, fmt.Errorf("irtext: line %d: func needs a name", lineNo)
+			name, params, rets, err := funcHeader(strings.TrimSpace(strings.TrimPrefix(line, "func ")))
+			if err != nil {
+				return nil, fmt.Errorf("irtext: line %d: %w", lineNo, err)
 			}
-			fnName = name
+			fnName, fnParams, fnRets = name, params, rets
 		case strings.HasSuffix(line, ":"):
 			if fnName == "" {
 				return nil, fmt.Errorf("irtext: line %d: block before func declaration", lineNo)
@@ -81,6 +131,13 @@ func ParseUnchecked(src string) (*ir.Function, error) {
 	}
 
 	p.fn = ir.NewFunction(fnName)
+	p.fn.Params, p.fn.Rets = fnParams, fnRets
+	for _, r := range fnParams {
+		p.fn.NoteReg(r)
+	}
+	for _, r := range fnRets {
+		p.fn.NoteReg(r)
+	}
 	// Machine-generated text declares bb0..bbN-1 in order; then the label
 	// IS the block index and the lookup is a slice. Hand-written files with
 	// gaps or shuffled labels fall back to a map.
@@ -127,6 +184,74 @@ func ParseUnchecked(src string) (*ir.Function, error) {
 		}
 	}
 	return p.fn, nil
+}
+
+// funcHeader parses the token(s) after "func ": a bare name, or
+// "name(r1, r2)" optionally followed by "-> (r3)" declaring the call
+// convention registers.
+func funcHeader(hdr string) (name string, params, rets []ir.Reg, err error) {
+	if hdr == "" {
+		return "", nil, nil, fmt.Errorf("func needs a name")
+	}
+	paren := strings.IndexByte(hdr, '(')
+	if paren < 0 {
+		if strings.ContainsAny(hdr, " \t") {
+			return "", nil, nil, fmt.Errorf("bad func header %q", hdr)
+		}
+		return hdr, nil, nil, nil
+	}
+	name = strings.TrimSpace(hdr[:paren])
+	if name == "" {
+		return "", nil, nil, fmt.Errorf("func needs a name")
+	}
+	rest := hdr[paren:]
+	params, rest, err = regList(rest)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "" {
+		if !strings.HasPrefix(rest, "->") {
+			return "", nil, nil, fmt.Errorf("bad func header %q", hdr)
+		}
+		rets, rest, err = regList(strings.TrimSpace(rest[2:]))
+		if err != nil {
+			return "", nil, nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return "", nil, nil, fmt.Errorf("bad func header %q", hdr)
+		}
+	}
+	return name, params, rets, nil
+}
+
+// regList parses a parenthesized comma-separated register list, returning
+// the registers and the unconsumed remainder. "()" yields an empty list.
+func regList(s string) ([]ir.Reg, string, error) {
+	if !strings.HasPrefix(s, "(") {
+		return nil, "", fmt.Errorf("expected '(' in %q", s)
+	}
+	end := strings.IndexByte(s, ')')
+	if end < 0 {
+		return nil, "", fmt.Errorf("unterminated register list in %q", s)
+	}
+	inner := strings.TrimSpace(s[1:end])
+	rest := s[end+1:]
+	if inner == "" {
+		return nil, rest, nil
+	}
+	var out []ir.Reg
+	for _, tok := range strings.Split(inner, ",") {
+		r, err := reg(tok)
+		if err != nil {
+			return nil, "", err
+		}
+		if !r.IsValid() {
+			return nil, "", fmt.Errorf("bad register in list %q", inner)
+		}
+		out = append(out, r)
+	}
+	return out, rest, nil
 }
 
 // nextLine splits off the first line of s (without the newline).
@@ -525,7 +650,49 @@ func (p *parser) op(line string) error {
 		}
 		op.Target = t
 		op.Prob = 1
-	case ir.Call, ir.Ret, ir.Nop:
+	case ir.Call:
+		args = strings.TrimSpace(args)
+		if args == "" {
+			// Legacy opaque call: bare barrier, no callee.
+			if ndests != 0 {
+				return fail("opaque call takes no destinations")
+			}
+			break
+		}
+		if !strings.HasPrefix(args, "@") {
+			return fail("callee must be @name")
+		}
+		callee := args[1:]
+		rest := ""
+		if i := strings.IndexAny(callee, " \t"); i >= 0 {
+			callee, rest = callee[:i], strings.TrimSpace(callee[i:])
+		}
+		if callee == "" {
+			return fail("bad callee %q", "@"+callee)
+		}
+		if _, err := blockNum(callee); err == nil {
+			return fail("callee %q looks like a block label", "@"+callee)
+		}
+		op.Callee = callee
+		if ndests > len(destBuf) {
+			return fail("takes at most %d destinations", len(destBuf))
+		}
+		if rest != "" {
+			nsrcs := 0
+			for _, tok := range strings.Split(rest, ",") {
+				s, err := reg(tok)
+				if err != nil {
+					return err
+				}
+				if nsrcs >= len(srcBuf) {
+					return fail("takes at most %d arguments", len(srcBuf))
+				}
+				srcBuf[nsrcs] = s
+				nsrcs++
+			}
+			op.Srcs = p.carveRegs(srcBuf[:nsrcs])
+		}
+	case ir.Ret, ir.Nop:
 		if strings.TrimSpace(args) != "" {
 			return fail("takes no operands")
 		}

@@ -3,13 +3,17 @@
 // programs to the compiler driver (treegionc -input) and makes golden tests
 // readable.
 //
-// Grammar (one function per file; ';' starts a comment):
+// Grammar (';' starts a comment):
 //
-//	func <name>
+//	func <name>                  ; or: func <name>(r1, r2) -> (r3)
 //	bb<N>:                       ; blocks in any order; the first is entry
 //	  [(p<G>)] <op>              ; optional if-conversion guard
 //	  ...
 //	  fallthrough @bb<M>         ; optional, last line of a block
+//
+// A file may hold several functions (ParseProgram); each `func` line starts
+// a new one. The optional parenthesized lists on the `func` line declare the
+// call convention: parameter registers, then return registers after `->`.
 //
 // Ops:
 //
@@ -20,6 +24,7 @@
 //	b0 = pbr @bb3                brct b0, p0, @bb3 #0.25
 //	bru @bb3                     brcf b0, p0, @bb3 #0.5
 //	call                         ret
+//	r1 = call @f r2, r3          ; resolved call: srcs -> callee params
 //	r1 = copy r2
 //
 // Register classes by prefix: r (general), p (predicate), b (branch target),
@@ -51,6 +56,28 @@ func AppendFunc(buf []byte, fn *ir.Function) []byte {
 	buf = slices.Grow(buf, 16+len(fn.Name)+8*len(fn.Blocks)+24*fn.NumOps())
 	buf = append(buf, "func "...)
 	buf = append(buf, fn.Name...)
+	// The convention lists are printed only when present, so call-free
+	// functions keep the legacy single-token header byte for byte.
+	if len(fn.Params) > 0 || len(fn.Rets) > 0 {
+		buf = append(buf, '(')
+		for i, r := range fn.Params {
+			if i > 0 {
+				buf = append(buf, ", "...)
+			}
+			buf = appendReg(buf, r)
+		}
+		buf = append(buf, ')')
+		if len(fn.Rets) > 0 {
+			buf = append(buf, " -> ("...)
+			for i, r := range fn.Rets {
+				if i > 0 {
+					buf = append(buf, ", "...)
+				}
+				buf = appendReg(buf, r)
+			}
+			buf = append(buf, ')')
+		}
+	}
 	buf = append(buf, '\n')
 	for _, b := range fn.Blocks {
 		buf = append(buf, "bb"...)
@@ -68,6 +95,20 @@ func AppendFunc(buf []byte, fn *ir.Function) []byte {
 		}
 	}
 	return buf
+}
+
+// PrintProgram serializes every function of a multi-function program, in
+// program order, separated by blank lines. The result parses back with
+// ParseProgram.
+func PrintProgram(p *ir.Program) string {
+	var buf []byte
+	for i, fn := range p.Funcs {
+		if i > 0 {
+			buf = append(buf, '\n')
+		}
+		buf = AppendFunc(buf, fn)
+	}
+	return string(buf)
 }
 
 // appendReg appends a register token (r3, p1, b0, f2, or _).
@@ -159,7 +200,28 @@ func appendOp(buf []byte, op *ir.Op) []byte {
 		buf = append(buf, "bru "...)
 		buf = appendTarget(buf, op.Target)
 	case ir.Call:
-		buf = append(buf, "call"...)
+		if op.Callee == "" {
+			buf = append(buf, "call"...)
+			break
+		}
+		for i, d := range op.Dests {
+			if i > 0 {
+				buf = append(buf, ", "...)
+			}
+			buf = appendReg(buf, d)
+		}
+		if len(op.Dests) > 0 {
+			buf = append(buf, " = "...)
+		}
+		buf = append(buf, "call @"...)
+		buf = append(buf, op.Callee...)
+		for i, s := range op.Srcs {
+			if i > 0 {
+				buf = append(buf, ","...)
+			}
+			buf = append(buf, ' ')
+			buf = appendReg(buf, s)
+		}
 	case ir.Ret:
 		buf = append(buf, "ret"...)
 	case ir.Nop:

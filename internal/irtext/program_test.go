@@ -1,0 +1,124 @@
+package irtext
+
+import (
+	"strings"
+	"testing"
+
+	"treegion/internal/ir"
+	"treegion/internal/progen"
+)
+
+const programSample = `
+; a caller and its callee, with the fixed two-arg one-ret convention
+func pmain
+bb0:
+  r0 = movi 7
+  r1 = movi 5
+  r2 = call @padd r0, r1
+  st [r0+0], r2
+  ret
+
+func padd(r0, r1) -> (r2)
+bb0:
+  r2 = add r0, r1
+  ret
+`
+
+func TestParseProgramSample(t *testing.T) {
+	p, err := ParseProgram(programSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 2 || p.Funcs[0].Name != "pmain" || p.Funcs[1].Name != "padd" {
+		t.Fatalf("parsed %d funcs", len(p.Funcs))
+	}
+	// The leading comment attaches to the first function, not a phantom
+	// zeroth chunk.
+	var call *ir.Op
+	for _, b := range p.Funcs[0].Blocks {
+		for _, op := range b.Ops {
+			if op.Opcode == ir.Call {
+				call = op
+			}
+		}
+	}
+	if call == nil || call.Callee != "padd" || len(call.Srcs) != 2 || len(call.Dests) != 1 {
+		t.Fatalf("call parsed as %+v", call)
+	}
+	callee := p.Funcs[1]
+	if len(callee.Params) != 2 || len(callee.Rets) != 1 {
+		t.Fatalf("convention lost: params %v rets %v", callee.Params, callee.Rets)
+	}
+	if sites := p.CallSites(); len(sites) != 1 || sites[0].Callee != 1 {
+		t.Fatalf("call sites %+v", sites)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p, err := ParseProgram(programSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := PrintProgram(p)
+	p2, err := ParseProgram(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if got := PrintProgram(p2); got != text {
+		t.Fatalf("round trip not a fixed point:\n%s\nvs\n%s", text, got)
+	}
+}
+
+// Property: PrintProgram∘ParseProgram is the identity on PrintProgram's
+// image for the call-emitting presets, which exercise headers with
+// conventions, call ops, and multi-function layout.
+func TestProgramRoundTripPresets(t *testing.T) {
+	for _, name := range []string{"callhot", "calldeep"} {
+		p, ok := progen.PresetByName(name)
+		if !ok {
+			t.Fatalf("preset %s missing", name)
+		}
+		gen, err := progen.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := ir.NewProgram(gen.Funcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := PrintProgram(prog)
+		back, err := ParseProgram(text)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := PrintProgram(back); got != text {
+			a, b := strings.Split(text, "\n"), strings.Split(got, "\n")
+			for i := range a {
+				if i >= len(b) || a[i] != b[i] {
+					t.Fatalf("%s: round trip differs at line %d:\n  %q\n  %q", name, i+1, a[i], b[i])
+				}
+			}
+			t.Fatalf("%s: round trip differs in length", name)
+		}
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"dup name", "func a\nbb0:\n  ret\n\nfunc a\nbb0:\n  ret", "duplicate"},
+		{"undefined callee", "func a\nbb0:\n  r2 = call @nope r0, r1\n  ret", "undefined"},
+		{"second func invalid", "func a\nbb0:\n  ret\n\nfunc b\nbb0:\n  bru @bb9", "line 5"},
+	}
+	for _, c := range cases {
+		_, err := ParseProgram(c.src)
+		if err == nil {
+			t.Errorf("%s: error not detected", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: err %q lacks %q", c.name, err, c.frag)
+		}
+	}
+}

@@ -46,6 +46,12 @@ func ByName(name string) (Model, bool) {
 	return Model{}, false
 }
 
+// CallLatency is the issue-to-result latency of a non-inlined CALL: the
+// branch-and-link plus return overhead a call pays even when the callee's
+// own cycles are accounted separately (see eval's interprocedural time
+// model). Inlining removes this cost along with the scheduling barrier.
+const CallLatency = 4
+
 // Latency returns the issue-to-result latency of an opcode on all models.
 func Latency(o ir.Opcode) int {
 	switch o {
@@ -55,6 +61,8 @@ func Latency(o ir.Opcode) int {
 		return 3
 	case ir.FDiv:
 		return 9
+	case ir.Call:
+		return CallLatency
 	default:
 		return 1
 	}

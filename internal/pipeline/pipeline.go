@@ -21,6 +21,7 @@ import (
 
 	"treegion/internal/compcache"
 	"treegion/internal/eval"
+	"treegion/internal/inline"
 	"treegion/internal/ir"
 	"treegion/internal/irtext"
 	"treegion/internal/profile"
@@ -53,6 +54,12 @@ type Options struct {
 	// verified lookup re-checks nothing and a plain lookup can reuse an
 	// artifact a verified caller compiled (and vice versa).
 	Verify bool
+	// Inline enables demand-driven inline-on-absorb: CompileProgram (and
+	// CompileEach) resolve the batch's functions into an ir.Program, and
+	// treegion formation splices eligible callee bodies into the caller.
+	// Cache keys grow the transitive callee content, so editing a callee
+	// invalidates its inlining callers.
+	Inline inline.Config
 }
 
 func (o Options) workers() int {
@@ -162,6 +169,9 @@ func CompileProgram(ctx context.Context, prog *progen.Program, profs eval.Profil
 	if len(profs) != len(prog.Funcs) {
 		return nil, fmt.Errorf("pipeline: %s: %d profiles for %d functions", prog.Name, len(profs), len(prog.Funcs))
 	}
+	if err := applyInline(&c, prog.Funcs, profs, opts); err != nil {
+		return nil, fmt.Errorf("pipeline: %s: %w", prog.Name, err)
+	}
 	n := len(prog.Funcs)
 	frs := make([]*eval.FunctionResult, n)
 	errs := make([]error, n)
@@ -185,6 +195,9 @@ func CompileEach(ctx context.Context, fns []*ir.Function, profs []*profile.Data,
 	emit func(i int, fr *eval.FunctionResult, cached bool, err error) error) error {
 	if len(profs) != len(fns) {
 		return fmt.Errorf("pipeline: %d profiles for %d functions", len(profs), len(fns))
+	}
+	if err := applyInline(&c, fns, profs, opts); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
 	}
 	n := len(fns)
 	if n == 0 {
@@ -236,6 +249,25 @@ func CompileEach(ctx context.Context, fns []*ir.Function, profs []*profile.Data,
 	return emitErr
 }
 
+// applyInline copies the pipeline's inline option onto the eval config,
+// resolving the batch into a program the inliner (and the verifier's
+// differential check) can splice callee bodies from. A batch that does not
+// form a valid program — duplicate names, calls to functions outside the
+// batch, arity mismatches — is rejected up front: silently compiling it
+// without inlining would make the option's effect depend on input shape.
+func applyInline(c *eval.Config, fns []*ir.Function, profs []*profile.Data, opts Options) error {
+	if !opts.Inline.Enabled || c.InlineEnv != nil {
+		return nil
+	}
+	p, err := ir.NewProgram(fns)
+	if err != nil {
+		return err
+	}
+	c.Inline = opts.Inline
+	c.InlineEnv = &inline.Env{Prog: p, Profiles: profs}
+	return nil
+}
+
 // CompileFunction compiles a single function through the cache and the
 // panic isolation of the pipeline. Unlike eval.CompileFunction it does NOT
 // mutate fn or prof — it compiles clones — so callers can keep feeding the
@@ -264,6 +296,21 @@ var keyBufPool = sync.Pool{New: func() any {
 func contentKey(orig *ir.Function, prof *profile.Data, c eval.Config) compcache.Key {
 	bp := keyBufPool.Get().(*[]byte)
 	buf := irtext.AppendFuncKey((*bp)[:0], orig)
+	// With inlining on, the compile reads the transitive callees' bodies and
+	// profiles, so they are input content: hash them into the key (in the
+	// deterministic first-reached order of the call-graph walk) so editing a
+	// callee invalidates every caller that could splice it. Inline-off keys
+	// are unchanged — residual calls never read the callee.
+	if c.Inline.Enabled && c.InlineEnv != nil && c.InlineEnv.Prog != nil {
+		if fi := c.InlineEnv.Prog.Index(orig.Name); fi >= 0 {
+			for _, ci := range c.InlineEnv.Prog.Callees(fi) {
+				buf = irtext.AppendFuncKey(buf, c.InlineEnv.Prog.Funcs[ci])
+				if ci < len(c.InlineEnv.Profiles) && c.InlineEnv.Profiles[ci] != nil {
+					buf = c.InlineEnv.Profiles[ci].AppendKey(buf)
+				}
+			}
+		}
+	}
 	mark := len(buf)
 	buf = prof.AppendKey(buf)
 	k := compcache.KeyOfBytes(buf[:mark], buf[mark:], c.Fingerprint())
@@ -420,6 +467,31 @@ func observeResult(reg *telemetry.Registry, fr *eval.FunctionResult) {
 		reg.Histogram("treegion_code_expansion_ratio", nil,
 			"Tail-duplication code expansion per function (ops after / ops before).",
 			telemetry.RatioBuckets).Observe(float64(fr.OpsAfter) / float64(fr.OpsBefore))
+	}
+	// Inline counters appear only when the compile actually consulted the
+	// inliner, so inline-off runs expose an unchanged metric set.
+	il := fr.Inline
+	if il.Inlined > 0 || il.Declined() > 0 {
+		reg.Counter("treegion_inline_splices_total",
+			"Calls inlined (spliced) during treegion formation.").Add(int64(il.Inlined))
+		reg.Counter("treegion_inline_ops_total",
+			"Ops added by inline splices (callee clones plus binding copies).").Add(int64(il.InlinedOps))
+		for _, d := range []struct {
+			reason string
+			n      int
+		}{
+			{"depth", il.DeclinedDepth},
+			{"size", il.DeclinedSize},
+			{"budget", il.DeclinedBudget},
+			{"guarded", il.DeclinedGuarded},
+			{"shape", il.DeclinedShape},
+		} {
+			if d.n > 0 {
+				reg.LabeledCounter("treegion_inline_declined_total",
+					telemetry.Labels{"reason": d.reason},
+					"Calls left as barriers, by the first inline budget they failed.").Add(int64(d.n))
+			}
+		}
 	}
 }
 

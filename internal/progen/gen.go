@@ -18,6 +18,9 @@ type Program struct {
 // Generate builds the synthetic program for a preset. Generation is fully
 // deterministic in the preset's seed.
 func Generate(p Preset) (*Program, error) {
+	if p.Call != nil {
+		return generateCalls(p)
+	}
 	prog := &Program{Name: p.Name, Preset: p}
 	rng := rand.New(rand.NewSource(int64(p.Seed)))
 	for i := 0; i < p.NumFuncs; i++ {

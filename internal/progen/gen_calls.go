@@ -1,0 +1,211 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treegion/internal/ir"
+)
+
+// Interprocedural generation (Preset.Call != nil). Callees are generated
+// first — every one takes two GPR parameters and returns one GPR, so any
+// call site is convention-compatible with any callee — then the callers,
+// which invoke them from loop bodies: the paper's motivating shape for
+// demand-driven inlining, where a call sitting on the hot path of a loop
+// caps every treegion rooted at the loop header until the callee is spliced
+// in. Generation stays fully deterministic in the preset seed; legacy
+// presets never reach this path, so their rng streams are untouched.
+
+func generateCalls(p Preset) (*Program, error) {
+	prog := &Program{Name: p.Name, Preset: p}
+	rng := rand.New(rand.NewSource(int64(p.Seed)))
+	cs := p.Call
+
+	var callees []*ir.Function
+	if cs.ChainDepth > 0 {
+		// Chain: callers invoke c0; c<i> calls c<i+1>; c<depth-1> is the
+		// leaf. Generated leaf-first so each links to an existing callee.
+		callees = make([]*ir.Function, cs.ChainDepth)
+		var next *ir.Function
+		for i := cs.ChainDepth - 1; i >= 0; i-- {
+			callees[i] = genCallee(fmt.Sprintf("%s_c%d", p.Name, i), p, rng, next)
+			next = callees[i]
+		}
+	} else {
+		n := cs.Callees
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			callees = append(callees, genCallee(fmt.Sprintf("%s_c%d", p.Name, i), p, rng, nil))
+		}
+	}
+	pickCallee := func() *ir.Function {
+		if cs.ChainDepth > 0 || len(callees) == 1 || rng.Float64() < cs.HotFrac {
+			return callees[0]
+		}
+		return callees[1+rng.Intn(len(callees)-1)]
+	}
+
+	for i := 0; i < p.NumFuncs; i++ {
+		scale := 0.5 + rng.Float64() // 0.5x .. 1.5x, as in Generate
+		budget := int(float64(p.OpsPerFunc) * scale)
+		prog.Funcs = append(prog.Funcs,
+			genCaller(fmt.Sprintf("%s_f%d", p.Name, i), p, budget, rng, pickCallee))
+	}
+	prog.Funcs = append(prog.Funcs, callees...)
+
+	for _, fn := range prog.Funcs {
+		if err := fn.Validate(); err != nil {
+			return nil, fmt.Errorf("progen: generated invalid function: %w", err)
+		}
+	}
+	// The program constructor re-derives the call graph and checks every
+	// call site against its callee's convention.
+	if _, err := ir.NewProgram(prog.Funcs); err != nil {
+		return nil, fmt.Errorf("progen: generated invalid program: %w", err)
+	}
+	return prog, nil
+}
+
+// genCallee builds one callee: params seed the operand pool (so the body's
+// dataflow genuinely depends on the arguments), a short ILP-bearing body
+// with at most one conditional, and a single RET returning the last defined
+// integer value. When next is non-nil the body calls it once mid-way — the
+// chain link for calldeep-style presets.
+func genCallee(name string, p Preset, rng *rand.Rand, next *ir.Function) *ir.Function {
+	f := ir.NewFunction(name)
+	g := &gen{f: f, p: p, rng: rng, budget: p.Call.CalleeOps}
+	a := f.NewReg(ir.ClassGPR)
+	b := f.NewReg(ir.ClassGPR)
+	f.Params = []ir.Reg{a, b}
+	entry := f.NewBlock()
+
+	// Seed pools: one immediate address base plus the first parameter (the
+	// callee indexing off its argument), and the parameters as operands.
+	base := f.NewReg(ir.ClassGPR)
+	f.EmitMovI(entry, base, 4096)
+	g.bases = append(g.bases, base, a)
+	g.pool = append(g.pool, a, b)
+	for i := 0; i < 2; i++ {
+		r := f.NewReg(ir.ClassGPR)
+		f.EmitMovI(entry, r, int64(rng.Intn(1000)))
+		g.pool = append(g.pool, r)
+	}
+	g.last = a
+
+	half := g.budget / 2
+	g.emitOps(entry, half)
+	cur := entry
+	if rng.Float64() < 0.7 {
+		// One shallow conditional keeps callees from being pure straight
+		// lines without blowing the inliner's block cap.
+		cur = g.genCalleeIf(cur)
+	}
+	if next != nil {
+		d := f.NewReg(ir.ClassGPR)
+		f.EmitCall(cur, next.Name, []ir.Reg{d}, []ir.Reg{g.pick(), g.pick()})
+		g.define(d)
+	}
+	if g.budget > 0 {
+		g.emitOps(cur, g.budget)
+	}
+	f.Rets = []ir.Reg{g.last}
+	f.EmitRet(cur)
+	return f
+}
+
+// genCalleeIf emits an if-then inside a callee: cur {ops; cmpp; br then} ->
+// join, then -> join. Unlike genIf, definitions made in the conditional arm
+// are kept out of the operand pools: a callee body must read only values
+// defined on every path to it. A read of a conditionally-defined register
+// is well-defined intraprocedurally (the register deterministically holds
+// zero or the arm's value), but a fresh frame re-zeroes it on every call
+// while a spliced copy of the body persists it across the caller's loop
+// iterations — the one observable difference inlining cannot hide.
+func (g *gen) genCalleeIf(cur *ir.Block) *ir.Block {
+	g.emitOps(cur, g.blockOps())
+	p := g.emitCmpp(cur)
+	then := g.f.NewBlock()
+	join := g.f.NewBlock()
+	g.emitBranch(cur, p, then.ID, g.twoWayProb())
+	cur.FallThrough = join.ID
+	pool := append([]ir.Reg(nil), g.pool...)
+	recent := append([]ir.Reg(nil), g.recent...)
+	last := g.last
+	g.emitOps(then, 1+g.rng.Intn(4))
+	then.FallThrough = join.ID
+	g.pool, g.recent, g.last = pool, recent, last
+	g.emitOps(join, 1+g.rng.Intn(3))
+	return join
+}
+
+// genCaller builds one caller: the usual pool seeding, then CallsPerFunc
+// call-bearing loops separated by ordinary intraprocedural structure.
+func genCaller(name string, p Preset, budget int, rng *rand.Rand, pickCallee func() *ir.Function) *ir.Function {
+	f := ir.NewFunction(name)
+	g := &gen{f: f, p: p, rng: rng, budget: budget}
+	entry := f.NewBlock()
+	for i := 0; i < 4; i++ {
+		r := f.NewReg(ir.ClassGPR)
+		f.EmitMovI(entry, r, int64(64+i*512))
+		g.bases = append(g.bases, r)
+	}
+	for i := 0; i < 8; i++ {
+		r := f.NewReg(ir.ClassGPR)
+		if i%2 == 0 {
+			f.EmitLd(entry, r, g.bases[i%len(g.bases)], int64(8*i))
+		} else {
+			f.EmitMovI(entry, r, int64(rng.Intn(1000)))
+		}
+		g.pool = append(g.pool, r)
+		g.last = r
+	}
+	for i := 0; i < 3; i++ {
+		r := f.NewReg(ir.ClassFPR)
+		f.EmitMovI(entry, r, int64(i+1))
+		g.fpool = append(g.fpool, r)
+	}
+
+	cur := entry
+	for i := 0; i < p.Call.CallsPerFunc; i++ {
+		if g.budget > 0 {
+			cur = g.genStruct(cur, 1)
+		}
+		cur = g.genCallLoop(cur, pickCallee())
+	}
+	g.emitOps(cur, 2)
+	f.EmitRet(cur)
+	return f
+}
+
+// genCallLoop emits a while loop whose body calls callee and consumes its
+// result: the loop header is a merge (preheader + latch) and therefore
+// roots its own treegion, and the call sits squarely on the region's hot
+// path — exactly the shape where inline-on-absorb either splices the callee
+// or leaves the call as a scheduling barrier.
+func (g *gen) genCallLoop(cur *ir.Block, callee *ir.Function) *ir.Block {
+	header := g.f.NewBlock()
+	after := g.f.NewBlock()
+	cur.FallThrough = header.ID
+	g.emitOps(header, 2)
+	p := g.emitCmpp(header)
+	m := g.p.LoopIterMean
+	if m < 2 {
+		m = 2
+	}
+	body := g.f.NewBlock()
+	g.emitBranch(header, p, body.ID, m/(m+1))
+	header.FallThrough = after.ID
+	g.emitOps(body, g.blockOps())
+	d := g.f.NewReg(ir.ClassGPR)
+	g.f.EmitCall(body, callee.Name, []ir.Reg{d}, []ir.Reg{g.pick(), g.pick()})
+	g.define(d)
+	// Post-call ops make the body's continuation non-trivial, so a splice
+	// exercises the host-block split (prefix + continuation) rather than
+	// degenerating to an empty tail.
+	g.emitOps(body, 2)
+	body.FallThrough = header.ID // back edge
+	g.emitOps(after, 1+g.rng.Intn(3))
+	return after
+}

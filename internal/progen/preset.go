@@ -88,6 +88,36 @@ type Preset struct {
 	// ProfileTrips is how many interpreter trips the suite uses to profile
 	// each generated function.
 	ProfileTrips int
+
+	// Call, when non-nil, switches generation to the interprocedural
+	// generator (gen_calls.go): callee functions with explicit
+	// parameter/return conventions are generated first, then callers that
+	// invoke them from loop bodies. Legacy presets keep this nil and their
+	// rng streams (and therefore every golden) are untouched.
+	Call *CallSpec
+}
+
+// CallSpec parameterizes interprocedural generation. Every callee uses the
+// fixed two-GPR-parameter, one-GPR-return convention, so any call site is
+// arity-compatible with any callee.
+type CallSpec struct {
+	// Callees is the number of independent leaf callees. Ignored when
+	// ChainDepth is set.
+	Callees int
+	// HotFrac is the probability that a call site targets callee 0; the
+	// rest spread uniformly over the others (the 90/10 skew that makes
+	// demand-driven inlining pay off without global code explosion).
+	HotFrac float64
+	// CalleeOps is the per-callee computational-op budget (branch
+	// machinery comes on top, as everywhere in progen).
+	CalleeOps int
+	// CallsPerFunc is the number of call-bearing loops per caller.
+	CallsPerFunc int
+	// ChainDepth, when positive, generates a call chain instead of
+	// independent leaves: callers invoke c0, c0 calls c1, ... down to the
+	// leaf c<ChainDepth-1>, so fully absorbing a chain takes ChainDepth
+	// levels of inlining.
+	ChainDepth int
 }
 
 // Presets returns the eight SPECint95-flavoured presets, in the paper's
@@ -234,11 +264,63 @@ func Stress() Preset {
 	}
 }
 
-// PresetByName returns the preset with the given name, or false. "stress"
-// resolves to the out-of-suite Stress preset.
+// CallHot returns the skewed interprocedural preset: callers whose loop
+// bodies call one of four leaf callees, with 90% of the call sites aimed at
+// the hot callee 0. It is the benchmark the demand-driven inliner is judged
+// on — inline-on should roughly flatten the hot loops into call-free
+// treegions while the cold callees stay behind barriers. Like Stress it is
+// NOT part of Presets(): the eight-benchmark suite is pinned by goldens.
+func CallHot() Preset {
+	return Preset{
+		Name: "callhot", Seed: 701,
+		NumFuncs: 5, OpsPerFunc: 90,
+		BlockOpsMin: 3, BlockOpsMax: 6,
+		StructWeights: [numKinds]float64{KindStraight: 2.5, KindIf: 2, KindIfElse: 1},
+		MaxDepth:      2,
+		Bias:          0.9, BiasedFrac: 0.6,
+		SwitchArmsMin: 3, SwitchArmsMax: 4, ZeroArmFrac: 0.3, EmptyArmFrac: 0.3,
+		LoopIterMean: 12,
+		ChainLenMin:  3, ChainLenMax: 4, ChainEscapeProb: 0.02,
+		ChainFrac: 0.6,
+		LoadFrac:  0.18, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.1,
+		EmitPbr: true, ProfileTrips: 60,
+		Call: &CallSpec{Callees: 4, HotFrac: 0.9, CalleeOps: 18, CallsPerFunc: 5},
+	}
+}
+
+// CallDeep returns the chained interprocedural preset: callers invoke c0,
+// which calls c1, which calls the leaf c2 — a depth-3 chain that exactly
+// meets the inliner's default MaxDepth, exercising recursion-depth
+// accounting and the per-function expansion budget. Reachable only through
+// PresetByName("calldeep").
+func CallDeep() Preset {
+	return Preset{
+		Name: "calldeep", Seed: 702,
+		NumFuncs: 4, OpsPerFunc: 70,
+		BlockOpsMin: 3, BlockOpsMax: 6,
+		StructWeights: [numKinds]float64{KindStraight: 2.5, KindIf: 2, KindIfElse: 1},
+		MaxDepth:      2,
+		Bias:          0.88, BiasedFrac: 0.6,
+		SwitchArmsMin: 3, SwitchArmsMax: 4, ZeroArmFrac: 0.3, EmptyArmFrac: 0.3,
+		LoopIterMean: 10,
+		ChainLenMin:  3, ChainLenMax: 4, ChainEscapeProb: 0.02,
+		ChainFrac: 0.6,
+		LoadFrac:  0.18, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.1,
+		EmitPbr: true, ProfileTrips: 60,
+		Call: &CallSpec{ChainDepth: 3, HotFrac: 1, CalleeOps: 14, CallsPerFunc: 4},
+	}
+}
+
+// PresetByName returns the preset with the given name, or false. "stress",
+// "callhot" and "calldeep" resolve to the out-of-suite presets.
 func PresetByName(name string) (Preset, bool) {
-	if name == "stress" {
+	switch name {
+	case "stress":
 		return Stress(), true
+	case "callhot":
+		return CallHot(), true
+	case "calldeep":
+		return CallDeep(), true
 	}
 	for _, p := range Presets() {
 		if p.Name == name {

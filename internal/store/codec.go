@@ -55,7 +55,11 @@ import (
 // IDs, Orig tags and allocator counters survive exactly (irtext.Parse
 // renumbers); the text section is the human-auditable ground truth and the
 // input to the content address.
-const schemaVersion = 3
+// Schema 4 extended the func section with the interprocedural fields: the
+// call-convention Params/Rets register lists, a callee symbol table, and a
+// per-op callee symbol index (opRecSize 38 -> 42). Schema-3 entries decode
+// as a clean miss.
+const schemaVersion = 4
 
 // Section IDs.
 const (
@@ -85,7 +89,7 @@ const (
 // fails on either half alone.
 const (
 	blockRecSize = 12 // i32 orig + i32 fallthrough + u32 numOps
-	opRecSize    = 38 // i32 id + i32 orig + u8 opcode + u8 cond + bool renamed + u8 guard class + i32 guard num + u8 ndests + u8 nsrcs + i64 imm + i32 target + f64 prob
+	opRecSize    = 42 // i32 id + i32 orig + u8 opcode + u8 cond + bool renamed + u8 guard class + i32 guard num + u8 ndests + u8 nsrcs + i64 imm + i32 target + f64 prob + i32 callee sym
 	regRecSize   = 5  // u8 class + i32 num
 	nodeRecSize  = 29 // i32 block + i32 op index + i32 home + u8 flags + i32 height + i32 exit count + f64 weight
 	edgeRecSize  = 13 // u32 from + u32 to + i32 latency + u8 kind
@@ -101,6 +105,7 @@ const (
 const (
 	profBlockRecSize = 12 // i32 block + f64 weight
 	profEdgeRecSize  = 16 // i32 from + i32 to + f64 weight
+	symRecMin        = 4  // u32 length prefix per callee symbol
 	regionRecMin     = 7  // u8 kind + bool fromTrace + u32 nblocks + blocks
 	schedRecMin      = 24 // u32 region + str model + i32 width + 3×i32 + node/edge counts
 	diagRecMin       = 15 // 3×str (u32 len each) + u8 severity + i32 block + i32 op, minimum
@@ -289,6 +294,22 @@ func encodeFunc(w *writer, s *ir.FuncSnapshot) {
 	for _, n := range s.NextReg {
 		w.i32(n)
 	}
+	w.u32(uint32(len(s.Params)))
+	//rec:size regRecSize
+	for _, r := range s.Params {
+		w.u8(uint8(r.Class))
+		w.i32(int32(r.Num))
+	}
+	w.u32(uint32(len(s.Rets)))
+	//rec:size regRecSize
+	for _, r := range s.Rets {
+		w.u8(uint8(r.Class))
+		w.i32(int32(r.Num))
+	}
+	w.u32(uint32(len(s.Syms)))
+	for _, sym := range s.Syms {
+		w.str(sym)
+	}
 	w.u32(uint32(len(s.Blocks)))
 	w.u32(uint32(len(s.Ops)))
 	w.u32(uint32(len(s.Regs)))
@@ -314,6 +335,7 @@ func encodeFunc(w *writer, s *ir.FuncSnapshot) {
 		w.i64(op.Imm)
 		w.i32(int32(op.Target))
 		w.f64(op.Prob)
+		w.i32(op.Callee)
 	}
 	//rec:size regRecSize
 	for _, r := range s.Regs {
@@ -347,6 +369,23 @@ func decodeFunc(data []byte) (*ir.Function, error) {
 	s.NextBlock = r.i32()
 	for c := range s.NextReg {
 		s.NextReg[c] = r.i32()
+	}
+	nparams := r.count(regRecSize)
+	s.Params = growRecs(s.Params, nparams)
+	for i := 0; i < nparams; i++ {
+		class := ir.RegClass(r.u8())
+		s.Params[i] = ir.Reg{Class: class, Num: int(r.i32())}
+	}
+	nrets := r.count(regRecSize)
+	s.Rets = growRecs(s.Rets, nrets)
+	for i := 0; i < nrets; i++ {
+		class := ir.RegClass(r.u8())
+		s.Rets[i] = ir.Reg{Class: class, Num: int(r.i32())}
+	}
+	nsyms := r.count(symRecMin)
+	s.Syms = growRecs(s.Syms, nsyms)
+	for i := 0; i < nsyms; i++ {
+		s.Syms[i] = r.str()
 	}
 	nblocks := r.count(blockRecSize)
 	nops := r.count(opRecSize)
@@ -388,6 +427,7 @@ func decodeFunc(data []byte) (*ir.Function, error) {
 		op.Imm = int64(le.Uint64(rec[18:]))
 		op.Target = ir.BlockID(int32(le.Uint32(rec[26:])))
 		op.Prob = math.Float64frombits(le.Uint64(rec[30:]))
+		op.Callee = int32(le.Uint32(rec[38:]))
 	}
 	s.Regs = growRecs(s.Regs, nregs)
 	//rec:size regRecSize

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"treegion/internal/eval"
+	"treegion/internal/ir"
+	"treegion/internal/irtext"
+	"treegion/internal/progen"
+)
+
+// TestCodecRoundTripCalls covers the interprocedural additions to the
+// snapshot format: the callee symbol table behind residual Call ops, and the
+// Params/Rets convention registers on callee functions. The callhot preset
+// provides both — its callers keep residual calls when inlining is off, and
+// its callees carry non-empty conventions.
+func TestCodecRoundTripCalls(t *testing.T) {
+	p, ok := progen.PresetByName("callhot")
+	if !ok {
+		t.Fatal("callhot preset missing")
+	}
+	prog, err := progen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := eval.ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := eval.DefaultConfig()
+	cfg.Kind = eval.BasicBlocks // calls stay as barriers in every block
+	sawCall, sawConvention := false, false
+	for i, fn := range prog.Funcs {
+		fr, err := eval.CompileFunction(fn.Clone(), profs[i].Clone(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := encode(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr2, err := decode(b1)
+		if err != nil {
+			t.Fatalf("%s: decode failed: %v", fn.Name, err)
+		}
+		b2, err := encode(fr2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: re-encoding is not byte-stable", fn.Name)
+		}
+		if irtext.Print(fr2.Fn) != irtext.Print(fr.Fn) {
+			t.Fatalf("%s: restored IR differs", fn.Name)
+		}
+		for _, blk := range fr2.Fn.Blocks {
+			for _, op := range blk.Ops {
+				if op.Opcode == ir.Call && op.Callee != "" {
+					sawCall = true
+				}
+			}
+		}
+		if len(fr2.Fn.Params) > 0 {
+			sawConvention = true
+			if len(fr2.Fn.Params) != len(fn.Params) || len(fr2.Fn.Rets) != len(fn.Rets) {
+				t.Fatalf("%s: convention lost: %v -> %v, %v -> %v",
+					fn.Name, fn.Params, fr2.Fn.Params, fn.Rets, fr2.Fn.Rets)
+			}
+		}
+	}
+	if !sawCall || !sawConvention {
+		t.Fatalf("preset exercised call=%t convention=%t; need both", sawCall, sawConvention)
+	}
+}

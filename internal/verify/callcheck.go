@@ -1,0 +1,126 @@
+package verify
+
+import (
+	"fmt"
+
+	"treegion/internal/inline"
+	"treegion/internal/ir"
+)
+
+// Call rules: interprocedural invariants over compiled functions. CL001
+// re-derives the call convention of every residual (non-inlined) call from
+// the program's callee signatures; CL002 and CL003 re-check the inliner's
+// splice records against the code it claims to have produced, so a splice
+// that mangled the CFG or exceeded its own budgets is caught even though the
+// spliced body is otherwise ordinary code.
+//
+//	CL001  a residual call's operands do not match the callee's signature
+//	       (unknown callee, arity mismatch, or wrong register class)
+//	CL002  a recorded splice is inconsistent with the function: missing
+//	       host→entry edge, continuation not carrying the host's Orig, or a
+//	       spliced block outside the callee's Orig namespace
+//	CL003  a recorded splice exceeds the configured inline depth cap
+
+// CheckCalls applies the CL rules. CL001 needs opts.Prog; CL002/CL003 need
+// opts.Inline (CL002 also uses opts.Prog for the callee namespaces).
+func CheckCalls(fn *ir.Function, opts Options) []Diagnostic {
+	var ds []Diagnostic
+	add := func(rule string, blk ir.BlockID, op int, format string, args ...interface{}) {
+		ds = append(ds, Diagnostic{
+			Rule: rule, Severity: Error, Fn: fn.Name, Block: blk, Op: op,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	if opts.Prog != nil {
+		for _, b := range fn.Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode != ir.Call || op.Callee == "" {
+					continue
+				}
+				callee := opts.Prog.Lookup(op.Callee)
+				if callee == nil {
+					add("CL001", b.ID, op.ID, "call @%s: callee not in program", op.Callee)
+					continue
+				}
+				if len(op.Srcs) != len(callee.Params) || len(op.Dests) != len(callee.Rets) {
+					add("CL001", b.ID, op.ID,
+						"call @%s passes %d args/%d results, signature wants %d/%d",
+						op.Callee, len(op.Srcs), len(op.Dests), len(callee.Params), len(callee.Rets))
+					continue
+				}
+				for i, r := range op.Srcs {
+					if r.Class != callee.Params[i].Class {
+						add("CL001", b.ID, op.ID,
+							"call @%s arg %d is a %v register, parameter wants %v",
+							op.Callee, i, r.Class, callee.Params[i].Class)
+					}
+				}
+				for i, r := range op.Dests {
+					if r.Class != callee.Rets[i].Class {
+						add("CL001", b.ID, op.ID,
+							"call @%s result %d is a %v register, return wants %v",
+							op.Callee, i, r.Class, callee.Rets[i].Class)
+					}
+				}
+			}
+		}
+	}
+	if opts.Inline == nil {
+		return ds
+	}
+	maxDepth := opts.Inline.Config.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = inline.DefaultConfig().MaxDepth
+	}
+	inRange := func(id ir.BlockID) bool { return id >= 0 && int(id) < len(fn.Blocks) }
+	for si, sp := range opts.Inline.Splices {
+		if sp.Depth > maxDepth {
+			add("CL003", ir.NoBlock, -1,
+				"splice %d of @%s at depth %d exceeds the depth cap %d", si, sp.Callee, sp.Depth, maxDepth)
+		}
+		if !inRange(sp.Host) || !inRange(sp.Entry) || !inRange(sp.Cont) {
+			add("CL002", ir.NoBlock, -1,
+				"splice %d of @%s references blocks outside the function (host bb%d, entry bb%d, cont bb%d)",
+				si, sp.Callee, sp.Host, sp.Entry, sp.Cont)
+			continue
+		}
+		host := fn.Block(sp.Host)
+		hasEdge := false
+		for _, s := range host.Succs() {
+			if s == sp.Entry {
+				hasEdge = true
+			}
+		}
+		if !hasEdge {
+			add("CL002", sp.Host, -1,
+				"splice %d of @%s: no CFG edge from host bb%d to spliced entry bb%d",
+				si, sp.Callee, sp.Host, sp.Entry)
+		}
+		if cont := fn.Block(sp.Cont); cont.Orig != host.Orig {
+			add("CL002", sp.Cont, -1,
+				"splice %d of @%s: continuation bb%d has Orig %d, host bb%d resumes as %d",
+				si, sp.Callee, sp.Cont, cont.Orig, sp.Host, host.Orig)
+		}
+		if opts.Prog != nil {
+			ci := opts.Prog.Index(sp.Callee)
+			if ci < 0 {
+				add("CL002", ir.NoBlock, -1, "splice %d: callee @%s not in program", si, sp.Callee)
+				continue
+			}
+			base := ir.BlockID(opts.Prog.OrigBase(ci))
+			for _, id := range sp.Blocks {
+				if !inRange(id) {
+					add("CL002", ir.NoBlock, -1,
+						"splice %d of @%s: spliced block bb%d outside the function", si, sp.Callee, id)
+					continue
+				}
+				if o := fn.Block(id).Orig; o < base || o >= base+ir.BlockID(ir.OrigStride) {
+					add("CL002", id, -1,
+						"splice %d of @%s: spliced block bb%d has Orig %d outside the callee namespace [%d,%d)",
+						si, sp.Callee, id, o, base, base+ir.BlockID(ir.OrigStride))
+				}
+			}
+		}
+	}
+	return ds
+}

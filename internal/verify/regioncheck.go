@@ -5,6 +5,7 @@ import (
 
 	"treegion/internal/cfg"
 	"treegion/internal/core"
+	"treegion/internal/inline"
 	"treegion/internal/ir"
 	"treegion/internal/region"
 )
@@ -26,7 +27,22 @@ import (
 // bounds KindTreegionTD regions; a zero ExpansionLimit skips RG005 (the
 // caller does not know the formation configuration).
 func CheckRegions(fn *ir.Function, regions []*region.Region, td core.TDConfig) []Diagnostic {
+	return CheckRegionsInline(fn, regions, td, nil)
+}
+
+// CheckRegionsInline is CheckRegions aware of demand-driven inlining: the
+// splice records identify the continuation blocks, which carry their host's
+// Orig for trace purposes but are not tail duplicates and must not count
+// against the RG005 expansion budget. A nil stats value reproduces
+// CheckRegions exactly.
+func CheckRegionsInline(fn *ir.Function, regions []*region.Region, td core.TDConfig, in *inline.Stats) []Diagnostic {
 	c := &regionChecker{fn: fn, g: cfg.New(fn)}
+	if in != nil {
+		c.conts = make(map[ir.BlockID]bool, len(in.Splices))
+		for _, sp := range in.Splices {
+			c.conts[sp.Cont] = true
+		}
+	}
 	owner := make(map[ir.BlockID]int)
 	for i, r := range regions {
 		c.tree(i, r)
@@ -53,7 +69,10 @@ func CheckRegions(fn *ir.Function, regions []*region.Region, td core.TDConfig) [
 type regionChecker struct {
 	fn *ir.Function
 	g  *cfg.Graph
-	ds []Diagnostic
+	// conts marks inline continuation blocks (non-nil only when splice
+	// records were supplied); see tdBounds.
+	conts map[ir.BlockID]bool
+	ds    []Diagnostic
 }
 
 func (c *regionChecker) add(rule string, sev Severity, b ir.BlockID, format string, args ...interface{}) {
@@ -163,9 +182,16 @@ func (c *regionChecker) tdBounds(i int, r *region.Region, td core.TDConfig) {
 				w++
 			}
 		}
-		if blk.Orig == bid {
+		// Original-identity weight: blocks that kept their ID, inline
+		// continuations (they carry their host's Orig for the trace, but are
+		// split-off original code, not duplicates), and spliced callee
+		// bodies (Orig in a callee namespace). A tail duplicate OF a spliced
+		// block also lands in the namespaced arm — that only loosens the
+		// bound (undercounts dup), so it cannot produce a false positive.
+		switch {
+		case blk.Orig == bid, c.conts[bid], int(blk.Orig) >= ir.OrigStride:
 			orig += w
-		} else {
+		default:
 			dup += w
 		}
 	}

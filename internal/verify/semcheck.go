@@ -23,8 +23,19 @@ import (
 var defaultSeeds = []uint64{1, 7, 42, 1998}
 
 // CheckSemantics interprets orig and compiled under identical oracles and
-// compares their observable traces.
+// compares their observable traces. Calls stay opaque no-ops; use
+// CheckSemanticsProgram to execute them against a resolved program.
 func CheckSemantics(orig, compiled *ir.Function, seeds []uint64, maxSteps int) []Diagnostic {
+	return CheckSemanticsProgram(nil, orig, compiled, seeds, maxSteps)
+}
+
+// CheckSemanticsProgram is CheckSemantics with a program context: resolved
+// calls execute the callee bodies (interp.RunIn) on both sides, so the
+// comparison certifies inlined compilations — the callee's blocks appear in
+// both traces under the callee's Orig namespace, whether executed in a call
+// frame (original) or spliced inline (compiled). A nil prog reproduces
+// CheckSemantics exactly.
+func CheckSemanticsProgram(prog *ir.Program, orig, compiled *ir.Function, seeds []uint64, maxSteps int) []Diagnostic {
 	if len(seeds) == 0 {
 		seeds = defaultSeeds
 	}
@@ -37,13 +48,13 @@ func CheckSemantics(orig, compiled *ir.Function, seeds []uint64, maxSteps int) [
 	}
 	cfg := interp.Config{MaxSteps: maxSteps}
 	for _, seed := range seeds {
-		want, err := interp.Run(orig, interp.NewOracle(seed), cfg)
+		want, err := interp.RunIn(prog, orig, interp.NewOracle(seed), cfg)
 		if err != nil {
 			// The original function does not execute cleanly under this
 			// seed; nothing to compare against.
 			continue
 		}
-		got, err := interp.Run(compiled, interp.NewOracle(seed), cfg)
+		got, err := interp.RunIn(prog, compiled, interp.NewOracle(seed), cfg)
 		if err != nil {
 			add("SEM002", "seed %d: compiled function fails to execute: %v", seed, err)
 			continue

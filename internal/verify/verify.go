@@ -24,6 +24,7 @@ import (
 
 	"treegion/internal/cfg"
 	"treegion/internal/core"
+	"treegion/internal/inline"
 	"treegion/internal/ir"
 	"treegion/internal/machine"
 	"treegion/internal/region"
@@ -170,6 +171,16 @@ type Options struct {
 	Seeds []uint64
 	// MaxSteps bounds each differential run (0 selects a default).
 	MaxSteps int
+	// Prog, when non-nil, is the resolved program context: the differential
+	// check executes resolved calls through the callee bodies (both sides),
+	// and the call-convention rule (CL001) checks residual calls against the
+	// callee signatures.
+	Prog *ir.Program
+	// Inline, when non-nil, carries the inliner's splice records and the
+	// budgets it ran under; it enables the splice-integrity rules
+	// (CL002/CL003) and the region-shape checks' treatment of spliced
+	// blocks.
+	Inline *inline.Stats
 }
 
 // Compiled runs every verification pass over one compiled function: fn is
@@ -192,7 +203,7 @@ func Compiled(fn *ir.Function, regions []*region.Region, schedules []*sched.Sche
 		return ds
 	}
 	lv := cfg.ComputeLiveness(cfg.New(fn))
-	ds = append(ds, CheckRegions(fn, regions, opts.TD)...)
+	ds = append(ds, CheckRegionsInline(fn, regions, opts.TD, opts.Inline)...)
 	if len(schedules) == len(regions) {
 		for i, s := range schedules {
 			ds = append(ds, CheckSchedule(fn, regions[i], s, lv)...)
@@ -203,8 +214,11 @@ func Compiled(fn *ir.Function, regions []*region.Region, schedules []*sched.Sche
 			Message: fmt.Sprintf("%d schedules for %d regions", len(schedules), len(regions)),
 		})
 	}
+	if opts.Prog != nil || opts.Inline != nil {
+		ds = append(ds, CheckCalls(fn, opts)...)
+	}
 	if opts.Orig != nil && !opts.IfConvert {
-		ds = append(ds, CheckSemantics(opts.Orig, fn, opts.Seeds, opts.MaxSteps)...)
+		ds = append(ds, CheckSemanticsProgram(opts.Prog, opts.Orig, fn, opts.Seeds, opts.MaxSteps)...)
 	}
 	sortDiagnostics(ds)
 	return ds

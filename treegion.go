@@ -26,6 +26,7 @@ import (
 	"treegion/internal/core"
 	"treegion/internal/eval"
 	"treegion/internal/hyper"
+	"treegion/internal/inline"
 	"treegion/internal/interp"
 	"treegion/internal/ir"
 	"treegion/internal/irtext"
@@ -66,6 +67,14 @@ type (
 	FunctionResult = eval.FunctionResult
 	// Function is an IR function (for users building their own inputs).
 	Function = ir.Function
+	// IRProgram is a multi-function IR unit with a resolved call graph —
+	// the input to interprocedural compilation (Program remains the
+	// generated-benchmark container).
+	IRProgram = ir.Program
+	// InlineConfig bounds demand-driven inline-on-absorb (WithInline).
+	InlineConfig = inline.Config
+	// InlineStats reports the splices performed and calls declined.
+	InlineStats = inline.Stats
 	// ProfileData is block/edge execution counts for one function.
 	ProfileData = profile.Data
 	// CompileMetrics holds the pipeline's activity counters.
@@ -201,6 +210,21 @@ func WithVerify() CompileOption {
 	return func(o *pipeline.Options) { o.Verify = true }
 }
 
+// WithInline enables demand-driven inline-on-absorb (Way & Pollock style)
+// during treegion formation: the batch's functions are resolved into a
+// program, and calls whose callee fits cfg's budgets are spliced into the
+// growing treegion, letting regions extend across call sites. Non-inlined
+// calls remain scheduling barriers exactly as without the option. Use
+// DefaultInlineConfig for the experiments' budgets.
+func WithInline(cfg InlineConfig) CompileOption {
+	return func(o *pipeline.Options) { o.Inline = cfg }
+}
+
+// DefaultInlineConfig returns the enabled inlining budgets used by the
+// experiments: depth 3, callee bodies up to 48 ops / 12 blocks, 3× code
+// expansion.
+func DefaultInlineConfig() InlineConfig { return inline.DefaultConfig() }
+
 // VerifyFunction runs the static verifier over an already compiled
 // function. orig, when non-nil, is the pre-compilation function and enables
 // the differential interpretation check.
@@ -289,6 +313,18 @@ func ParseFunction(src string) (*Function, error) { return irtext.Parse(src) }
 
 // PrintFunction serializes a function to the textual IR format.
 func PrintFunction(fn *Function) string { return irtext.Print(fn) }
+
+// ParseIRProgram reads a multi-function .tir source and resolves its call
+// graph (callees must be defined, call arities must match signatures).
+func ParseIRProgram(src string) (*IRProgram, error) { return irtext.ParseProgram(src) }
+
+// ResolveProgram resolves already-built functions into a multi-function
+// program with a checked call graph — the same validation ParseIRProgram
+// applies (unique names, defined callees, matching call arities).
+func ResolveProgram(fns []*Function) (*IRProgram, error) { return ir.NewProgram(fns) }
+
+// PrintIRProgram serializes a resolved program to the textual IR format.
+func PrintIRProgram(p *IRProgram) string { return irtext.PrintProgram(p) }
 
 // DOT renders a function's CFG (with optional regions and profile) as
 // Graphviz DOT for visual inspection of what the region formers built.

@@ -15,10 +15,12 @@ import (
 
 	"treegion/internal/ddg"
 	"treegion/internal/eval"
+	"treegion/internal/inline"
 	"treegion/internal/interp"
 	"treegion/internal/ir"
 	"treegion/internal/irtext"
 	"treegion/internal/machine"
+	"treegion/internal/profile"
 	"treegion/internal/sched"
 	"treegion/internal/verify"
 )
@@ -30,7 +32,13 @@ type fixture struct {
 	rule string
 	kind eval.RegionKind
 	// sem includes the differential-semantics pass (needs the original).
-	sem     bool
+	sem bool
+	// prog parses the fixture as a multi-function program and verifies
+	// function 0 with the program as call-convention context; inline
+	// additionally compiles it with demand-driven inlining on, so the
+	// splice-integrity rules see real splice records.
+	prog    bool
+	inline  bool
 	corrupt func(t *testing.T, fr *eval.FunctionResult)
 }
 
@@ -86,6 +94,35 @@ var fixtures = []fixture{
 		}
 		t.Fatal("movi 5 not found")
 	}},
+	// Interprocedural fixtures: verified with the resolved program (and,
+	// for the splice rules, real inliner records) as context.
+	{name: "callconv", rule: "CL001", kind: eval.BasicBlocks, prog: true, corrupt: func(t *testing.T, fr *eval.FunctionResult) {
+		call := findOp(t, fr, ir.Call)
+		fp := findOp(t, fr, ir.MovI)
+		for _, b := range fr.Fn.Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode == ir.MovI && op.Dests[0].Class == ir.ClassFPR {
+					fp = op
+				}
+			}
+		}
+		if fp.Dests[0].Class != ir.ClassFPR {
+			t.Fatal("no FPR definition in fixture")
+		}
+		call.Srcs[0] = fp.Dests[0]
+	}},
+	{name: "badsplice", rule: "CL002", kind: eval.Treegion, prog: true, inline: true, corrupt: func(t *testing.T, fr *eval.FunctionResult) {
+		if len(fr.Inline.Splices) == 0 {
+			t.Fatal("fixture compile spliced nothing")
+		}
+		fr.Inline.Splices[0].Entry = fr.Inline.Splices[0].Cont
+	}},
+	{name: "deepsplice", rule: "CL003", kind: eval.Treegion, prog: true, inline: true, corrupt: func(t *testing.T, fr *eval.FunctionResult) {
+		if len(fr.Inline.Splices) == 0 {
+			t.Fatal("fixture compile spliced nothing")
+		}
+		fr.Inline.Splices[0].Depth = 99
+	}},
 	// Malformed-IR fixtures: verified as parsed (unchecked parser).
 	{name: "badcfg", rule: "IR004"},
 	{name: "retsuccs", rule: "IR005"},
@@ -108,24 +145,53 @@ func TestAdversarialFixtures(t *testing.T) {
 				assertRules(t, ds, fx.rule)
 				return
 			}
-			orig, err := irtext.Parse(string(src))
-			if err != nil {
-				t.Fatal(err)
-			}
-			prof, err := interp.Profile(orig, 1, 100, interp.Config{MaxSteps: 1_000_000})
-			if err != nil {
-				t.Fatal(err)
-			}
+			var (
+				orig *ir.Function
+				prof *profile.Data
+				prg  *ir.Program
+			)
 			c := eval.DefaultConfig()
 			c.Kind = fx.kind
 			c.Machine = machine.FourU
+			if fx.prog {
+				var err error
+				prg, err = irtext.ParseProgram(string(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				profs := make([]*profile.Data, len(prg.Funcs))
+				for i, fn := range prg.Funcs {
+					profs[i], err = interp.Profile(fn, 1, 100, interp.Config{MaxSteps: 1_000_000})
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				if fx.inline {
+					c.Inline = inline.DefaultConfig()
+					c.InlineEnv = &inline.Env{Prog: prg, Profiles: profs}
+				}
+				orig, prof = prg.Funcs[0], profs[0]
+			} else {
+				var err error
+				orig, err = irtext.Parse(string(src))
+				if err != nil {
+					t.Fatal(err)
+				}
+				prof, err = interp.Profile(orig, 1, 100, interp.Config{MaxSteps: 1_000_000})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
 			fr, err := eval.CompileFunction(orig.Clone(), prof.Clone(), c)
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			opts := verify.Options{Machine: c.Machine, TD: c.TD}
+			opts := verify.Options{Machine: c.Machine, TD: c.TD, Prog: prg}
 			if fx.sem {
 				opts.Orig = orig
+			}
+			if fx.inline {
+				opts.Inline = &fr.Inline
 			}
 			// The uncorrupted compile must be provably legal first — a
 			// fixture that trips the verifier on its own proves nothing.
@@ -163,6 +229,20 @@ func assertRules(t *testing.T, ds []verify.Diagnostic, want string) {
 		}
 		t.Fatalf("fired rules %v, want exactly [%s]", got, want)
 	}
+}
+
+// findOp locates the first op with the given opcode in block order.
+func findOp(t *testing.T, fr *eval.FunctionResult, opc ir.Opcode) *ir.Op {
+	t.Helper()
+	for _, b := range fr.Fn.Blocks {
+		for _, op := range b.Ops {
+			if op.Opcode == opc {
+				return op
+			}
+		}
+	}
+	t.Fatalf("fixture has no %v op", opc)
+	return nil
 }
 
 // findNode locates the first node in schedule order matching pred, with
