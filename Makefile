@@ -44,14 +44,14 @@ race:
 # stress benchmarks report speedup-vs-serial; on a single-core box that
 # metric caps at ~1x by physics.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkCompileStress|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_8.json
+	$(GO) test -run XXX -bench 'BenchmarkCompileSuite|BenchmarkCompileStress|BenchmarkColdCompile' -benchmem -benchtime 3x -json . | tee BENCH_9.json
 
 # bench-compare diffs two bench captures. benchstat is used when installed
 # (fed plain text extracted from the JSON captures); otherwise the bundled
 # dependency-free cmd/benchdiff prints the old/new/delta table. Override the
 # endpoints with BENCH_OLD= / BENCH_NEW=.
-BENCH_OLD ?= BENCH_7.json
-BENCH_NEW ?= BENCH_8.json
+BENCH_OLD ?= BENCH_8.json
+BENCH_NEW ?= BENCH_9.json
 bench-compare:
 	@if command -v benchstat >/dev/null 2>&1; then \
 		$(GO) run ./cmd/benchdiff -extract $(BENCH_OLD) > /tmp/benchdiff_old.txt; \
@@ -70,6 +70,9 @@ bench-compare:
 # across pipeline workers, so the bench bodies must be race-clean too).
 # The inliner and the call-executing interpreter race here because pipeline
 # workers run splices concurrently across functions of one program.
+# The eval -short slice includes TestVerifyStress2Slice, so one giant
+# stress2 function races through compile-and-verify on every check; the
+# sched line races the bitmap-queue unit and adversarial tests.
 # The store and eval run with -short so their heavier matrices race a
 # reduced preset slice; the full matrices run in `test`.
 check: lint build test

@@ -9,7 +9,9 @@ package treegion
 // BENCH_5.json; `make check` runs them once under the race detector.
 
 import (
+	"math"
 	"testing"
+	"time"
 
 	"treegion/internal/cfg"
 	"treegion/internal/core"
@@ -81,14 +83,13 @@ func BenchmarkColdCompileDDG(b *testing.B) {
 	}
 }
 
-// BenchmarkColdCompileSched measures the heap-based list scheduler alone:
-// DDGs are built once, then every iteration re-schedules all of them on the
-// 4-issue machine with the dependence-height heuristic. Scheduling never
-// mutates the graph, so the prepared inputs are reusable.
-func BenchmarkColdCompileSched(b *testing.B) {
-	s := sharedSuite(b)
+// schedGraphs builds every region DDG of progs, prepared exactly as the
+// compile path prepares them. Scheduling never mutates the graph, so the
+// result is reusable across benchmark iterations.
+func schedGraphs(b *testing.B, progs []*Program) []*ddg.Graph {
+	b.Helper()
 	var graphs []*ddg.Graph
-	for _, p := range s.Programs {
+	for _, p := range progs {
 		for _, fn := range p.Funcs {
 			f := fn.Clone()
 			g := cfg.New(f)
@@ -102,15 +103,79 @@ func BenchmarkColdCompileSched(b *testing.B) {
 			}
 		}
 	}
-	prio := core.DepHeight.Keys
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, g := range graphs {
-			sc := sched.ListSchedule(g, machine.FourU, prio)
-			if sc.Length == 0 && len(g.Nodes) > 0 {
-				b.Fatal("empty schedule")
-			}
-		}
+	return graphs
+}
+
+// BenchmarkColdCompileSched measures the list scheduler alone: DDGs are
+// built once, then every iteration re-schedules all of them on the 4-issue
+// machine with the dependence-height heuristic. Three tiers scale the rank
+// space — suite regions top out near 170 nodes, stress near 170 with far
+// more regions, and stress2's straight-line giants push past 4096 — so the
+// asymptotic gap between the bitmap queues and the retained heap reference
+// is visible, not just the constant factor. Each tier reports
+// speedup-vs-heap, computed symmetrically as best-of-three heap passes over
+// best-of-three bitmap passes: best-of filters GC pauses (the per-region
+// Schedule allocations churn enough to swamp a mean on a busy machine), and
+// measuring both sides the same way keeps the ratio honest.
+func BenchmarkColdCompileSched(b *testing.B) {
+	tiers := []struct {
+		name  string
+		progs func(b *testing.B) []*Program
+	}{
+		{"suite", func(b *testing.B) []*Program { return sharedSuite(b).Programs }},
+		{"stress", func(b *testing.B) []*Program { return benchProgram(b, "stress") }},
+		{"stress2", func(b *testing.B) []*Program { return benchProgram(b, "stress2") }},
 	}
+	prio := core.DepHeight.Keys
+	for _, tier := range tiers {
+		b.Run(tier.name, func(b *testing.B) {
+			graphs := schedGraphs(b, tier.progs(b))
+			var sc sched.Scratch
+			schedule := func(fn func(g *ddg.Graph) *sched.Schedule) {
+				for _, g := range graphs {
+					if s := fn(g); s.Length == 0 && len(g.Nodes) > 0 {
+						b.Fatal("empty schedule")
+					}
+				}
+			}
+			var hsc sched.Scratch
+			heapPass := func(g *ddg.Graph) *sched.Schedule {
+				return sched.ListScheduleHeapRefScratch(g, machine.FourU, prio, &hsc)
+			}
+			bitmapPass := func(g *ddg.Graph) *sched.Schedule {
+				return sched.ListScheduleScratch(g, machine.FourU, prio, nil, &sc)
+			}
+			bestOf := func(fn func(g *ddg.Graph) *sched.Schedule) float64 {
+				schedule(fn) // warm scratch
+				best := math.Inf(1)
+				for pass := 0; pass < 3; pass++ {
+					start := time.Now()
+					schedule(fn)
+					if ns := float64(time.Since(start).Nanoseconds()); ns < best {
+						best = ns
+					}
+				}
+				return best
+			}
+			heapNs := bestOf(heapPass)
+			bitmapNs := bestOf(bitmapPass)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				schedule(bitmapPass)
+			}
+			b.StopTimer()
+			b.ReportMetric(heapNs/bitmapNs, "speedup-vs-heap")
+		})
+	}
+}
+
+// benchProgram generates one named progen benchmark for a stress tier.
+func benchProgram(b *testing.B, name string) []*Program {
+	b.Helper()
+	p, err := GenerateBenchmark(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []*Program{p}
 }

@@ -285,27 +285,33 @@ func serialSuiteSeconds(b *testing.B, s *Suite) float64 {
 }
 
 // BenchmarkCompileSuiteParallel compiles the 8-benchmark suite on the
-// batched work-stealing pool at two worker counts and reports each run's
-// wall-clock speedup over the serial baseline as speedup-vs-serial. The
-// metric is honest about the hardware: on a single-core box the pool can
-// only match serial (≈1x, minus scheduling overhead); the ≥2x numbers need
-// ≥2 real cores.
+// batched work-stealing pool at several worker counts and reports each
+// run's wall-clock ratio over the serial baseline. The workers=1 sub-bench
+// takes compileMany's serial fast path — no goroutine, no steal queue — so
+// it ties the baseline by construction; its metric is labelled serial-tie
+// rather than speedup-vs-serial so the regression gate reads it as a
+// dispatch-overhead check, not a parallel loss. The parallel metrics are
+// honest about the hardware: the ≥2x numbers need ≥2 real cores.
 func BenchmarkCompileSuiteParallel(b *testing.B) {
 	s := sharedSuite(b)
 	serial := serialSuiteSeconds(b, s)
-	counts := []int{2, runtime.NumCPU()}
-	if counts[1] == counts[0] {
-		counts = counts[:1]
+	counts := []int{1, 2, runtime.NumCPU()}
+	if counts[2] <= counts[1] {
+		counts = counts[:2]
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			metric := "speedup-vs-serial"
+			if workers == 1 {
+				metric = "serial-tie"
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				compileSuite(b, s, WithWorkers(workers))
 			}
 			b.StopTimer()
 			perOp := b.Elapsed().Seconds() / float64(b.N)
-			b.ReportMetric(serial/perOp, "speedup-vs-serial")
+			b.ReportMetric(serial/perOp, metric)
 		})
 	}
 }

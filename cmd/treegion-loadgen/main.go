@@ -3,7 +3,9 @@
 // achieved QPS and the error rate.
 //
 // Request bodies are generated from a progen preset (default the out-of-suite
-// "stress" preset): each worker cycles through the preset's functions,
+// "stress" preset; "-preset stress2" substitutes the asymptotic tier, whose
+// giant straight-line functions make each request an order of magnitude
+// heavier): each worker cycles through the preset's functions,
 // POSTing them to /v1/compile — or, with -batch N, grouped N-at-a-time to the
 // streaming /v1/compile-batch endpoint (latency then measures time-to-last-
 // byte of the stream). The loop is closed: a worker issues its next request
@@ -47,7 +49,7 @@ func main() {
 	qps := flag.Float64("qps", 0, "target request rate (0 = unpaced closed loop)")
 	concurrency := flag.Int("concurrency", 4, "closed-loop workers")
 	duration := flag.Duration("duration", 15*time.Second, "run length")
-	presetName := flag.String("preset", "stress", "progen preset supplying the IR corpus")
+	presetName := flag.String("preset", "stress", "progen preset supplying the IR corpus (suite name, stress, or stress2)")
 	batch := flag.Int("batch", 0, "functions per /v1/compile-batch request (0 = single /v1/compile requests)")
 	errorBudget := flag.Float64("error-budget", 0.01, "maximum tolerated error fraction; exceeding it exits non-zero")
 	flag.Parse()

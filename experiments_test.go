@@ -3,6 +3,9 @@ package treegion
 import (
 	"context"
 	"testing"
+
+	"treegion/internal/cfg"
+	"treegion/internal/core"
 )
 
 // A single shared suite keeps the experiment tests affordable.
@@ -135,6 +138,73 @@ func TestAblationShape(t *testing.T) {
 	}
 	if GeoMean(rows, "td-2.0") < GeoMean(rows, "dompar-off") {
 		t.Error("dominator parallelism must not hurt")
+	}
+}
+
+// TestStress2PresetSmoke proves the asymptotic stress tier generates
+// deterministically and actually delivers the rank spaces it exists for:
+// regions past the bitmap scheduler's 4096-rank level-1 seam, an order of
+// magnitude beyond anything stress produces. One sliced function is then
+// compiled serially and in parallel to prove cycle-identical results.
+func TestStress2PresetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress2 preset is not short")
+	}
+	prog, err := GenerateBenchmark("stress2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := GenerateBenchmark("stress2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != len(again.Funcs) {
+		t.Fatalf("stress2 generation not deterministic: %d vs %d functions",
+			len(prog.Funcs), len(again.Funcs))
+	}
+	for i := range prog.Funcs {
+		if a, b := prog.Funcs[i].NumOps(), again.Funcs[i].NumOps(); a != b {
+			t.Fatalf("stress2 generation not deterministic: func %d has %d vs %d ops", i, a, b)
+		}
+	}
+	// The tier's reason to exist: regions whose rank space crosses the
+	// bitmap's level-1 word seam (4096 ranks).
+	huge := 0
+	for _, fn := range prog.Funcs {
+		f := fn.Clone()
+		g := cfg.New(f)
+		for _, r := range core.Form(f, g) {
+			n := 0
+			for _, bid := range r.Blocks {
+				n += len(f.Blocks[bid].Ops)
+			}
+			if n > 4096 {
+				huge++
+			}
+		}
+	}
+	if huge < 10 {
+		t.Fatalf("stress2 yields %d regions past 4096 ops, want >= 10", huge)
+	}
+	prog.Funcs = prog.Funcs[:1]
+	prog.Preset.NumFuncs = 1
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	ctx := context.Background()
+	serial, err := Compile(ctx, prog, profs, c, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Compile(ctx, prog, profs, c, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Time != parallel.Time || serial.CodeExpansion != parallel.CodeExpansion {
+		t.Fatalf("8-worker compile diverged from serial: time %v vs %v, expansion %v vs %v",
+			parallel.Time, serial.Time, parallel.CodeExpansion, serial.CodeExpansion)
 	}
 }
 

@@ -20,20 +20,105 @@ import (
 // captures, and stack capacity is reused across the whole walk.
 func (b *builder) dataEdges() {
 	regs := b.g.Fn.RegIndexTable()
-	w := &walker{b: b, regs: &regs}
-	if b.sc != nil {
-		w.defs, w.defBase, w.readers, w.readerBase = b.sc.walkerStacks(regs.Len())
-		w.undo = b.sc.undo[:0]
-		w.loads = b.sc.loads[:0]
-	} else {
-		w.defs = make([][]*Node, regs.Len())
-		w.defBase = make([]int32, regs.Len())
-		w.readers = make([][]*Node, regs.Len())
-		w.readerBase = make([]int32, regs.Len())
-	}
+	w := &walker{b: b, regs: &regs, nodes: b.g.Nodes}
+	b.prepWalker(w, regs.Len())
 	w.walk(b.g.Region.Root)
 	if b.sc != nil {
 		b.sc.releaseWalker(w)
+	}
+}
+
+// prepWalker sizes every walker stack from the region's ops instead of
+// letting appends grow them: one counting pass over the nodes bounds each
+// register's def stack by its total destination occurrences, its reader
+// stack by its total source occurrences, and the undo log by the total
+// event count — a path can only push what the whole region contains, so the
+// bounds hold for every root-to-leaf walk. The per-register stacks are then
+// carved from one index slab with those caps, which turns the walk's
+// hottest allocation sites (one growth chain per touched register, per
+// region) into zero allocations under a Scratch and a handful without one.
+// The stacks hold node indices, not pointers: the slab stays invisible to
+// the garbage collector, which matters at suite scale (a pointer slab this
+// size showed up as scan time exceeding the allocation savings).
+func (b *builder) prepWalker(w *walker, nr int) {
+	sc := b.sc
+	var defCnt, readerCnt []int32
+	if sc != nil {
+		w.defs = grow(sc.defs, nr)
+		w.readers = grow(sc.readers, nr)
+		w.defBase = growClear(sc.defBase, nr)
+		w.readerBase = growClear(sc.readerBase, nr)
+		defCnt = growClear(sc.defCnt, nr)
+		readerCnt = growClear(sc.readerCnt, nr)
+	} else {
+		w.defs = make([][]int32, nr)
+		w.readers = make([][]int32, nr)
+		w.defBase = make([]int32, nr)
+		w.readerBase = make([]int32, nr)
+		defCnt = make([]int32, nr)
+		readerCnt = make([]int32, nr)
+	}
+	undoCap, loadCap := 0, 0
+	for _, nd := range b.g.Nodes {
+		op := nd.Op
+		for _, s := range op.Srcs {
+			if s.IsValid() {
+				if r := int32(w.regs.Of(s)); r >= 0 {
+					readerCnt[r]++
+					undoCap++
+				}
+			}
+		}
+		if op.Guarded() {
+			if s := op.Guard; s.IsValid() {
+				if r := int32(w.regs.Of(s)); r >= 0 {
+					readerCnt[r]++
+					undoCap++
+				}
+			}
+		}
+		switch op.Opcode {
+		case ir.Ld:
+			loadCap++
+			undoCap++
+		case ir.St, ir.Call:
+			undoCap++
+		}
+		for _, d := range op.Dests {
+			if d.IsValid() {
+				if r := int32(w.regs.Of(d)); r >= 0 {
+					defCnt[r]++
+					undoCap++
+				}
+			}
+		}
+	}
+	total := 0
+	for r := 0; r < nr; r++ {
+		total += int(defCnt[r]) + int(readerCnt[r])
+	}
+	var slab []int32
+	if sc != nil {
+		slab = grow(sc.walkSlab, total)
+	} else {
+		slab = make([]int32, total)
+	}
+	off := 0
+	for r := 0; r < nr; r++ {
+		d, rd := int(defCnt[r]), int(readerCnt[r])
+		w.defs[r] = slab[off : off : off+d]
+		off += d
+		w.readers[r] = slab[off : off : off+rd]
+		off += rd
+	}
+	if sc != nil {
+		sc.walkSlab = slab
+		sc.defCnt, sc.readerCnt = defCnt, readerCnt
+		w.undo = grow(sc.undo, undoCap)[:0]
+		w.loads = grow(sc.loads, loadCap)[:0]
+	} else {
+		w.undo = make([]undoRec, 0, undoCap)
+		w.loads = make([]int32, 0, loadCap)
 	}
 }
 
@@ -54,16 +139,17 @@ type undoRec struct {
 }
 
 type walker struct {
-	b    *builder
-	regs *ir.RegIndex
+	b     *builder
+	regs  *ir.RegIndex
+	nodes []*Node // g.Nodes — the stacks below hold indices into it
 
-	defs       [][]*Node // per dense reg: definition stack
+	defs       [][]int32 // per dense reg: definition stack (node indices)
 	defBase    []int32   // start of the *reaching* definitions within defs
-	readers    [][]*Node // per dense reg: readers since the reaching defs
+	readers    [][]int32 // per dense reg: readers since the reaching defs
 	readerBase []int32
 
 	lastStore *Node
-	loads     []*Node // loads since the last store
+	loads     []int32 // loads since the last store (node indices)
 	loadsBase int32
 
 	undo []undoRec
@@ -109,7 +195,7 @@ func (w *walker) setDef(r int32, n *Node) {
 		c: w.readerBase[r], d: int32(len(w.readers[r])),
 	})
 	w.defBase[r] = int32(len(w.defs[r]))
-	w.defs[r] = append(w.defs[r], n)
+	w.defs[r] = append(w.defs[r], int32(n.Index))
 	w.readerBase[r] = int32(len(w.readers[r]))
 }
 
@@ -117,12 +203,12 @@ func (w *walker) setDef(r int32, n *Node) {
 // still reach, and their readers stay visible.
 func (w *walker) addDef(r int32, n *Node) {
 	w.undo = append(w.undo, undoRec{kind: undoAddDef, reg: r, a: int32(len(w.defs[r]))})
-	w.defs[r] = append(w.defs[r], n)
+	w.defs[r] = append(w.defs[r], int32(n.Index))
 }
 
 func (w *walker) addReader(r int32, n *Node) {
 	w.undo = append(w.undo, undoRec{kind: undoReader, reg: r, a: int32(len(w.readers[r]))})
-	w.readers[r] = append(w.readers[r], n)
+	w.readers[r] = append(w.readers[r], int32(n.Index))
 }
 
 func (w *walker) setStore(n *Node) {
@@ -137,7 +223,7 @@ func (w *walker) setStore(n *Node) {
 
 func (w *walker) addLoad(n *Node) {
 	w.undo = append(w.undo, undoRec{kind: undoLoad, a: int32(len(w.loads))})
-	w.loads = append(w.loads, n)
+	w.loads = append(w.loads, int32(n.Index))
 }
 
 // visitSrc adds flow dependences from the reaching definitions of s and
@@ -150,7 +236,8 @@ func (w *walker) visitSrc(s ir.Reg, n *Node) {
 	if r < 0 {
 		return
 	}
-	for _, def := range w.defs[r][w.defBase[r]:] {
+	for _, di := range w.defs[r][w.defBase[r]:] {
+		def := w.nodes[di]
 		w.b.addEdge(def, n, machine.Latency(def.Op.Opcode), EdgeData)
 	}
 	w.addReader(r, n)
@@ -177,8 +264,8 @@ func (w *walker) visit(n *Node) {
 		if w.lastStore != nil {
 			w.b.addEdge(w.lastStore, n, 0, EdgeMem)
 		}
-		for _, ld := range w.loads[w.loadsBase:] {
-			w.b.addEdge(ld, n, 0, EdgeMem)
+		for _, li := range w.loads[w.loadsBase:] {
+			w.b.addEdge(w.nodes[li], n, 0, EdgeMem)
 		}
 		w.setStore(n)
 	}
@@ -191,11 +278,11 @@ func (w *walker) visit(n *Node) {
 		if r < 0 {
 			continue
 		}
-		for _, rd := range w.readers[r][w.readerBase[r]:] {
-			w.b.addEdge(rd, n, 0, EdgeData)
+		for _, ri := range w.readers[r][w.readerBase[r]:] {
+			w.b.addEdge(w.nodes[ri], n, 0, EdgeData)
 		}
-		for _, def := range w.defs[r][w.defBase[r]:] {
-			w.b.addEdge(def, n, 1, EdgeData)
+		for _, di := range w.defs[r][w.defBase[r]:] {
+			w.b.addEdge(w.nodes[di], n, 1, EdgeData)
 		}
 	}
 	for _, d := range op.Dests {

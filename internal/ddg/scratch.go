@@ -27,15 +27,20 @@ type Scratch struct {
 	succBuf    []ir.BlockID
 	subtreeBuf []ir.BlockID
 
-	// dataEdges walker stacks, indexed by dense register. The walk's undo
-	// log empties them on exit; reset re-establishes that invariant
-	// defensively before handing them out again.
-	defs       [][]*Node
+	// dataEdges walker stacks, indexed by dense register. The inner
+	// def/reader stacks are carved from walkSlab with per-register caps
+	// counted from the region's ops (prepWalker), so the walk itself never
+	// allocates; defCnt/readerCnt are the counting buffers. The stacks hold
+	// node indices rather than pointers so the slab carries no GC scan cost.
+	defs       [][]int32
 	defBase    []int32
-	readers    [][]*Node
+	readers    [][]int32
 	readerBase []int32
 	undo       []undoRec
-	loads      []*Node
+	loads      []int32
+	walkSlab   []int32
+	defCnt     []int32
+	readerCnt  []int32
 }
 
 // grow returns buf resized to n, reallocating only when capacity is short.
@@ -64,20 +69,6 @@ func (sc *Scratch) movedMap() map[ir.BlockID][]*ir.Op {
 	return sc.moved
 }
 
-// walkerStacks returns the per-register stacks for dataEdges, empty and
-// zero-based. Inner stack slices keep their capacity across builds.
-func (sc *Scratch) walkerStacks(n int) (defs [][]*Node, defBase []int32, readers [][]*Node, readerBase []int32) {
-	sc.defs = grow(sc.defs, n)
-	sc.readers = grow(sc.readers, n)
-	for i := range sc.defs {
-		sc.defs[i] = sc.defs[i][:0]
-		sc.readers[i] = sc.readers[i][:0]
-	}
-	sc.defBase = growClear(sc.defBase, n)
-	sc.readerBase = growClear(sc.readerBase, n)
-	return sc.defs, sc.defBase, sc.readers, sc.readerBase
-}
-
 // release stores the builder's (possibly regrown) buffers back into the
 // scratch so the capacity carries over to the next build.
 func (sc *Scratch) release(b *builder) {
@@ -98,6 +89,8 @@ func (sc *Scratch) release(b *builder) {
 }
 
 // releaseWalker stores the dataEdges walker's stacks back into the scratch.
+// The inner def/reader stacks are views into walkSlab (already stored by
+// prepWalker); only the outer tables and the undo/loads capacity carry over.
 func (sc *Scratch) releaseWalker(w *walker) {
 	sc.defs = w.defs
 	sc.defBase = w.defBase

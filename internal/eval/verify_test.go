@@ -99,3 +99,32 @@ func verifyProgram(t *testing.T, prog *progen.Program, profs Profiles, c Config)
 		}
 	}
 }
+
+// TestVerifyStress2Slice proves the asymptotic stress tier's giant
+// straight-line regions verify too — these are the rank spaces that push
+// the scheduler's bitmap queues past their level-1 word seam, so the legal-
+// schedule guarantee must be demonstrated there, not just on suite-sized
+// regions. The program is sliced to one function and two heuristics to stay
+// affordable under -short (make check runs this slice under the race
+// detector); make bench exercises the full tier.
+func TestVerifyStress2Slice(t *testing.T) {
+	p, ok := progen.PresetByName("stress2")
+	if !ok {
+		t.Fatal("stress2 preset not registered")
+	}
+	prog, err := progen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Funcs = prog.Funcs[:1]
+	prog.Preset.NumFuncs = 1
+	profs, err := ProfileProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []core.Heuristic{core.DepHeight, core.GlobalWeight} {
+		c := DefaultConfig()
+		c.Heuristic = h
+		verifyProgram(t, prog, profs, c)
+	}
+}

@@ -120,6 +120,29 @@ func compileMany(ctx context.Context, fns []*ir.Function, profs []*profile.Data,
 	if workers < 1 {
 		workers = 1
 	}
+	if workers == 1 {
+		// Serial fast path: compile on the caller's goroutine with one
+		// arena and no steal-queue locking. A one-worker pool otherwise
+		// pays the goroutine hop and per-chunk mutex for nothing, which
+		// showed up as a single-worker pipeline running measurably slower
+		// than a plain serial loop.
+		arena := eval.NewArena()
+		for i := range fns {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+			} else {
+				var hit bool
+				frs[i], hit, errs[i] = compileOne(fns[i], profs[i], c, opts, arena)
+				if cached != nil {
+					cached[i] = hit
+				}
+			}
+			if onDone != nil {
+				onDone(i)
+			}
+		}
+		return
+	}
 	q := newStealQueue(n, workers)
 	k := chunkSize(n, workers)
 	var mu sync.Mutex
@@ -507,6 +530,7 @@ func (m *Metrics) Register(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_pipeline_verify_failures_total", "Compiles rejected by the static verifier.", m.VerifyFailures.Load)
 	reg.CounterFunc(prefix+"_pipeline_verify_runs_total", "Verifier executions (verdict-cache misses).", m.VerifyRuns.Load)
 	reg.CounterFunc(prefix+"_pipeline_verdict_hits_total", "Verified compiles answered from the verdict cache.", m.VerdictHits.Load)
+	telemetry.ExportReadyOccupancy(reg)
 }
 
 // compileIsolated runs one compile with panic isolation: a panic inside

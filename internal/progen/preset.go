@@ -264,6 +264,36 @@ func Stress() Preset {
 	}
 }
 
+// Stress2 returns the asymptotic stress tier: functions another 5-6× past
+// stress (roughly 40-150× the suite presets), built from enormous
+// straight-line blocks (512-1536 ops against stress's 4-10) with a much
+// lower ChainFrac so dataflow stays wide. Treegions split at merge points,
+// so region size — the scheduler's rank space — is set by block size, not
+// function size: stress regions top out near 170 nodes, stress2 regions
+// near 10000, with dozens past 4096 (a three-level bitmap). That is
+// exactly the shape where ready-set churn dominates and asymptotic wins
+// (the CLZ bitmap queues vs. the O(log n) heaps) separate from
+// constant-factor ones. Like Stress it is NOT part of Presets() — the
+// suite and its goldens stay pinned — and is reachable only through
+// PresetByName("stress2"). ProfileTrips is minimal: one 40000-op function
+// dwarfs an entire suite benchmark.
+func Stress2() Preset {
+	return Preset{
+		Name: "stress2", Seed: 902,
+		NumFuncs: 6, OpsPerFunc: 40000,
+		BlockOpsMin: 512, BlockOpsMax: 1536,
+		StructWeights: [numKinds]float64{KindStraight: 8, KindIf: 2.5, KindIfElse: 2, KindSwitch: 1, KindLoop: 0.2, KindChain: 0.5},
+		MaxDepth:      2,
+		Bias:          0.88, BiasedFrac: 0.6,
+		SwitchArmsMin: 4, SwitchArmsMax: 12, ZeroArmFrac: 0.5, EmptyArmFrac: 0.45,
+		LoopIterMean: 10,
+		ChainLenMin:  3, ChainLenMax: 7, ChainEscapeProb: 0.02,
+		ChainFrac: 0.35,
+		LoadFrac:  0.22, StoreFrac: 0.1, FPFrac: 0.0, ImmFrac: 0.1,
+		EmitPbr: true, ProfileTrips: 4,
+	}
+}
+
 // CallHot returns the skewed interprocedural preset: callers whose loop
 // bodies call one of four leaf callees, with 90% of the call sites aimed at
 // the hot callee 0. It is the benchmark the demand-driven inliner is judged
@@ -312,11 +342,13 @@ func CallDeep() Preset {
 }
 
 // PresetByName returns the preset with the given name, or false. "stress",
-// "callhot" and "calldeep" resolve to the out-of-suite presets.
+// "stress2", "callhot" and "calldeep" resolve to the out-of-suite presets.
 func PresetByName(name string) (Preset, bool) {
 	switch name {
 	case "stress":
 		return Stress(), true
+	case "stress2":
+		return Stress2(), true
 	case "callhot":
 		return CallHot(), true
 	case "calldeep":

@@ -1,0 +1,214 @@
+package sched
+
+import "math/bits"
+
+// This file implements the scheduler's ready queues as hierarchical CLZ
+// bitmaps over the dense rank space (DESIGN §16). Since PR 5 every node
+// carries a rank in [0,n) — its position in the static priority order — so
+// a priority queue over ranks is just a bit set with fast find-minimum:
+//
+//   - level 0 has one bit per rank, minimum-first: rank r lives at bit
+//     63-(r&63) of word r>>6, so bits.LeadingZeros64 on a word yields the
+//     smallest rank it holds;
+//   - level k+1 has one bit per level-k word, set iff that word is nonzero.
+//
+// The top level is always a single word, so find-minimum is depth CLZ
+// steps (depth ≤ 2 for n ≤ 4096, ≤ 3 for n ≤ 262144): read the top word,
+// CLZ to the first nonzero child, descend. Insert and delete touch at most
+// depth words each, and stop as soon as a summary bit is already correct —
+// O(1) against the heap's O(log n), with no branches on comparison order.
+//
+// The same structure backs all three queues: cur (pop-min per issue slot),
+// next (bulk word-at-a-time drain into cur at sweep boundaries), and each
+// bucket of the calendar that replaces the future heap (see calendar).
+
+// bitqMaxDepth covers rank spaces up to 64^4 = 16.7M nodes, far beyond any
+// region the generators or the stress tiers produce.
+const bitqMaxDepth = 4
+
+// bitq is one hierarchical bitmap queue. Its level slices are carved from a
+// Scratch-owned slab (see Scratch.reset), so queue operations never
+// allocate; the drain invariant — every schedule ends with all queues
+// empty — keeps the slab all-zero between calls without explicit clearing.
+type bitq struct {
+	lvl   [bitqMaxDepth][]uint64 // lvl[0] = rank words; lvl[k] summarizes lvl[k-1]
+	depth int32
+	n     int32 // population count
+}
+
+// bitqSize computes the per-level word counts for a space of n values and
+// the resulting depth and total word footprint. The top level is always a
+// single word.
+func bitqSize(n int) (lvl [bitqMaxDepth]int, depth, total int) {
+	w := (n + 63) >> 6
+	if w < 1 {
+		w = 1
+	}
+	for {
+		lvl[depth] = w
+		total += w
+		depth++
+		if w == 1 {
+			return
+		}
+		w = (w + 63) >> 6
+	}
+}
+
+// carve points q's levels into slab starting at off and returns the new
+// offset. The slab words must be zero (guaranteed by the drain invariant,
+// or by the dirty-slab sweep in Scratch.reset after an aborted call).
+func (q *bitq) carve(slab []uint64, off int, lvl [bitqMaxDepth]int, depth int) int {
+	q.depth = int32(depth)
+	q.n = 0
+	for l := 0; l < depth; l++ {
+		q.lvl[l] = slab[off : off+lvl[l]]
+		off += lvl[l]
+	}
+	return off
+}
+
+// firstWord descends the summaries to the index of the first nonzero
+// level-0 word. Requires q.n > 0.
+func (q *bitq) firstWord() int {
+	w := 0
+	for l := int(q.depth) - 1; l >= 1; l-- {
+		w = w<<6 + bits.LeadingZeros64(q.lvl[l][w])
+	}
+	return w
+}
+
+// setSummary propagates "level-0 word w became nonzero" upward, stopping at
+// the first summary word that was already nonzero.
+func (q *bitq) setSummary(w int) {
+	for l := 1; l < int(q.depth); l++ {
+		parent := w >> 6
+		old := q.lvl[l][parent]
+		q.lvl[l][parent] = old | uint64(1)<<63>>(uint(w)&63)
+		if old != 0 {
+			return
+		}
+		w = parent
+	}
+}
+
+// clearSummary propagates "level-0 word w became zero" upward, stopping at
+// the first summary word that stays nonzero.
+func (q *bitq) clearSummary(w int) {
+	for l := 1; l < int(q.depth); l++ {
+		parent := w >> 6
+		q.lvl[l][parent] &^= uint64(1) << 63 >> (uint(w) & 63)
+		if q.lvl[l][parent] != 0 {
+			return
+		}
+		w = parent
+	}
+}
+
+// insert adds rank r. Ranks are unique per region and live in at most one
+// queue at a time, so r is never already present.
+func (q *bitq) insert(r int32) {
+	w := int(r) >> 6
+	old := q.lvl[0][w]
+	q.lvl[0][w] = old | uint64(1)<<63>>(uint32(r)&63)
+	q.n++
+	if old == 0 {
+		q.setSummary(w)
+	}
+}
+
+// popMin removes and returns the smallest rank. Requires q.n > 0.
+func (q *bitq) popMin() int32 {
+	w := q.firstWord()
+	word := q.lvl[0][w]
+	b := bits.LeadingZeros64(word)
+	word &^= uint64(1) << 63 >> uint(b)
+	q.lvl[0][w] = word
+	q.n--
+	if word == 0 {
+		q.clearSummary(w)
+	}
+	return int32(w<<6 + b)
+}
+
+// drainInto moves every rank from q into dst, whole words at a time: the
+// source summaries locate each nonzero word, which is OR-ed into dst and
+// cleared here. Both queues must span the same rank space. Cost is
+// O(populated words), not O(rank space), so sweep promotion on a sparse
+// next set touches only the words that matter.
+func (q *bitq) drainInto(dst *bitq) {
+	for q.n > 0 {
+		w := q.firstWord()
+		word := q.lvl[0][w]
+		cnt := int32(bits.OnesCount64(word))
+		q.lvl[0][w] = 0
+		q.clearSummary(w)
+		q.n -= cnt
+		old := dst.lvl[0][w]
+		dst.lvl[0][w] = old | word
+		dst.n += cnt
+		if old == 0 {
+			dst.setSummary(w)
+		}
+	}
+}
+
+// calendar replaces the (earliest, rank) future heap. All pending entries
+// have earliest in (cycle, cycle+maxLat], a window of at most maxLat
+// distinct values, so a ring of W = pow2 ≥ maxLat+1 buckets indexed by
+// earliest&(W-1) never aliases two live earliest values to one bucket: a
+// nonempty bucket holds exactly one earliest value, and the bucket due at
+// the current cycle drains whole. The occupancy word occ mirrors bucket
+// emptiness minimum-first (bucket b at bit W-1-b of the low W bits), so
+// "jump to the minimum pending earliest" — the heap peek this structure
+// replaces — is one rotate plus one CLZ (nextEarliest).
+//
+// The machine models cap edge latency at 9 (FDiv), giving W = 16 in
+// production; the single-word occupancy supports any latency up to 63.
+type calendar struct {
+	buckets []bitq
+	occ     uint64
+	w       int32 // bucket count, power of two in [1, 64]
+	mask    int32 // w - 1
+	n       int32
+}
+
+// insert files rank r under its earliest-issue cycle.
+func (c *calendar) insert(earliest, r int32) {
+	b := earliest & c.mask
+	q := &c.buckets[b]
+	if q.n == 0 {
+		c.occ |= uint64(1) << (uint32(c.w-1) - uint32(b))
+	}
+	q.insert(r)
+	c.n++
+}
+
+// drainDue moves every rank whose earliest equals cycle into dst. By the
+// window invariant that is exactly the content of bucket cycle&mask.
+func (c *calendar) drainDue(cycle int32, dst *bitq) {
+	b := cycle & c.mask
+	q := &c.buckets[b]
+	if q.n == 0 {
+		return
+	}
+	c.occ &^= uint64(1) << (uint32(c.w-1) - uint32(b))
+	c.n -= q.n
+	q.drainInto(dst)
+}
+
+// nextEarliest returns the smallest pending earliest, which is strictly
+// greater than cycle (the caller drained the due bucket first). The
+// occupancy word is rotated so the bucket for cycle+1 lands at the top of
+// the W-bit field; the leading-zero distance to the first set bit is then
+// the jump distance minus one. Requires c.n > 0.
+func (c *calendar) nextEarliest(cycle int32) int32 {
+	if c.occ == 0 {
+		panic("sched: calendar jump with no pending nodes (cyclic DDG?)")
+	}
+	k := uint32(cycle+1) & uint32(c.mask)
+	v := c.occ
+	rv := (v<<k | v>>(uint32(c.w)-k)) & (uint64(1)<<uint32(c.w) - 1)
+	d := int32(c.w) - int32(bits.Len64(rv))
+	return cycle + 1 + d
+}

@@ -44,15 +44,33 @@ type Schedule struct {
 // across every region it schedules via ListScheduleScratch; callers without
 // one go through a shared sync.Pool instead, so the buffers are still
 // recycled, just with cross-worker round trips.
+//
+// The ready queues are hierarchical CLZ bitmaps over the rank space (see
+// bitq.go): qcur/qnext share one word slab, the calendar's buckets another.
+// Both slabs rely on the drain invariant — every completed schedule leaves
+// all queues empty, so the slabs are all-zero between calls and reset never
+// sweeps them. qdirty guards the one exception: a call that panicked midway
+// (the pipeline recovers per-function and reuses the worker's arena) leaves
+// bits behind, so the next reset clears the slabs explicitly.
 type Scratch struct {
 	order    []*ddg.Node
 	keys     [][3]float64
 	rankOf   []int32
 	preds    []int32
 	earliest []int32
-	cur      []int32  // min-heap of ranks ready in the current sweep
-	next     []int32  // ranks that became ready behind the sweep position
-	future   []uint64 // min-heap of earliest<<32|rank for not-yet-eligible nodes
+
+	qcur    bitq     // ranks eligible in the current sweep
+	qnext   bitq     // ranks readied behind the sweep position
+	qcal    calendar // not-yet-eligible ranks bucketed by earliest
+	qslab   []uint64 // backing words for qcur and qnext
+	calslab []uint64 // backing words for the calendar buckets
+	qdirty  bool
+
+	occ telemetry.ReadyOccupancySample
+
+	cur    []int32  // heap reference only: min-heap of ready ranks
+	next   []int32  // heap reference only: ranks readied behind the sweep
+	future []uint64 // heap reference only: min-heap of earliest<<32|rank
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
@@ -78,86 +96,89 @@ func (sc *Scratch) reset(n int) {
 	sc.future = sc.future[:0]
 }
 
-// Rank min-heap over int32.
-func rankPush(h *[]int32, v int32) {
-	a := append(*h, v)
-	i := len(a) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if a[p] <= a[i] {
-			break
-		}
-		a[p], a[i] = a[i], a[p]
-		i = p
+// resetQueues carves the cur/next bitmaps and the calendar for a rank space
+// of n and a maximum edge latency of maxLat, growing the slabs on first use
+// or when a region outgrows them. Steady state allocates nothing: the slabs
+// are already zero (drain invariant) and the carves only re-point slices.
+func (sc *Scratch) resetQueues(n, maxLat int) {
+	lvl, depth, per := bitqSize(n)
+	w := 1
+	for w < maxLat+1 {
+		w <<= 1
 	}
-	*h = a
+	if w > 64 {
+		panic(fmt.Sprintf("sched: edge latency %d exceeds the calendar's 63-cycle capacity", maxLat))
+	}
+
+	if need := 2 * per; cap(sc.qslab) < need {
+		sc.qslab = make([]uint64, need)
+	} else {
+		sc.qslab = sc.qslab[:need]
+	}
+	if need := w * per; cap(sc.calslab) < need {
+		sc.calslab = make([]uint64, need)
+	} else {
+		sc.calslab = sc.calslab[:need]
+	}
+	if cap(sc.qcal.buckets) < w {
+		sc.qcal.buckets = make([]bitq, w)
+	}
+	sc.qcal.buckets = sc.qcal.buckets[:w]
+	if sc.qdirty {
+		clear(sc.qslab[:cap(sc.qslab)])
+		clear(sc.calslab[:cap(sc.calslab)])
+	}
+	sc.qdirty = true
+
+	off := sc.qcur.carve(sc.qslab, 0, lvl, depth)
+	sc.qnext.carve(sc.qslab, off, lvl, depth)
+	sc.qcal.w, sc.qcal.mask, sc.qcal.n, sc.qcal.occ = int32(w), int32(w-1), 0, 0
+	off = 0
+	for b := 0; b < w; b++ {
+		off = sc.qcal.buckets[b].carve(sc.calslab, off, lvl, depth)
+	}
 }
 
-func rankPop(h *[]int32) int32 {
-	a := *h
-	top := a[0]
-	last := len(a) - 1
-	a[0] = a[last]
-	a = a[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < last && a[l] < a[m] {
-			m = l
-		}
-		if r < last && a[r] < a[m] {
-			m = r
-		}
-		if m == i {
-			break
-		}
-		a[i], a[m] = a[m], a[i]
-		i = m
+// prioritize fills sc.order with g.Nodes in static priority order and
+// sc.rankOf with each node's resulting rank. Terminators always sort
+// first: a branch gates every exit below it, predicated branches pack
+// several to a cycle, and delaying one delays a whole path — so they issue
+// as soon as their predicate is ready, and the heuristic orders the real
+// ops. (The paper's example schedules likewise issue every branch at its
+// earliest possible cycle.) Shared by the bitmap scheduler and the
+// retained heap reference so both schedule the identical rank space.
+func prioritize(g *ddg.Graph, prio PriorityFn, sc *Scratch) {
+	order := sc.order
+	copy(order, g.Nodes)
+	keys := sc.keys
+	for _, nd := range g.Nodes {
+		keys[nd.Index] = prio(nd)
 	}
-	*h = a
-	return top
-}
-
-// (earliest, rank) min-heap packed into uint64.
-func futPush(h *[]uint64, v uint64) {
-	a := append(*h, v)
-	i := len(a) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if a[p] <= a[i] {
-			break
+	// The Index tiebreak makes the comparison a total order, so the
+	// unstable sort returns the same permutation a stable one would —
+	// at pdqsort speed rather than symmerge. The sort is over half the
+	// scheduler's time on stress-tier regions.
+	slices.SortFunc(order, func(a, b *ddg.Node) int {
+		if EagerTerminators && a.Term != b.Term {
+			if a.Term {
+				return -1
+			}
+			return 1
 		}
-		a[p], a[i] = a[i], a[p]
-		i = p
+		ka, kb := keys[a.Index], keys[b.Index]
+		for k := 0; k < 3; k++ {
+			if ka[k] != kb[k] {
+				if ka[k] > kb[k] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return a.Index - b.Index
+	})
+	for rank, nd := range order {
+		sc.rankOf[nd.Index] = int32(rank)
 	}
-	*h = a
-}
-
-func futPop(h *[]uint64) uint64 {
-	a := *h
-	top := a[0]
-	last := len(a) - 1
-	a[0] = a[last]
-	a = a[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < last && a[l] < a[m] {
-			m = l
-		}
-		if r < last && a[r] < a[m] {
-			m = r
-		}
-		if m == i {
-			break
-		}
-		a[i], a[m] = a[m], a[i]
-		i = m
-	}
-	*h = a
-	return top
 }
 
 // ListSchedule builds the schedule. It never fails: the DDG is acyclic by
@@ -169,8 +190,9 @@ func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
 // ListScheduleTraced is ListSchedule recording the priority sort and the
 // scheduling loop as separate phases on tr (nil disables tracing).
 //
-// The ready queue is a pair of priority heaps over the static rank order,
-// engineered to reproduce the classic sweep scheduler op for op:
+// The ready queue is a trio of hierarchical CLZ bitmaps over the static
+// rank order (bitq.go), engineered to reproduce the classic sweep
+// scheduler op for op:
 //
 //   - cur holds the ranks eligible in the current sweep; popping the
 //     minimum visits ready nodes in exactly the order a linear scan of the
@@ -180,12 +202,13 @@ func ListSchedule(g *ddg.Graph, m machine.Model, prio PriorityFn) *Schedule {
 //     scan has already passed it, and it goes to next — the following
 //     sweep of the same cycle, which starts when cur drains.
 //   - Nodes ready but with earliest-issue beyond the current cycle wait in
-//     future keyed by (earliest, rank); when nothing is eligible the cycle
-//     jumps straight to the heap's minimum earliest.
+//     the calendar bucketed by earliest; when nothing is eligible the
+//     cycle jumps straight to the minimum pending earliest (one CLZ).
 //
 // Every pop therefore yields precisely the node the legacy scheduler would
-// have picked next, at the same cycle — schedules are byte-identical — but
-// each readiness event costs O(log n) instead of a rescan of the rank array.
+// have picked next, at the same cycle — schedules are byte-identical (the
+// retained heap reference, ListScheduleHeapRef, is the differential
+// witness) — but each readiness event costs O(1) instead of O(log n).
 func ListScheduleTraced(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *telemetry.CompileTrace) *Schedule {
 	sc := scratchPool.Get().(*Scratch)
 	defer scratchPool.Put(sc)
@@ -209,51 +232,28 @@ func ListScheduleScratch(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *tel
 	a0 := telemetry.AllocMark()
 
 	sc.reset(n)
-
-	// Static priority order. Terminators always sort first: a branch gates
-	// every exit below it, predicated branches pack several to a cycle, and
-	// delaying one delays a whole path — so they issue as soon as their
-	// predicate is ready, and the heuristic orders the real ops. (The
-	// paper's example schedules likewise issue every branch at its earliest
-	// possible cycle.)
-	order := sc.order
-	copy(order, g.Nodes)
-	keys := sc.keys
-	for _, nd := range g.Nodes {
-		keys[nd.Index] = prio(nd)
-	}
-	slices.SortStableFunc(order, func(a, b *ddg.Node) int {
-		if EagerTerminators && a.Term != b.Term {
-			if a.Term {
-				return -1
-			}
-			return 1
-		}
-		ka, kb := keys[a.Index], keys[b.Index]
-		for k := 0; k < 3; k++ {
-			if ka[k] != kb[k] {
-				if ka[k] > kb[k] {
-					return -1
-				}
-				return 1
-			}
-		}
-		return a.Index - b.Index
-	})
+	prioritize(g, prio, sc)
 	tr.ObserveAllocs(telemetry.PhasePrioritySort, a0)
 	tr.Observe(telemetry.PhasePrioritySort, time.Since(t0), n)
 
 	t0 = time.Now()
 	a0 = telemetry.AllocMark()
+	order := sc.order
 	rankOf, preds, earliest := sc.rankOf, sc.preds, sc.earliest
-	for rank, nd := range order {
-		rankOf[nd.Index] = int32(rank)
-	}
-	cur, next, future := sc.cur, sc.next, sc.future
+	maxLat := 0
 	for _, nd := range g.Nodes {
 		preds[nd.Index] = int32(len(nd.Preds))
+		for _, e := range nd.Succs {
+			if e.Latency > maxLat {
+				maxLat = e.Latency
+			}
+		}
+	}
+	sc.resetQueues(n, maxLat)
+	cur, next, cal := &sc.qcur, &sc.qnext, &sc.qcal
+	for _, nd := range g.Nodes {
 		if preds[nd.Index] == 0 {
-			rankPush(&cur, rankOf[nd.Index])
+			cur.insert(rankOf[nd.Index])
 		}
 	}
 
@@ -261,40 +261,29 @@ func ListScheduleScratch(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *tel
 	cycle := int32(0)
 	for remaining > 0 {
 		// A new cycle starts a fresh sweep: everything ready is eligible.
-		for _, r := range next {
-			rankPush(&cur, r)
-		}
-		next = next[:0]
-		for len(future) > 0 && int32(future[0]>>32) <= cycle {
-			rankPush(&cur, int32(futPop(&future)&0xffffffff))
-		}
-		if len(cur) == 0 {
+		next.drainInto(cur)
+		cal.drainDue(cycle, cur)
+		if cur.n == 0 {
 			// Nothing eligible: jump to the next cycle at which something
 			// becomes ready.
-			jump := int32(future[0] >> 32)
-			if jump <= cycle {
-				jump = cycle + 1
-			}
-			cycle = jump
+			cycle = cal.nextEarliest(cycle)
 			continue
 		}
+		sc.occ.Observe(int(cur.n))
 		slots := m.IssueWidth
 		lastPopped := int32(-1)
 		for slots > 0 {
-			if len(cur) == 0 {
-				if len(next) == 0 {
+			if cur.n == 0 {
+				if next.n == 0 {
 					break
 				}
 				// The sweep passed some nodes that became ready behind it;
 				// rescan from the top (same cycle, fresh sweep).
-				for _, r := range next {
-					rankPush(&cur, r)
-				}
-				next = next[:0]
+				next.drainInto(cur)
 				lastPopped = -1
 				continue
 			}
-			rank := rankPop(&cur)
+			rank := cur.popMin()
 			nd := order[rank]
 			i := nd.Index
 			s.Cycle[i] = int(cycle)
@@ -316,18 +305,21 @@ func ListScheduleScratch(g *ddg.Graph, m machine.Model, prio PriorityFn, tr *tel
 				if preds[j] == 0 {
 					switch {
 					case earliest[j] > cycle:
-						futPush(&future, uint64(earliest[j])<<32|uint64(rankOf[j]))
+						cal.insert(earliest[j], rankOf[j])
 					case rankOf[j] > lastPopped:
-						rankPush(&cur, rankOf[j])
+						cur.insert(rankOf[j])
 					default:
-						next = append(next, rankOf[j])
+						next.insert(rankOf[j])
 					}
 				}
 			}
 		}
 		cycle++
 	}
-	sc.cur, sc.next, sc.future = cur, next, future
+	// Every node issued, so every queue drained back to empty: the slabs are
+	// all-zero again and the next reset can skip sweeping them.
+	sc.qdirty = false
+	sc.occ.Flush()
 
 	for _, nd := range g.Nodes {
 		if c := s.Cycle[nd.Index] + 1; c > s.Length {

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Scheduler ready-set occupancy. The list scheduler samples the size of
+// its ready set once per issued cycle; the samples land in a per-Scratch
+// ReadyOccupancySample (plain int64s, no atomics on the hot path) and are
+// folded into the process-wide histogram once per scheduled region. Like
+// the PR-5 alloc samples, occupancy is observability-only: it lives
+// outside CompileTrace so deterministic trace counts (and the tgart2
+// artifact schema) are untouched.
+
+// ReadyOccupancyBounds are the histogram's power-of-two upper bounds; the
+// widest machine issues 16 ops per cycle, but stress-tier regions keep
+// thousands of ops ready at once.
+var ReadyOccupancyBounds = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+}
+
+// readyOccupancySlots is one per bound plus the +Inf overflow.
+const readyOccupancySlots = 16
+
+// readyOccupancy is the process-wide sink, exported on demand via
+// ExportReadyOccupancy.
+var readyOccupancy = &Histogram{
+	bounds: ReadyOccupancyBounds,
+	counts: make([]atomic.Int64, readyOccupancySlots),
+}
+
+// ReadyOccupancySample accumulates one scheduler call's occupancy samples.
+// It is embedded in sched.Scratch so the per-cycle hot path touches only
+// worker-local memory; Flush publishes the batch with a handful of atomic
+// adds.
+type ReadyOccupancySample struct {
+	counts [readyOccupancySlots]int64
+	n      int64
+	sum    int64
+}
+
+// Observe records one ready-set size. The bucket index is the power-of-two
+// ceiling's exponent (CLZ-style, matching the queue it measures).
+func (s *ReadyOccupancySample) Observe(size int) {
+	i := 0
+	if size > 1 {
+		i = bits.Len(uint(size - 1))
+		if i >= readyOccupancySlots {
+			i = readyOccupancySlots - 1
+		}
+	}
+	s.counts[i]++
+	s.n++
+	s.sum += int64(size)
+}
+
+// Flush folds the sample into the process-wide histogram and clears s.
+func (s *ReadyOccupancySample) Flush() {
+	if s.n == 0 {
+		return
+	}
+	h := readyOccupancy
+	for i := range s.counts {
+		if c := s.counts[i]; c != 0 {
+			h.counts[i].Add(c)
+			s.counts[i] = 0
+		}
+	}
+	h.count.Add(s.n)
+	h.addSum(float64(s.sum))
+	s.n, s.sum = 0, 0
+}
+
+// ExportReadyOccupancy registers the process-wide occupancy histogram on
+// reg as treegion_sched_ready_occupancy. Safe to call more than once.
+func ExportReadyOccupancy(reg *Registry) {
+	reg.AttachHistogram("treegion_sched_ready_occupancy", nil,
+		"scheduler ready-set size, sampled once per issued cycle", readyOccupancy)
+}
+
+// ReadyOccupancyCount returns the total number of samples recorded
+// process-wide (test hook).
+func ReadyOccupancyCount() int64 { return readyOccupancy.Count() }

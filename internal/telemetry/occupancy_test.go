@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadyOccupancySample checks the power-of-two bucketing, the batch
+// flush into the process-wide histogram, and the Prometheus export path.
+func TestReadyOccupancySample(t *testing.T) {
+	before := ReadyOccupancyCount()
+
+	var s ReadyOccupancySample
+	sizes := []int{1, 2, 3, 4, 5, 16, 17, 1000, 20000}
+	for _, v := range sizes {
+		s.Observe(v)
+	}
+	// Bucketing is the power-of-two ceiling's exponent: 1→0, 2→1, 3..4→2,
+	// 5..8→3, 16→4, 17..32→5, 1000→10, 20000 clamps to the last slot.
+	wantIdx := []int{0, 1, 2, 2, 3, 4, 5, 10, readyOccupancySlots - 1}
+	for i, v := range sizes {
+		_ = v
+		found := false
+		for j := range s.counts {
+			if j == wantIdx[i] && s.counts[j] > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("size %d landed outside bucket %d (counts %v)", v, wantIdx[i], s.counts)
+		}
+	}
+	if s.n != int64(len(sizes)) {
+		t.Fatalf("sample holds %d observations, want %d", s.n, len(sizes))
+	}
+
+	s.Flush()
+	if s.n != 0 || s.sum != 0 {
+		t.Fatalf("sample not cleared by Flush (n=%d sum=%d)", s.n, s.sum)
+	}
+	if got := ReadyOccupancyCount() - before; got != int64(len(sizes)) {
+		t.Fatalf("process-wide count grew by %d, want %d", got, len(sizes))
+	}
+	// A second flush of the now-empty sample must be a no-op.
+	s.Flush()
+	if got := ReadyOccupancyCount() - before; got != int64(len(sizes)) {
+		t.Fatalf("empty Flush changed the count (delta %d)", got)
+	}
+
+	reg := NewRegistry()
+	ExportReadyOccupancy(reg)
+	ExportReadyOccupancy(reg) // idempotent
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "treegion_sched_ready_occupancy_bucket") ||
+		!strings.Contains(out, "treegion_sched_ready_occupancy_count") {
+		t.Fatalf("exported registry missing occupancy series:\n%s", out)
+	}
+}

@@ -212,6 +212,29 @@ func (r *Registry) LabeledGaugeFunc(name string, labels Labels, help string, fn 
 	r.register(name, labels, &metric{help: help, kind: kindGauge, fn: fn})
 }
 
+// AttachHistogram registers an existing histogram under (name, labels) —
+// the export path for package-global sinks that hot paths feed without a
+// registry in hand (e.g. the scheduler's ready-occupancy histogram).
+// Idempotent like Histogram; the first attachment wins.
+func (r *Registry) AttachHistogram(name string, labels Labels, help string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.register(name, labels, &metric{help: help, kind: kindHistogram, hist: h})
+}
+
+// addSum CAS-accumulates v into the histogram's sum without counting an
+// observation (batch flush path).
+func (h *Histogram) addSum(v float64) {
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Histogram registers (or returns) a histogram series with the given
 // bucket upper bounds.
 func (r *Registry) Histogram(name string, labels Labels, help string, bounds []float64) *Histogram {

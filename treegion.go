@@ -236,6 +236,11 @@ func VerifyFunction(orig *Function, fr *FunctionResult, c Config) []Diagnostic {
 // WritePrometheus method (the daemon serves it on /v1/metrics).
 func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 
+// ExportSchedulerTelemetry exposes the process-wide scheduler histograms —
+// currently treegion_sched_ready_occupancy, the ready-set size sampled once
+// per issued cycle — on reg. Safe to call more than once.
+func ExportSchedulerTelemetry(reg *Telemetry) { telemetry.ExportReadyOccupancy(reg) }
+
 // Compile compiles prog under c on fresh clones and aggregates times, code
 // expansion, region statistics, scheduling statistics and the compile
 // trace. Functions compile concurrently on the worker pipeline with results
